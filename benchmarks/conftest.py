@@ -1,0 +1,67 @@
+"""Benchmark-suite configuration.
+
+Environment knobs (so the same suite scales from CI smoke runs to
+paper-size reproductions):
+
+* ``REPRO_BENCH_PROFILE`` — workload profile: ``tiny``, ``scaled``
+  (default) or ``paper`` (the exact Section 4.1 sizes; slow in pure
+  Python).
+* ``REPRO_BENCH_GRAPHS`` — random graphs per plotted point (default 15).
+* ``REPRO_BENCH_MAXVERT`` — per-solve generated-vertex cap (default
+  250k; capped runs are counted and reported as truncated).
+
+Every figure benchmark prints the regenerated plot tables (the same
+rows/series the paper reports) through the ``report`` fixture, so a
+benchmark run doubles as the EXPERIMENTS.md data source.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import ResourceBounds
+
+PROFILE = os.environ.get("REPRO_BENCH_PROFILE", "scaled")
+NUM_GRAPHS = int(os.environ.get("REPRO_BENCH_GRAPHS", "20"))
+MAX_VERTICES = float(os.environ.get("REPRO_BENCH_MAXVERT", "250000"))
+RESOURCES = ResourceBounds(max_vertices=MAX_VERTICES, time_limit=30.0)
+
+_collected: list[str] = []
+
+
+@pytest.fixture
+def bench_profile() -> str:
+    return PROFILE
+
+
+@pytest.fixture
+def bench_graphs() -> int:
+    return NUM_GRAPHS
+
+
+@pytest.fixture
+def bench_resources() -> ResourceBounds:
+    return RESOURCES
+
+
+@pytest.fixture
+def report():
+    """Collects rendered experiment tables; printed at session end."""
+
+    def _add(text: str) -> None:
+        _collected.append(text)
+        print("\n" + text)
+
+    return _add
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _collected:
+        term = session.config.pluginmanager.get_plugin("terminalreporter")
+        if term is not None:
+            term.write_sep("=", "regenerated paper artifacts")
+            for text in _collected:
+                term.write_line(text)
+                term.write_line("")

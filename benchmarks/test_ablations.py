@@ -1,0 +1,168 @@
+"""Benchmarks for the design-choice ablations (ours, beyond the paper).
+
+Each quantifies one knob the paper fixed or left unused, against the
+paper's configuration on the same workloads.
+"""
+
+import pytest
+
+from repro.experiments import (
+    bound_extension_ablation,
+    child_order_ablation,
+    dominance_ablation,
+    elimination_ablation,
+    render,
+    series_ratio,
+    symmetry_ablation,
+)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_dominance_ablation(
+    benchmark, report, bench_profile, bench_graphs, bench_resources
+):
+    out = benchmark.pedantic(
+        dominance_ablation,
+        kwargs=dict(
+            profile=bench_profile,
+            num_graphs=bench_graphs,
+            resources=bench_resources,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(render(out, reference="D=none"))
+    none_s = out.series_by_label("D=none")
+    dom_s = out.series_by_label("D=state")
+    for x in none_s.xs:
+        assert dom_s.point_at(x).mean_vertices <= none_s.point_at(x).mean_vertices + 1e-9
+        assert dom_s.point_at(x).mean_lateness == pytest.approx(
+            none_s.point_at(x).mean_lateness
+        )
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_symmetry_ablation(
+    benchmark, report, bench_profile, bench_graphs, bench_resources
+):
+    out = benchmark.pedantic(
+        symmetry_ablation,
+        kwargs=dict(
+            profile=bench_profile,
+            num_graphs=bench_graphs,
+            resources=bench_resources,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(render(out, reference="sym=off"))
+    off = out.series_by_label("sym=off")
+    on = out.series_by_label("sym=on")
+    for x in off.xs:
+        assert on.point_at(x).mean_vertices <= off.point_at(x).mean_vertices + 1e-9
+        assert on.point_at(x).mean_lateness == pytest.approx(
+            off.point_at(x).mean_lateness
+        )
+    # Symmetry breaking should matter more with more processors.
+    xs = sorted(off.xs)
+    gain_small = series_ratio(out, "sym=off", "sym=on", x=xs[0])
+    gain_large = series_ratio(out, "sym=off", "sym=on", x=xs[-1])
+    assert gain_large >= gain_small - 0.10
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_child_order_ablation(
+    benchmark, report, bench_profile, bench_graphs, bench_resources
+):
+    out = benchmark.pedantic(
+        child_order_ablation,
+        kwargs=dict(
+            profile=bench_profile,
+            num_graphs=bench_graphs,
+            resources=bench_resources,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(render(out, reference="order=generation"))
+    gen = out.series_by_label("order=generation")
+    best = out.series_by_label("order=best-last")
+    for x in gen.xs:
+        assert best.point_at(x).mean_lateness == pytest.approx(
+            gen.point_at(x).mean_lateness
+        )
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_lb2_ablation(
+    benchmark, report, bench_profile, bench_graphs, bench_resources
+):
+    out = benchmark.pedantic(
+        bound_extension_ablation,
+        kwargs=dict(
+            profile=bench_profile,
+            num_graphs=bench_graphs,
+            resources=bench_resources,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(render(out, reference="L=LB1"))
+    lb1 = out.series_by_label("L=LB1")
+    lb2 = out.series_by_label("L=LB2")
+    for x in lb1.xs:
+        assert lb2.point_at(x).mean_vertices <= lb1.point_at(x).mean_vertices + 1e-9
+        assert lb2.point_at(x).mean_lateness == pytest.approx(
+            lb1.point_at(x).mean_lateness
+        )
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_elimination_ablation(benchmark, report, bench_resources):
+    # Exhaustive enumeration: tiny profile regardless of the env knob.
+    out = benchmark.pedantic(
+        elimination_ablation,
+        kwargs=dict(profile="tiny", num_graphs=8, resources=bench_resources),
+        rounds=1,
+        iterations=1,
+    )
+    report(render(out, reference="E=U/DBAS"))
+    udbas = out.series_by_label("E=U/DBAS")
+    none_s = out.series_by_label("E=none")
+    for x in udbas.xs:
+        assert udbas.point_at(x).mean_vertices <= none_s.point_at(x).mean_vertices + 1e-9
+        assert udbas.point_at(x).mean_lateness == pytest.approx(
+            none_s.point_at(x).mean_lateness
+        )
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_selection_tiebreak_ablation(
+    benchmark, report, bench_profile, bench_graphs, bench_resources
+):
+    from repro.experiments import selection_tiebreak_ablation
+
+    out = benchmark.pedantic(
+        selection_tiebreak_ablation,
+        kwargs=dict(
+            profile=bench_profile,
+            num_graphs=bench_graphs,
+            resources=bench_resources,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(render(out, reference="S=LLB"))
+    llb = out.series_by_label("S=LLB")
+    llbd = out.series_by_label("S=LLB-D")
+    lifo = out.series_by_label("S=LIFO")
+    for x in llb.xs:
+        # Depth-biased ties never cost more than generation-order ties,
+        # and all three reach the same optimum.
+        assert llbd.point_at(x).mean_vertices <= llb.point_at(x).mean_vertices + 1e-9
+        assert llbd.point_at(x).mean_lateness == pytest.approx(
+            llb.point_at(x).mean_lateness
+        )
+        assert lifo.point_at(x).mean_lateness == pytest.approx(
+            llb.point_at(x).mean_lateness
+        )

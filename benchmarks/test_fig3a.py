@@ -1,0 +1,53 @@
+"""Benchmark regenerating Figure 3(a): vertex selection rule LLB vs LIFO.
+
+Prints the two plot tables (searched vertices, maximum task lateness vs
+system size) with the EDF reference, and asserts the paper's shape:
+LIFO generates fewer vertices than LLB at every system size while both
+reach the same optimal lateness, at or below EDF's.
+"""
+
+import pytest
+
+from repro.experiments import EDF_LABEL, fig3a, render, series_ratio
+
+
+@pytest.mark.benchmark(group="fig3a")
+def test_fig3a_selection_rule(
+    benchmark, report, bench_profile, bench_graphs, bench_resources
+):
+    out = benchmark.pedantic(
+        fig3a,
+        kwargs=dict(
+            profile=bench_profile,
+            num_graphs=bench_graphs,
+            resources=bench_resources,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(render(out, reference=EDF_LABEL))
+
+    lifo = out.series_by_label("BnB S=LIFO")
+    llb = out.series_by_label("BnB S=LLB")
+    edf = out.series_by_label(EDF_LABEL)
+    for x in lifo.xs:
+        # Upper plot: LIFO at or below LLB at every system size.
+        assert lifo.point_at(x).mean_vertices <= llb.point_at(x).mean_vertices + 1e-9
+        # Lower plot: identical optimal lateness, <= EDF.
+        assert lifo.point_at(x).mean_lateness == pytest.approx(
+            llb.point_at(x).mean_lateness
+        )
+        assert (
+            lifo.point_at(x).mean_lateness
+            <= edf.point_at(x).mean_lateness + 1e-9
+        )
+    # Aggregate headline: LLB searches a multiple of LIFO's vertices
+    # (the paper reports >10x; the scaled workload keeps the direction
+    # and typically a several-fold gap).
+    assert series_ratio(out, "BnB S=LLB", "BnB S=LIFO") > 1.0
+    # Memory shape (Section 6 thrashing): LLB's peak active set larger.
+    for x in lifo.xs:
+        assert (
+            lifo.point_at(x).extras["peak_active"]
+            <= llb.point_at(x).extras["peak_active"] + 1e-9
+        )

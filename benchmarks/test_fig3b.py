@@ -1,0 +1,42 @@
+"""Benchmark regenerating Figure 3(b): lower-bound function LB0 vs LB1.
+
+Shape asserted: LB1 searches no more vertices than LB0 everywhere, the
+relative advantage is largest on the smallest system and decays as
+processors are added (the contention term stops binding), and both
+reach the same optimal lateness.
+"""
+
+import pytest
+
+from repro.experiments import EDF_LABEL, fig3b, render, series_ratio
+
+
+@pytest.mark.benchmark(group="fig3b")
+def test_fig3b_lower_bound(
+    benchmark, report, bench_profile, bench_graphs, bench_resources
+):
+    out = benchmark.pedantic(
+        fig3b,
+        kwargs=dict(
+            profile=bench_profile,
+            num_graphs=bench_graphs,
+            resources=bench_resources,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(render(out, reference=EDF_LABEL))
+
+    lb0 = out.series_by_label("BnB L=LB0")
+    lb1 = out.series_by_label("BnB L=LB1")
+    for x in lb1.xs:
+        assert lb1.point_at(x).mean_vertices <= lb0.point_at(x).mean_vertices + 1e-9
+        assert lb1.point_at(x).mean_lateness == pytest.approx(
+            lb0.point_at(x).mean_lateness
+        )
+    # Convergence: the LB0/LB1 ratio at the smallest system is at least
+    # the ratio at the largest.
+    xs = sorted(lb1.xs)
+    small = series_ratio(out, "BnB L=LB0", "BnB L=LB1", x=xs[0])
+    large = series_ratio(out, "BnB L=LB0", "BnB L=LB1", x=xs[-1])
+    assert small >= large - 0.05

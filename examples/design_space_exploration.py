@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Design-space exploration of the Kohler-Steiglitz 9-tuple.
+
+The point of a *parametrized* B&B is that each parameter is a swappable
+strategy.  This example fixes one workload ensemble and walks the design
+space on two axes:
+
+1. **Algorithm space** — every selection rule x lower bound x branching
+   rule x BR combination the paper studies (plus our LB2 and dominance
+   extensions), reporting searched vertices, peak memory and lateness.
+2. **Platform space** — the same application on different interconnect
+   topologies (shared bus, fully connected, ring, mesh), showing how
+   nominal delay structure shifts the optimal lateness.
+
+Output is a pair of aligned tables; takes ~half a minute.
+"""
+
+import statistics
+
+from repro import BnBParameters, compile_problem, shared_bus_platform, solve
+from repro.core import (
+    BranchAndBound,
+    LB0,
+    LB1,
+    LB2,
+    ResourceBounds,
+    StateDominance,
+)
+from repro.model import FullyConnected, Mesh2D, Platform, Ring, SharedBus
+from repro.workload import generate_task_graph, scaled_spec
+
+RB = ResourceBounds(max_vertices=400_000, time_limit=20.0)
+SEEDS = range(10)
+PROCESSORS = 3
+
+
+def algorithm_space():
+    return {
+        "BFn/LIFO/LB1 (paper opt)": BnBParameters.paper_default(resources=RB),
+        "BFn/LLB/LB1": BnBParameters.paper_llb(resources=RB),
+        "BFn/LIFO/LB0": BnBParameters.paper_lb0(resources=RB),
+        "BFn/LIFO/LB2 (ours)": BnBParameters.paper_default(
+            resources=RB, lower_bound=LB2()
+        ),
+        "BFn/LIFO/LB1 BR=10%": BnBParameters.near_optimal(0.10, resources=RB),
+        "DF/LIFO/LB1 (approx)": BnBParameters.approximate_df(resources=RB),
+        "BF1/LIFO/LB1 (approx)": BnBParameters.approximate_bf1(resources=RB),
+        "BFn/LIFO/LB1 +dominance": BnBParameters.paper_default(
+            resources=RB, dominance=StateDominance()
+        ),
+        "BFn/LIFO/LB1 +symmetry": BnBParameters.paper_default(
+            resources=RB, break_symmetry=True
+        ),
+    }
+
+
+def explore_algorithms() -> None:
+    spec = scaled_spec()
+    problems = [
+        compile_problem(
+            generate_task_graph(spec, seed=s), shared_bus_platform(PROCESSORS)
+        )
+        for s in SEEDS
+    ]
+    print(f"== algorithm space ({len(problems)} graphs, m={PROCESSORS}) ==")
+    header = f"{'configuration':28s} {'vertices':>10s} {'peak AS':>8s} {'L_max':>8s} {'time':>7s}"
+    print(header)
+    print("-" * len(header))
+    for label, params in algorithm_space().items():
+        solver = BranchAndBound(params)
+        results = [solver.solve(p) for p in problems]
+        print(
+            f"{label:28s} "
+            f"{statistics.mean(r.stats.generated for r in results):10.0f} "
+            f"{statistics.mean(r.stats.peak_active for r in results):8.0f} "
+            f"{statistics.mean(r.best_cost for r in results):8.2f} "
+            f"{sum(r.stats.elapsed for r in results):6.2f}s"
+        )
+
+
+def platform_space():
+    m = 4
+    return {
+        "shared bus (paper)": Platform(m, SharedBus(m)),
+        "fully connected": Platform(m, FullyConnected(m)),
+        "ring": Platform(m, Ring(m)),
+        "2x2 mesh": Platform(m, Mesh2D(rows=2, cols=2)),
+        "bus, 2x slower": Platform(m, SharedBus(m, delay_per_item=2.0)),
+    }
+
+
+def explore_platforms() -> None:
+    spec = scaled_spec()
+    graphs = [generate_task_graph(spec, seed=s) for s in SEEDS]
+    print(f"\n== platform space ({len(graphs)} graphs, m=4, optimal B&B) ==")
+    header = f"{'interconnect':22s} {'L_max':>8s} {'vertices':>10s}"
+    print(header)
+    print("-" * len(header))
+    params = BnBParameters.paper_default(resources=RB)
+    for label, platform in platform_space().items():
+        lats, gens = [], []
+        for g in graphs:
+            r = solve(g, platform, params)
+            lats.append(r.best_cost)
+            gens.append(r.stats.generated)
+        print(
+            f"{label:22s} {statistics.mean(lats):8.2f} "
+            f"{statistics.mean(gens):10.0f}"
+        )
+
+
+if __name__ == "__main__":
+    explore_algorithms()
+    explore_platforms()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Scheduling a multirate radar DSP application over one hyperperiod.
+
+The paper's task model is periodic (Section 2.2) even though its
+evaluation schedules a single invocation; this example exercises the
+periodic machinery end-to-end — the kind of multiprocessor DSP workload
+the paper cites as a B&B application domain (Konstantinides et al. [2]).
+
+The application is a classic multirate radar chain:
+
+* a fast front end at 10 ms period: pulse compression -> doppler filter,
+* a slow back end at 20 ms period: CFAR detection -> tracker -> display,
+
+with a rate transition between doppler filtering and CFAR.  The graph is
+unrolled over one 20 ms hyperperiod into a job-level DAG (two invocations
+of each fast task, one of each slow task, with invocation-order chains
+and rate-transition edges), which the single-shot B&B then schedules
+optimally on a 2-DSP shared-bus board.
+"""
+
+from repro import (
+    BnBParameters,
+    Channel,
+    Task,
+    TaskGraph,
+    compile_problem,
+    edf_schedule,
+    shared_bus_platform,
+    solve,
+)
+from repro.core import ResourceBounds
+from repro.model import hyperperiod, unroll
+
+FAST_T = 10.0  # ms
+SLOW_T = 20.0  # ms
+
+
+def build_radar() -> TaskGraph:
+    g = TaskGraph(name="radar")
+    # Fast front end (per-pulse), deadlines within the period.
+    g.add_task(Task(name="pulse_comp", wcet=2.0, relative_deadline=6.0, period=FAST_T))
+    g.add_task(Task(name="doppler", wcet=3.0, relative_deadline=10.0, period=FAST_T))
+    # Slow back end (per-dwell).
+    g.add_task(Task(name="cfar", wcet=4.0, relative_deadline=14.0, period=SLOW_T, phase=0.0))
+    g.add_task(Task(name="tracker", wcet=5.0, relative_deadline=18.0, period=SLOW_T))
+    g.add_task(Task(name="display", wcet=1.0, relative_deadline=20.0, period=SLOW_T))
+    g.add_channel(Channel(src="pulse_comp", dst="doppler", message_size=1.0))
+    g.add_channel(Channel(src="doppler", dst="cfar", message_size=2.0))
+    g.add_channel(Channel(src="cfar", dst="tracker", message_size=0.5))
+    g.add_channel(Channel(src="tracker", dst="display", message_size=0.2))
+    return g
+
+
+def main() -> None:
+    radar = build_radar()
+    hp = hyperperiod(radar)
+    print(f"application: {radar!r}")
+    print(f"hyperperiod: {hp:g} ms")
+
+    jobs = unroll(radar)
+    print(f"\nunrolled job DAG: {len(jobs)} jobs, {jobs.num_arcs} arcs")
+    for job in jobs:
+        print(
+            f"  {job.name:14s} window [{job.arrival(1):5.1f}, "
+            f"{job.absolute_deadline(1):5.1f}]  c={job.wcet:g}"
+        )
+    print("  rate transitions / chains:")
+    for ch in jobs.channels:
+        print(f"    {ch.src} -> {ch.dst}")
+
+    platform = shared_bus_platform(2)
+    problem = compile_problem(jobs, platform)
+    edf = edf_schedule(problem)
+    result = solve(
+        jobs,
+        platform,
+        BnBParameters(resources=ResourceBounds(max_vertices=2_000_000)),
+    )
+    print(f"\nEDF:  L_max = {edf.max_lateness:+.2f} ms")
+    print(f"B&B:  {result.summary()}")
+    sched = result.schedule()
+    sched.validate()
+    print("\n" + sched.as_table())
+    if result.best_cost <= 0:
+        print(
+            "\nall jobs meet their deadlines: the radar chain is "
+            f"schedulable on 2 DSPs with {-result.best_cost:.2f} ms to spare"
+        )
+    else:
+        print("\nthe dwell overruns; consider a third DSP")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Thin setuptools shim (metadata lives in pyproject.toml).
+
+Kept so editable installs work in offline environments without the
+``wheel`` package (legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""Analysis utilities: metrics, confidence intervals, aggregation."""
+
+from .aggregate import PointAccumulator, Series, SeriesPoint
+from .gantt import render_gantt
+from .confidence import (
+    ConfidenceTarget,
+    RunningStats,
+    confidence_interval,
+    run_until_confident,
+    student_t_quantile,
+)
+from .metrics import (
+    ScheduleMetrics,
+    geometric_mean,
+    lateness_improvement,
+    schedule_metrics,
+    vertex_ratio,
+)
+
+__all__ = [
+    "ConfidenceTarget",
+    "PointAccumulator",
+    "RunningStats",
+    "ScheduleMetrics",
+    "Series",
+    "SeriesPoint",
+    "confidence_interval",
+    "render_gantt",
+    "geometric_mean",
+    "lateness_improvement",
+    "run_until_confident",
+    "schedule_metrics",
+    "student_t_quantile",
+    "vertex_ratio",
+]

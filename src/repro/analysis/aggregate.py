@@ -1,0 +1,76 @@
+"""Aggregation containers for experiment series.
+
+An experiment produces, per strategy, a *series* of points indexed by the
+sweep variable (system size, CCR, ...), each point carrying the two
+observed performance indices — mean searched vertices and mean maximum
+task lateness — with their confidence half-widths and any auxiliary
+means (peak active-set size, wall-clock time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .confidence import RunningStats, confidence_interval
+
+__all__ = ["PointAccumulator", "SeriesPoint", "Series"]
+
+
+class PointAccumulator:
+    """Collects per-run observations for one (strategy, x) cell."""
+
+    def __init__(self) -> None:
+        self.vertices = RunningStats()
+        self.lateness = RunningStats()
+        self.extras: dict[str, RunningStats] = {}
+
+    def add(self, vertices: float, lateness: float, **extras: float) -> None:
+        self.vertices.add(vertices)
+        self.lateness.add(lateness)
+        for key, value in extras.items():
+            self.extras.setdefault(key, RunningStats()).add(value)
+
+    def freeze(
+        self, x: float, vertex_level: float = 0.90, lateness_level: float = 0.95
+    ) -> "SeriesPoint":
+        """Finalize into an immutable point (paper's CI levels by default)."""
+        return SeriesPoint(
+            x=x,
+            runs=self.vertices.count,
+            mean_vertices=self.vertices.mean,
+            ci_vertices=confidence_interval(self.vertices, vertex_level),
+            mean_lateness=self.lateness.mean,
+            ci_lateness=confidence_interval(self.lateness, lateness_level),
+            extras={k: v.mean for k, v in self.extras.items()},
+        )
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One aggregated cell of an experiment plot."""
+
+    x: float
+    runs: int
+    mean_vertices: float
+    ci_vertices: float
+    mean_lateness: float
+    ci_lateness: float
+    extras: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Series:
+    """One plotted curve: a strategy label and its points in x order."""
+
+    label: str
+    points: tuple[SeriesPoint, ...]
+
+    def point_at(self, x: float) -> SeriesPoint:
+        for p in self.points:
+            if p.x == x:
+                return p
+        raise KeyError(f"series {self.label!r} has no point at x={x}")
+
+    @property
+    def xs(self) -> tuple[float, ...]:
+        return tuple(p.x for p in self.points)

@@ -1,0 +1,89 @@
+"""ASCII Gantt charts for schedules.
+
+A proportional text rendering — one row per processor, one optional row
+for the simulated bus — suitable for terminals, logs and doctests.
+
+::
+
+    t=0                                                            98.6
+    p0 |RR|CCC|rr|SSSSSSS|..FFFFF|..LLL|...MMMMMM|....TTT|..AA|
+    p1 |LLL|lllll|......OOOO|
+    legend: R=radar C=camera_R r=radar_track ...
+"""
+
+from __future__ import annotations
+
+from ..model.schedule import Schedule
+
+__all__ = ["render_gantt"]
+
+_FILL = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+
+
+def _symbol_map(names: list[str]) -> dict[str, str]:
+    """Assign each task a distinct single-character symbol.
+
+    Prefers the first letter of the task name; collisions fall back to a
+    rotating alphabet.
+    """
+    used: set[str] = set()
+    out: dict[str, str] = {}
+    pool = iter(_FILL)
+    for name in names:
+        candidate = next((c for c in name if c.isalnum()), "")
+        if candidate and candidate not in used:
+            out[name] = candidate
+            used.add(candidate)
+            continue
+        for c in pool:
+            if c not in used:
+                out[name] = c
+                used.add(c)
+                break
+        else:  # more tasks than symbols: reuse '#'
+            out[name] = "#"
+    return out
+
+
+def render_gantt(
+    schedule: Schedule, width: int = 72, show_legend: bool = True
+) -> str:
+    """Render the (possibly partial) schedule as a text Gantt chart.
+
+    ``width`` is the number of character cells representing the makespan;
+    idle time is drawn as ``.``, execution as the task's symbol.  Tasks
+    shorter than one cell still get one cell (clipped at the row end), so
+    every placed task is visible.
+    """
+    if width < 10:
+        raise ValueError(f"width must be >= 10, got {width}")
+    makespan = schedule.makespan()
+    names = [e.task for e in schedule.entries]
+    symbols = _symbol_map(names)
+    lines: list[str] = [f"t=0{' ' * max(0, width - len(f'{makespan:g}') - 3)}{makespan:g}"]
+
+    if makespan <= 0:
+        lines.append("(empty schedule)")
+        return "\n".join(lines)
+    scale = width / makespan
+
+    for p in schedule.platform.processors:
+        row = ["."] * width
+        for e in schedule.timeline(p):
+            lo = min(width - 1, int(e.start * scale))
+            hi = min(width, max(lo + 1, int(round(e.finish * scale))))
+            for i in range(lo, hi):
+                row[i] = symbols[e.task]
+        lines.append(f"p{p} |{''.join(row)}|")
+
+    if show_legend and names:
+        pairs = [f"{symbols[n]}={n}" for n in names]
+        legend = "legend: "
+        line = legend
+        for pair in pairs:
+            if len(line) + len(pair) + 1 > width + 12:
+                lines.append(line.rstrip())
+                line = " " * len(legend)
+            line += pair + " "
+        lines.append(line.rstrip())
+    return "\n".join(lines)

@@ -1,0 +1,243 @@
+"""Command-line interface: ``python -m repro`` / the ``repro`` script.
+
+Subcommands
+-----------
+``generate``
+    Generate a random task graph (Section 4.1 parameters) to JSON, STG
+    and/or DOT.
+``solve``
+    Run the parametrized B&B on a task-graph file (JSON or STG); can
+    print Gantt charts, simulate the shared bus explicitly, and dump
+    the search trace.
+``convert``
+    Translate between the JSON, STG and DOT graph formats.
+``experiment``
+    Run any registered experiment (fig3a/fig3b/fig3c, the Section 6
+    discussion sweeps, scaling, or an ablation) and print the plot
+    tables.
+``list``
+    List registered experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import __version__
+from .core.bounds import LOWER_BOUNDS
+from .core.branching import BRANCHING_RULES
+from .core.engine import BranchAndBound
+from .core.params import BnBParameters
+from .core.resources import ResourceBounds
+from .core.selection import SELECTION_RULES
+from .errors import ReproError
+from .experiments.registry import EXPERIMENTS, run_by_name
+from .experiments.report import render
+from .experiments.runner import EDF_LABEL
+from .analysis.gantt import render_gantt
+from .core.trace import TraceRecorder
+from .io.dot import graph_to_dot
+from .io.json_io import save_experiment, save_graph, load_graph
+from .io.stg import load_stg, save_stg
+from .model.bussim import simulate_bus
+from .workload.deadline import assign_deadlines
+from .model.platform import shared_bus_platform
+from .workload.generator import generate_task_graph
+from .workload.suites import spec_for_profile
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Parametrized branch-and-bound multiprocessor scheduling "
+            "(reproduction of Jonsson & Shin, ICPP 1997)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a random task graph")
+    gen.add_argument("--profile", default="paper", help="workload profile")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--ccr", type=float, default=None)
+    gen.add_argument(
+        "--output", "-o", default=None,
+        help="output path (.json or .stg by extension)",
+    )
+    gen.add_argument("--dot", default=None, help="also write a DOT rendering")
+
+    slv = sub.add_parser("solve", help="solve a task-graph file (JSON or STG)")
+    slv.add_argument("graph", help="task-graph path (.json or .stg)")
+    slv.add_argument(
+        "--laxity", type=float, default=1.5,
+        help="laxity ratio used to slice deadlines onto STG inputs "
+        "(STG carries none)",
+    )
+    slv.add_argument("--processors", "-m", type=int, default=2)
+    slv.add_argument(
+        "--selection", choices=sorted(SELECTION_RULES), default="LIFO"
+    )
+    slv.add_argument(
+        "--branching", choices=sorted(BRANCHING_RULES), default="BFn"
+    )
+    slv.add_argument("--bound", choices=sorted(LOWER_BOUNDS), default="LB1")
+    slv.add_argument("--br", type=float, default=0.0, help="inaccuracy limit")
+    slv.add_argument("--time-limit", type=float, default=None)
+    slv.add_argument("--max-vertices", type=float, default=None)
+    slv.add_argument("--gantt", action="store_true", help="print the schedule")
+    slv.add_argument(
+        "--chart", action="store_true", help="print an ASCII Gantt chart"
+    )
+    slv.add_argument(
+        "--bus", action="store_true",
+        help="simulate the shared bus explicitly and report contention",
+    )
+    slv.add_argument(
+        "--trace-csv", default=None,
+        help="write the search's explore log to this CSV file",
+    )
+
+    cnv = sub.add_parser("convert", help="convert between graph formats")
+    cnv.add_argument("input", help="input graph (.json or .stg)")
+    cnv.add_argument("output", help="output path (.json, .stg or .dot)")
+
+    exp = sub.add_parser("experiment", help="run a registered experiment")
+    exp.add_argument("name", choices=sorted(EXPERIMENTS))
+    exp.add_argument("--profile", default="scaled")
+    exp.add_argument("--graphs", type=int, default=None, help="graphs per point")
+    exp.add_argument("--seed", type=int, default=0)
+    exp.add_argument("--workers", type=int, default=0)
+    exp.add_argument("--output", "-o", default=None, help="save JSON results")
+
+    sub.add_parser("list", help="list registered experiments")
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    spec = spec_for_profile(args.profile)
+    if args.ccr is not None:
+        spec = spec.evolve(ccr=args.ccr)
+    graph = generate_task_graph(spec, seed=args.seed)
+    print(
+        f"generated {graph.name!r}: {len(graph)} tasks, {graph.num_arcs} arcs, "
+        f"depth {graph.depth}, width {graph.width}, "
+        f"CCR {graph.communication_to_computation_ratio():.2f}"
+    )
+    if args.output:
+        _write_graph(graph, args.output)
+        print(f"wrote {args.output}")
+    if args.dot:
+        with open(args.dot, "w") as fh:
+            fh.write(graph_to_dot(graph))
+        print(f"wrote {args.dot}")
+    return 0
+
+
+def _read_graph(path: str, laxity: float = 1.5):
+    """Load a graph by extension; STG inputs get sliced deadlines."""
+    if str(path).endswith(".stg"):
+        graph = load_stg(path)
+        return assign_deadlines(graph, laxity_ratio=laxity)
+    return load_graph(path)
+
+
+def _write_graph(graph, path: str) -> None:
+    if str(path).endswith(".stg"):
+        save_stg(graph, path)
+    elif str(path).endswith(".dot"):
+        with open(path, "w") as fh:
+            fh.write(graph_to_dot(graph))
+    else:
+        save_graph(graph, path)
+
+
+def _cmd_convert(args) -> int:
+    graph = _read_graph(args.input) if args.input.endswith(".stg") else load_graph(args.input)
+    _write_graph(graph, args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_solve(args) -> int:
+    graph = _read_graph(args.graph, laxity=args.laxity)
+    rb_kwargs = {}
+    if args.time_limit is not None:
+        rb_kwargs["time_limit"] = args.time_limit
+    if args.max_vertices is not None:
+        rb_kwargs["max_vertices"] = args.max_vertices
+    params = BnBParameters(
+        selection=SELECTION_RULES[args.selection](),
+        branching=BRANCHING_RULES[args.branching](),
+        lower_bound=LOWER_BOUNDS[args.bound](),
+        inaccuracy=args.br,
+        resources=ResourceBounds(**rb_kwargs),
+    )
+    trace = TraceRecorder() if args.trace_csv else None
+    result = BranchAndBound(params, trace=trace).solve_graph(
+        graph, shared_bus_platform(args.processors)
+    )
+    print(f"parameters: {params.describe()}")
+    print(result.summary())
+    schedule = result.schedule() if result.found_solution else None
+    if args.gantt and schedule is not None:
+        print(schedule.as_table())
+    if args.chart and schedule is not None:
+        print(render_gantt(schedule))
+    if args.bus and schedule is not None:
+        print(simulate_bus(schedule).summary())
+    if args.trace_csv and trace is not None:
+        with open(args.trace_csv, "w") as fh:
+            fh.write(trace.to_csv())
+        print(f"wrote {args.trace_csv}")
+    return 0 if result.found_solution else 1
+
+
+def _cmd_experiment(args) -> int:
+    kwargs = {"profile": args.profile, "base_seed": args.seed}
+    if args.graphs is not None:
+        kwargs["num_graphs"] = args.graphs
+    if args.workers:
+        kwargs["workers"] = args.workers
+    output = run_by_name(args.name, **kwargs)
+    reference = EDF_LABEL if any(
+        s.label == EDF_LABEL for s in output.series
+    ) else output.series[0].label
+    print(render(output, reference=reference))
+    if args.output:
+        save_experiment(output, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_list() -> int:
+    for name in sorted(EXPERIMENTS):
+        doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()
+        print(f"{name:18s} {doc[0] if doc else ''}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "generate":
+            return _cmd_generate(args)
+        if args.command == "solve":
+            return _cmd_solve(args)
+        if args.command == "convert":
+            return _cmd_convert(args)
+        if args.command == "experiment":
+            return _cmd_experiment(args)
+        if args.command == "list":
+            return _cmd_list()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,108 @@
+"""The paper's contribution: the parametrized branch-and-bound scheduler.
+
+Everything is organized around the Kohler–Steiglitz 9-tuple
+``<B, S, E, F, D, L, U, BR, RB>`` (see :class:`BnBParameters`) driving
+the Figure 1 engine (:class:`BranchAndBound`).
+"""
+
+from .bounds import LB0, LB1, LB2, LOWER_BOUNDS, LowerBound, TrivialBound
+from .branching import (
+    BRANCHING_RULES,
+    BF1Branching,
+    BFnBranching,
+    BranchingRule,
+    DFBranching,
+    FixedOrderBranching,
+)
+from .dominance import DOMINANCE_RULES, DominanceRule, NoDominance, StateDominance
+from .elimination import (
+    ELIMINATION_RULES,
+    EliminationRule,
+    NoElimination,
+    UDBASElimination,
+    pruning_threshold,
+)
+from .engine import BnBResult, BranchAndBound, SolveStatus, solve
+from .feasibility import (
+    CHARACTERISTIC_FUNCTIONS,
+    CharacteristicFunction,
+    LatenessTargetFilter,
+    NoFilter,
+)
+from .params import CHILD_ORDERS, BnBParameters
+from .resources import UNBOUNDED, ResourceBounds
+from .selection import (
+    SELECTION_RULES,
+    DepthBiasedLLBSelection,
+    FIFOSelection,
+    LIFOSelection,
+    LLBSelection,
+    SelectionRule,
+)
+from .state import SearchState, root_state
+from .stats import SearchStats
+from .trace import ExploreEvent, IncumbentEvent, TraceRecorder
+from .upper import (
+    UPPER_BOUNDS,
+    BestHeuristicUpperBound,
+    ConstantUpperBound,
+    EDFUpperBound,
+    NoUpperBound,
+    UpperBoundProvider,
+)
+from .vertex import Vertex
+
+__all__ = [
+    "BF1Branching",
+    "BFnBranching",
+    "BRANCHING_RULES",
+    "BestHeuristicUpperBound",
+    "BnBParameters",
+    "BnBResult",
+    "BranchAndBound",
+    "BranchingRule",
+    "CHARACTERISTIC_FUNCTIONS",
+    "CHILD_ORDERS",
+    "CharacteristicFunction",
+    "ConstantUpperBound",
+    "DFBranching",
+    "DepthBiasedLLBSelection",
+    "DOMINANCE_RULES",
+    "DominanceRule",
+    "EDFUpperBound",
+    "ELIMINATION_RULES",
+    "EliminationRule",
+    "ExploreEvent",
+    "FIFOSelection",
+    "FixedOrderBranching",
+    "LB0",
+    "LB1",
+    "LB2",
+    "LIFOSelection",
+    "LLBSelection",
+    "LOWER_BOUNDS",
+    "LatenessTargetFilter",
+    "LowerBound",
+    "NoDominance",
+    "NoElimination",
+    "NoFilter",
+    "NoUpperBound",
+    "ResourceBounds",
+    "SELECTION_RULES",
+    "SearchState",
+    "SearchStats",
+    "SelectionRule",
+    "IncumbentEvent",
+    "SolveStatus",
+    "StateDominance",
+    "TraceRecorder",
+    "TrivialBound",
+    "UDBASElimination",
+    "UNBOUNDED",
+    "UPPER_BOUNDS",
+    "UpperBoundProvider",
+    "Vertex",
+    "pruning_threshold",
+    "root_state",
+    "solve",
+]

@@ -1,0 +1,194 @@
+"""Lower-bound cost functions ``L`` (Section 3.5).
+
+The bounding operation computes a "pessimistic" (from the pruning point
+of view: *optimistic*, never above the truth) estimate of the maximum
+task lateness reachable from a vertex:
+
+    L_hat = max { f_hat_i - D_i : tau_i in T }
+
+where ``f_hat_i`` is an estimated finish time.  Scheduled tasks use their
+actual finish times; unscheduled tasks use a recursion over their direct
+predecessors.
+
+* :class:`LB0` — the critical-path recursion of Hou & Shin [4]:
+  ``f_hat_i = max({a_i + c_i} U {max(f_hat_j, a_i) + c_i : j <. i})``.
+* :class:`LB1` — the paper's new *adaptive* bound: identical, except
+  every unscheduled task additionally waits for ``l_min``, the earliest
+  time at which a new task can be scheduled on **any** processor (the
+  minimum per-processor availability).  Because the run-time model
+  appends tasks, no future task can start before ``l_min``, so the bound
+  remains a true lower bound while modelling processor contention.
+* :class:`LB2` — our processor-aware extension (not in the paper): for
+  each unscheduled task the estimate is minimized over the processor it
+  could run on, accounting for per-processor availability and the
+  cheapest placement of messages from already-placed predecessors.
+  Dominates LB1; used in ablation benchmarks.
+* :class:`TrivialBound` — returns the lateness of the placed tasks only
+  (the weakest sound bound; ablation baseline).
+
+All bounds return the *vertex cost*: for goal vertices the estimate
+coincides with the true maximum task lateness.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from .state import SearchState
+
+__all__ = ["LowerBound", "LB0", "LB1", "LB2", "TrivialBound", "LOWER_BOUNDS"]
+
+
+class LowerBound(ABC):
+    """Strategy interface for the lower-bound cost function ``L``."""
+
+    #: Short identifier used in parameter summaries and reports.
+    name: str = "?"
+
+    @abstractmethod
+    def evaluate(self, state: SearchState) -> float:
+        """Lower bound on the best complete-schedule cost below ``state``."""
+
+    def __call__(self, state: SearchState) -> float:
+        return self.evaluate(state)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class TrivialBound(LowerBound):
+    """Lateness of the already-placed tasks; ignores the future entirely."""
+
+    name = "trivial"
+
+    def evaluate(self, state: SearchState) -> float:
+        return state.scheduled_lateness
+
+
+class LB0(LowerBound):
+    """Critical-path lower bound (no processor contention)."""
+
+    name = "LB0"
+
+    def evaluate(self, state: SearchState) -> float:
+        p = state.problem
+        mask = state.scheduled_mask
+        finish = state.finish
+        arrival = p.arrival
+        wcet = p.wcet
+        deadline = p.deadline
+        est = [0.0] * p.n
+        lb = state.scheduled_lateness
+        for i in p.topo:
+            if mask >> i & 1:
+                est[i] = finish[i]
+                continue
+            a = arrival[i]
+            e = a
+            for j, _ in p.pred_edges[i]:
+                fj = est[j]
+                if fj > e:
+                    e = fj
+            e += wcet[i]
+            est[i] = e
+            lat = e - deadline[i]
+            if lat > lb:
+                lb = lat
+        return lb
+
+
+class LB1(LowerBound):
+    """The paper's adaptive bound: LB0 plus the contention term ``l_min``."""
+
+    name = "LB1"
+
+    def evaluate(self, state: SearchState) -> float:
+        p = state.problem
+        mask = state.scheduled_mask
+        finish = state.finish
+        arrival = p.arrival
+        wcet = p.wcet
+        deadline = p.deadline
+        lmin = min(state.avail)
+        est = [0.0] * p.n
+        lb = state.scheduled_lateness
+        for i in p.topo:
+            if mask >> i & 1:
+                est[i] = finish[i]
+                continue
+            a = arrival[i]
+            e = a if a > lmin else lmin
+            for j, _ in p.pred_edges[i]:
+                fj = est[j]
+                if fj > e:
+                    e = fj
+            e += wcet[i]
+            est[i] = e
+            lat = e - deadline[i]
+            if lat > lb:
+                lb = lat
+        return lb
+
+
+class LB2(LowerBound):
+    """Processor-aware extension of LB1 (ours; ablation only).
+
+    For each unscheduled task the finish estimate is minimized over the
+    processor it might run on: placement on processor ``q`` cannot begin
+    before ``q``'s current availability, nor before a scheduled
+    predecessor's finish plus the message cost from the predecessor's
+    processor to ``q``; unscheduled predecessors contribute their own
+    (processor-free) estimates.  Taking the minimum over ``q`` keeps the
+    bound sound, and it dominates LB1 because
+    ``min_q avail[q] = l_min`` is one of the terms.
+    """
+
+    name = "LB2"
+
+    def evaluate(self, state: SearchState) -> float:
+        p = state.problem
+        mask = state.scheduled_mask
+        finish = state.finish
+        arrival = p.arrival
+        wcet = p.wcet
+        deadline = p.deadline
+        avail = state.avail
+        proc_of = state.proc_of
+        delay = p.delay
+        m = p.m
+        est = [0.0] * p.n
+        lb = state.scheduled_lateness
+        for i in p.topo:
+            if mask >> i & 1:
+                est[i] = finish[i]
+                continue
+            a = arrival[i]
+            best = float("inf")
+            for q in range(m):
+                e = avail[q]
+                if a > e:
+                    e = a
+                for j, size in p.pred_edges[i]:
+                    if mask >> j & 1:
+                        r = finish[j] + size * delay[proc_of[j]][q]
+                    else:
+                        r = est[j]
+                    if r > e:
+                        e = r
+                if e < best:
+                    best = e
+            e = best + wcet[i]
+            est[i] = e
+            lat = e - deadline[i]
+            if lat > lb:
+                lb = lat
+        return lb
+
+
+#: Registry by name for CLI/experiment configuration.
+LOWER_BOUNDS: dict[str, type[LowerBound]] = {
+    LB0.name: LB0,
+    LB1.name: LB1,
+    LB2.name: LB2,
+    TrivialBound.name: TrivialBound,
+}

@@ -1,0 +1,180 @@
+"""Vertex branching rules ``B`` (Section 3.3).
+
+The branching rule decides which (task, processor) placements become the
+child vertices ``DB`` of the vertex being explored:
+
+* ``B_BFn`` — every ready task on every processor.  The only rule that
+  guarantees an optimal solution under the paper's *non-commutative*
+  scheduling operation (the order tasks are handed to the scheduler
+  matters, so all orders must be considered).
+* ``B_BF1`` — a single task, the head of a fixed list sorted by task
+  level (breadth-first), on every processor.  Approximate.
+* ``B_DF`` — a single task, the head of a fixed list in depth-first
+  order, on every processor.  Approximate; the cheapest rule, but it may
+  delay input tasks and hence worsen lateness when application
+  parallelism exceeds the machine's (Section 5.3).
+
+With a single-task rule, every vertex at level ``k`` has scheduled
+exactly the first ``k`` tasks of the fixed list, so the next task is
+simply ``order[level]``.
+
+Rules are prepared once per problem (``prepare``) and then queried per
+vertex (``placements``).  ``placements`` may break processor symmetry
+when asked: on a uniform interconnect, placing a task on one empty
+processor is equivalent to placing it on any other, so only the first
+empty processor need be expanded (sound for makespan/lateness because
+processors are identical — see ``symmetry`` in
+:class:`~repro.core.params.BnBParameters`).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..errors import ConfigurationError
+from ..model.compile import CompiledProblem
+from .state import SearchState
+
+__all__ = [
+    "BranchingRule",
+    "BFnBranching",
+    "BF1Branching",
+    "DFBranching",
+    "FixedOrderBranching",
+    "BRANCHING_RULES",
+]
+
+
+class BranchingRule(ABC):
+    """Strategy interface for the vertex branching rule ``B``."""
+
+    name: str = "?"
+
+    #: Whether the rule explores all schedule orderings (and hence the
+    #: engine may claim optimality when BR = 0 and no resource bound
+    #: truncated the search).
+    guarantees_optimal: bool = False
+
+    @abstractmethod
+    def prepare(self, problem: CompiledProblem) -> "PreparedBranching":
+        """Bind the rule to one compiled problem."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class PreparedBranching(ABC):
+    """Per-problem branching state (fixed orders, processor lists)."""
+
+    def __init__(self, problem: CompiledProblem) -> None:
+        self.problem = problem
+
+    @abstractmethod
+    def placements(
+        self, state: SearchState, break_symmetry: bool = False
+    ) -> list[tuple[int, int]]:
+        """The (task, processor) pairs to expand from ``state``."""
+
+    def _procs_for(
+        self, state: SearchState, break_symmetry: bool
+    ) -> list[int]:
+        """Candidate processors, collapsing empty ones when symmetric."""
+        m = self.problem.m
+        if not break_symmetry or self.problem.uniform_delay is None:
+            return list(range(m))
+        procs: list[int] = []
+        seen_empty = False
+        avail = state.avail
+        for q in range(m):
+            if avail[q] == 0.0:
+                if seen_empty:
+                    continue
+                seen_empty = True
+            procs.append(q)
+        return procs
+
+
+class _PreparedBFn(PreparedBranching):
+    def placements(
+        self, state: SearchState, break_symmetry: bool = False
+    ) -> list[tuple[int, int]]:
+        procs = self._procs_for(state, break_symmetry)
+        return [(t, q) for t in state.ready_tasks() for q in procs]
+
+
+class BFnBranching(BranchingRule):
+    """Breadth-First-All-Tasks: all ready tasks, all processors (optimal)."""
+
+    name = "BFn"
+    guarantees_optimal = True
+
+    def prepare(self, problem: CompiledProblem) -> PreparedBranching:
+        return _PreparedBFn(problem)
+
+
+class _PreparedFixedOrder(PreparedBranching):
+    def __init__(self, problem: CompiledProblem, order: list[int]) -> None:
+        super().__init__(problem)
+        if sorted(order) != list(range(problem.n)):
+            raise ConfigurationError(
+                "fixed branching order must be a permutation of all tasks"
+            )
+        self.order = tuple(order)
+
+    def placements(
+        self, state: SearchState, break_symmetry: bool = False
+    ) -> list[tuple[int, int]]:
+        task = self.order[state.level]
+        if not state.is_ready(task):
+            raise ConfigurationError(
+                f"fixed branching order is not topological: task "
+                f"{self.problem.names[task]!r} not ready at level {state.level}"
+            )
+        procs = self._procs_for(state, break_symmetry)
+        return [(task, q) for q in procs]
+
+
+class FixedOrderBranching(BranchingRule):
+    """Branch over processors only, following a caller-supplied task order."""
+
+    name = "fixed"
+    guarantees_optimal = False
+
+    def __init__(self, order: list[str] | list[int]) -> None:
+        self._order = list(order)
+
+    def prepare(self, problem: CompiledProblem) -> PreparedBranching:
+        order = [
+            problem.index[t] if isinstance(t, str) else int(t)
+            for t in self._order
+        ]
+        return _PreparedFixedOrder(problem, order)
+
+
+class DFBranching(BranchingRule):
+    """Depth-First rule: fixed depth-first topological order."""
+
+    name = "DF"
+    guarantees_optimal = False
+
+    def prepare(self, problem: CompiledProblem) -> PreparedBranching:
+        order = [problem.index[n] for n in problem.graph.depth_first_order()]
+        return _PreparedFixedOrder(problem, order)
+
+
+class BF1Branching(BranchingRule):
+    """Breadth-First-One-Task rule: fixed level order (Hou & Shin levels)."""
+
+    name = "BF1"
+    guarantees_optimal = False
+
+    def prepare(self, problem: CompiledProblem) -> PreparedBranching:
+        order = [problem.index[n] for n in problem.graph.level_order()]
+        return _PreparedFixedOrder(problem, order)
+
+
+BRANCHING_RULES: dict[str, type[BranchingRule]] = {
+    BFnBranching.name: BFnBranching,
+    BF1Branching.name: BF1Branching,
+    DFBranching.name: DFBranching,
+}

@@ -1,0 +1,145 @@
+"""Vertex dominance rules ``D`` (optional; OFF by default).
+
+The paper deliberately does *not* use a dominance rule, "to preserve our
+results as general as possible" (Section 3) — dominance and
+characteristic functions are most powerful when tailored to a specific
+processor scheduling strategy.  We ship two sound rules as ablations so
+the benchmark suite can quantify what the paper left on the table:
+
+* :class:`StateDominance` — a newly generated vertex is dominated when a
+  previously seen vertex scheduled the *same task set* with pointwise
+  no-later task finish times and processor availabilities (compared up
+  to processor relabeling on uniform interconnects).  Sound for the
+  append-only scheduling operation because every future placement's
+  start time is monotone in those quantities.
+* :class:`NoDominance` — the paper's choice.
+
+Dominance stores grow with the search; :class:`StateDominance` keeps a
+bounded Pareto front per scheduled-set key.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from .state import SearchState
+
+__all__ = ["DominanceRule", "NoDominance", "StateDominance", "DOMINANCE_RULES"]
+
+
+class DominanceRule(ABC):
+    """Strategy interface for the dominance rule ``D``.
+
+    A rule is *stateful per search*: the engine instantiates a fresh
+    checker via :meth:`fresh` for every solve.
+    """
+
+    name: str = "?"
+
+    @abstractmethod
+    def fresh(self) -> "DominanceChecker": ...
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class DominanceChecker(ABC):
+    @abstractmethod
+    def is_dominated(self, state: SearchState) -> bool:
+        """Whether the state is dominated by one seen before (and record it)."""
+
+
+class _NoChecker(DominanceChecker):
+    def is_dominated(self, state: SearchState) -> bool:
+        return False
+
+
+class NoDominance(DominanceRule):
+    """The paper's configuration: no dominance pruning."""
+
+    name = "none"
+
+    def fresh(self) -> DominanceChecker:
+        return _NoChecker()
+
+
+class _StateChecker(DominanceChecker):
+    """Pareto fronts keyed by (scheduled set, canonical assignment).
+
+    Soundness: two states with the same scheduled set and the same
+    task-to-processor assignment (compared up to processor relabeling on
+    uniform interconnects, exactly otherwise) offer identical future
+    placement choices; if one finishes every scheduled task no later and
+    frees every (correspondingly relabeled) processor no later, every
+    completion of the other is matched or beaten — the later state is
+    dominated.  This relies on the append-only scheduling operation being
+    monotone in predecessor finishes and processor availabilities.
+    """
+
+    def __init__(self, max_front: int) -> None:
+        self.max_front = max_front
+        self._fronts: dict[
+            tuple[int, tuple[int, ...]],
+            list[tuple[tuple[float, ...], tuple[float, ...]]],
+        ] = {}
+
+    @staticmethod
+    def _canonicalize(
+        state: SearchState,
+    ) -> tuple[tuple[int, ...], tuple[float, ...]]:
+        """Relabel processors by first use; remap avail accordingly."""
+        if state.problem.uniform_delay is None:
+            return state.proc_of, state.avail  # exact comparison only
+        relabel: dict[int, int] = {}
+        canon = []
+        for q in state.proc_of:
+            if q < 0:
+                canon.append(-1)
+            else:
+                if q not in relabel:
+                    relabel[q] = len(relabel)
+                canon.append(relabel[q])
+        av = [0.0] * state.problem.m
+        next_free = len(relabel)
+        for q, a in enumerate(state.avail):
+            if q in relabel:
+                av[relabel[q]] = a
+            else:
+                av[next_free] = a
+                next_free += 1
+        return tuple(canon), tuple(av)
+
+    def is_dominated(self, state: SearchState) -> bool:
+        assignment, av = self._canonicalize(state)
+        key = (state.scheduled_mask, assignment)
+        fin = state.finish
+        front = self._fronts.setdefault(key, [])
+        for ofin, oav in front:
+            if all(of <= nf for of, nf in zip(ofin, fin)) and all(
+                oa <= na for oa, na in zip(oav, av)
+            ):
+                return True
+        if len(front) < self.max_front:
+            front.append((fin, av))
+        return False
+
+
+class StateDominance(DominanceRule):
+    """Pointwise finish/availability dominance over equal placements."""
+
+    name = "state"
+
+    def __init__(self, max_front: int = 64) -> None:
+        self.max_front = max_front
+
+    def fresh(self) -> DominanceChecker:
+        return _StateChecker(self.max_front)
+
+    def __repr__(self) -> str:
+        return f"StateDominance(max_front={self.max_front})"
+
+
+DOMINANCE_RULES: dict[str, type[DominanceRule]] = {
+    NoDominance.name: NoDominance,
+    StateDominance.name: StateDominance,
+}

@@ -1,0 +1,97 @@
+"""Vertex elimination rules ``E`` (Section 3.6) and the BR threshold.
+
+``E_U/DBAS`` (Figure 2) runs after bounding the freshly generated child
+set ``DB``:
+
+1. the cheapest goal vertex in ``DB`` (if any) replaces the best vertex
+   when it improves on it, and goal vertices never enter the active set;
+2. every vertex in ``DB`` *and* in the active set ``AS`` whose bound is
+   at or above the current upper-bound cost is pruned.
+
+Near-optimality with performance guarantees (inaccuracy limit ``BR``)
+tightens the pruning threshold: a vertex is pruned when
+
+    L(v) >= L(v_u) - BR * |L(v_u)|
+
+so everything whose best completion could improve on the incumbent by
+less than a BR fraction is discarded; at termination the incumbent's
+cost deviates from the optimum by at most that fraction (for ``BR = 0``
+this is exactly Figure 2, and the incumbent is optimal).  The absolute
+value handles the signedness of lateness (the optimum is frequently
+negative).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "pruning_threshold",
+    "EliminationRule",
+    "UDBASElimination",
+    "NoElimination",
+    "ELIMINATION_RULES",
+]
+
+
+def pruning_threshold(incumbent_cost: float, br: float) -> float:
+    """Bound value at or above which a vertex cannot survive elimination."""
+    if br < 0:
+        raise ConfigurationError(f"BR must be >= 0, got {br}")
+    if br == 0.0 or incumbent_cost == float("inf"):
+        return incumbent_cost
+    return incumbent_cost - br * abs(incumbent_cost)
+
+
+class EliminationRule(ABC):
+    """Strategy interface for the vertex elimination rule ``E``."""
+
+    name: str = "?"
+
+    @abstractmethod
+    def should_prune(self, lower_bound: float, threshold: float) -> bool:
+        """Whether a vertex with this bound is eliminated at this threshold."""
+
+    @abstractmethod
+    def prunes_active_set(self) -> bool:
+        """Whether the rule also sweeps ``AS`` when the incumbent improves."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class UDBASElimination(EliminationRule):
+    """Upper-Bound-Cost-to-DB-and-AS: prune ``L(v) >= threshold`` everywhere."""
+
+    name = "U/DBAS"
+
+    def should_prune(self, lower_bound: float, threshold: float) -> bool:
+        return lower_bound >= threshold
+
+    def prunes_active_set(self) -> bool:
+        return True
+
+
+class NoElimination(EliminationRule):
+    """Keep everything (exhaustive enumeration; ablation baseline).
+
+    Goal vertices still update the incumbent — only pruning is disabled —
+    so the search degenerates to implicit exhaustive enumeration of the
+    branching rule's tree.
+    """
+
+    name = "none"
+
+    def should_prune(self, lower_bound: float, threshold: float) -> bool:
+        return False
+
+    def prunes_active_set(self) -> bool:
+        return False
+
+
+ELIMINATION_RULES: dict[str, type[EliminationRule]] = {
+    UDBASElimination.name: UDBASElimination,
+    NoElimination.name: NoElimination,
+}

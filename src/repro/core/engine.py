@@ -1,0 +1,353 @@
+"""The parametrized branch-and-bound engine (Figure 1 of the paper).
+
+The algorithm, parametrized by ``<B, S, E, F, D, L, U, BR, RB>``:
+
+1. initialize the active set with the root vertex (an empty schedule)
+   whose cost comes from the upper-bound provider ``U``;
+2. repeatedly select a vertex with ``S`` (honouring its stop condition),
+   branch with ``B``, bound each child with ``L``, and eliminate with
+   ``E`` — goal vertices never enter the active set: the cheapest goal
+   in ``DB`` either becomes the new best vertex or is pruned (Figure 2);
+3. stop when the active set empties, the selection rule's stop
+   condition fires, or a resource bound ``RB`` trips.
+
+Unless the best vertex is still the root (no complete schedule at or
+below the initial bound was ever found), the best vertex holds the
+optimal solution — or a guaranteed/approximate one, depending on the
+parametrization, which the returned :class:`BnBResult` spells out in its
+:class:`SolveStatus`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import ResourceLimitExceeded
+from ..model.compile import CompiledProblem, compile_problem
+from ..model.platform import Platform
+from ..model.schedule import Schedule
+from ..model.taskgraph import TaskGraph
+from .elimination import pruning_threshold
+from .params import BnBParameters
+from .state import root_state
+from .stats import SearchStats
+from .trace import TraceRecorder
+from .vertex import Vertex
+
+__all__ = ["SolveStatus", "BnBResult", "BranchAndBound", "solve"]
+
+#: How often (in explored vertices) the wall clock is consulted.
+_TIME_CHECK_MASK = 0xFF
+
+
+class SolveStatus(Enum):
+    """What the returned solution is worth."""
+
+    #: Proven optimal (optimal branching, BR = 0, search ran to completion).
+    OPTIMAL = "optimal"
+    #: Within ``BR * |L|`` of the optimum (optimal branching, BR > 0,
+    #: search ran to completion).
+    NEAR_OPTIMAL = "near-optimal"
+    #: No guarantee (approximate branching rule DF/BF1).
+    APPROXIMATE = "approximate"
+    #: Stopped early because the characteristic function's target was met.
+    TARGET_REACHED = "target-reached"
+    #: TIMELIMIT expired; best solution found so far.
+    TIMEOUT = "timeout"
+    #: A storage bound dropped vertices; best solution found so far.
+    TRUNCATED = "truncated"
+    #: No complete schedule at or below the initial bound was found
+    #: (the best vertex is still the root).
+    FAILED = "failed"
+
+    @property
+    def has_guarantee(self) -> bool:
+        return self in (SolveStatus.OPTIMAL, SolveStatus.NEAR_OPTIMAL)
+
+
+@dataclass(frozen=True)
+class BnBResult:
+    """Outcome of one branch-and-bound solve."""
+
+    problem: CompiledProblem
+    params: BnBParameters
+    status: SolveStatus
+    #: Maximum task lateness of the returned schedule (inf when FAILED
+    #: with no initial solution).
+    best_cost: float
+    #: Task-to-processor assignment of the best schedule (None if FAILED).
+    proc_of: tuple[int, ...] | None
+    #: Start times of the best schedule (None if FAILED).
+    start: tuple[float, ...] | None
+    #: Where the returned schedule came from: "search" when the B&B
+    #: improved on the initial bound, "initial-upper-bound" otherwise.
+    incumbent_source: str
+    #: Cost delivered by the upper-bound provider U.
+    initial_upper_bound: float
+    stats: SearchStats = None  # type: ignore[assignment]
+
+    @property
+    def found_solution(self) -> bool:
+        return self.proc_of is not None
+
+    @property
+    def is_feasible(self) -> bool:
+        """Whether the returned schedule meets every deadline."""
+        return self.found_solution and self.best_cost <= 0.0
+
+    def schedule(self) -> Schedule | None:
+        """Materialize the best schedule (None when FAILED)."""
+        if self.proc_of is None:
+            return None
+        return self.problem.make_schedule(self.proc_of, self.start)
+
+    def summary(self) -> str:
+        cost = "-" if not self.found_solution else f"{self.best_cost:g}"
+        return (
+            f"{self.status.value}: L_max={cost} "
+            f"(U={self.initial_upper_bound:g}, from {self.incumbent_source}); "
+            f"{self.stats.summary()}"
+        )
+
+
+class BranchAndBound:
+    """Reusable solver bound to one parametrization.
+
+    Pass a :class:`~repro.core.trace.TraceRecorder` to log the search's
+    explore/incumbent events (anytime convergence profile); tracing is
+    off by default and costs nothing when off.
+    """
+
+    def __init__(
+        self,
+        params: BnBParameters | None = None,
+        trace: TraceRecorder | None = None,
+    ) -> None:
+        self.params = params or BnBParameters()
+        self.trace = trace
+
+    # ------------------------------------------------------------------
+
+    def solve_graph(self, graph: TaskGraph, platform: Platform) -> BnBResult:
+        """Compile and solve a (graph, platform) pair."""
+        return self.solve(compile_problem(graph, platform))
+
+    def solve(self, problem: CompiledProblem) -> BnBResult:
+        """Run the Figure 1 loop on a compiled problem."""
+        params = self.params
+        rb = params.resources
+        bound = params.lower_bound
+        elim = params.elimination
+        charf = params.characteristic
+        stats = SearchStats()
+        stats.start_clock()
+
+        # Step 1-2: root vertex cost from the upper bound U; the initial
+        # solution (if U supplies one) is the incumbent to beat.
+        incumbent_cost, initial_solution = params.upper_bound.initial(problem)
+        initial_upper_bound = incumbent_cost
+        if initial_solution is not None:
+            best_proc: tuple[int, ...] | None = initial_solution.proc_of
+            best_start: tuple[float, ...] | None = initial_solution.start
+        else:
+            best_proc = None
+            best_start = None
+        incumbent_source = "initial-upper-bound"
+        threshold = pruning_threshold(incumbent_cost, params.inaccuracy)
+        trace = self.trace
+        if trace is not None:
+            trace.on_start(incumbent_cost)
+
+        prepared = params.branching.prepare(problem)
+        frontier = params.selection.make_frontier()
+        dominance = params.dominance.fresh()
+        stop_on_bound = params.selection.stop_on_bound
+        child_order = params.child_order
+        break_symmetry = params.break_symmetry
+
+        root = Vertex(root_state(problem), bound.evaluate(root_state(problem)), 0)
+        stats.generated = 1
+        seq = 1
+        if not elim.should_prune(root.lower_bound, threshold):
+            frontier.push(root)
+            stats.peak_active = 1
+
+        target_reached = False
+        early_stop = charf.early_stop_cost
+
+        # Step 3-10: the main loop.
+        while True:
+            vertex = frontier.pop()
+            if vertex is None:
+                break
+
+            # Step 5: stop condition for S.  Under best-first selection a
+            # popped vertex at/above the threshold ends the whole search;
+            # under LIFO/FIFO it is merely skipped (it was pushed before
+            # the incumbent improved).
+            if elim.should_prune(vertex.lower_bound, threshold):
+                if stop_on_bound:
+                    break
+                stats.pruned_active += 1
+                continue
+
+            stats.explored += 1
+            if trace is not None:
+                trace.on_explore(
+                    stats.explored,
+                    stats.generated,
+                    vertex.level,
+                    vertex.lower_bound,
+                    len(frontier),
+                )
+            if stats.explored & _TIME_CHECK_MASK == 0 and not math.isinf(
+                rb.time_limit
+            ):
+                if stats.time_since_start() >= rb.time_limit:
+                    stats.time_limit_hit = True
+                    if rb.fail_on_exhaustion:
+                        raise ResourceLimitExceeded(
+                            "TIMELIMIT", f"{rb.time_limit}s"
+                        )
+                    break
+
+            # Step 6-7: branch and bound the children.
+            placements = prepared.placements(vertex.state, break_symmetry)
+            children: list[Vertex] = []
+            best_goal_cost = math.inf
+            best_goal_state = None
+            for task, proc in placements:
+                child_state = vertex.state.child(task, proc)
+                child_lb = bound.evaluate(child_state)
+                stats.generated += 1
+                if child_state.is_goal:
+                    # Goal vertices never enter the active set: track the
+                    # cheapest one in DB (Figure 2, steps 1-5).
+                    stats.goals_evaluated += 1
+                    if child_lb < best_goal_cost:
+                        best_goal_cost = child_lb
+                        best_goal_state = child_state
+                    continue
+                if not charf.admits(child_state, child_lb):
+                    stats.pruned_infeasible += 1
+                    continue
+                if dominance.is_dominated(child_state):
+                    stats.pruned_dominated += 1
+                    continue
+                children.append(Vertex(child_state, child_lb, seq))
+                seq += 1
+
+            # Figure 2 steps 1-5: incumbent update from the cheapest goal.
+            if best_goal_state is not None and best_goal_cost < incumbent_cost:
+                incumbent_cost = best_goal_cost
+                best_proc = best_goal_state.proc_of
+                best_start = best_goal_state.start
+                incumbent_source = "search"
+                stats.incumbent_updates += 1
+                if trace is not None:
+                    trace.on_incumbent(stats.generated, incumbent_cost)
+                threshold = pruning_threshold(incumbent_cost, params.inaccuracy)
+                # Figure 2 step 6, AS half: sweep the active set.
+                if elim.prunes_active_set():
+                    stats.pruned_active += frontier.prune_above(threshold)
+                if early_stop is not None and incumbent_cost <= early_stop:
+                    target_reached = True
+                    break
+
+            # Figure 2 step 6, DB half: eliminate children.
+            kept = []
+            for child in children:
+                if elim.should_prune(child.lower_bound, threshold):
+                    stats.pruned_children += 1
+                else:
+                    kept.append(child)
+
+            # RB: MAXSZDB caps the child set (keep the best bounds).
+            if len(kept) > rb.max_children:
+                if rb.fail_on_exhaustion:
+                    raise ResourceLimitExceeded(
+                        "MAXSZDB", f"{len(kept)} children"
+                    )
+                kept.sort(key=lambda v: v.lower_bound)
+                stats.dropped_resource += len(kept) - int(rb.max_children)
+                stats.truncated = True
+                del kept[int(rb.max_children):]
+
+            # Step 9: move the survivors into AS.
+            if child_order == "best-last":
+                kept.sort(key=lambda v: -v.lower_bound)
+            elif child_order == "best-first":
+                kept.sort(key=lambda v: v.lower_bound)
+            for child in kept:
+                frontier.push(child)
+
+            active = len(frontier)
+            if active > stats.peak_active:
+                stats.peak_active = active
+
+            # RB: MAXSZAS disposes of the worst active vertices.
+            if active > rb.max_active:
+                if rb.fail_on_exhaustion:
+                    raise ResourceLimitExceeded("MAXSZAS", f"{active} active")
+                dropped = frontier.drop_worst(active - int(rb.max_active))
+                stats.dropped_resource += dropped
+                stats.truncated = True
+
+            # RB extension: generated-vertex cap.
+            if stats.generated >= rb.max_vertices:
+                if rb.fail_on_exhaustion:
+                    raise ResourceLimitExceeded(
+                        "MAXVERT", f"{stats.generated} generated"
+                    )
+                stats.truncated = True
+                break
+
+        stats.stop_clock()
+        status = self._status(
+            params, stats, target_reached, best_proc is not None
+        )
+        return BnBResult(
+            problem=problem,
+            params=params,
+            status=status,
+            best_cost=incumbent_cost if best_proc is not None else math.inf,
+            proc_of=best_proc,
+            start=best_start,
+            incumbent_source=incumbent_source,
+            initial_upper_bound=initial_upper_bound,
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _status(
+        params: BnBParameters,
+        stats: SearchStats,
+        target_reached: bool,
+        found: bool,
+    ) -> SolveStatus:
+        if not found:
+            return SolveStatus.FAILED
+        if stats.time_limit_hit:
+            return SolveStatus.TIMEOUT
+        if stats.truncated:
+            return SolveStatus.TRUNCATED
+        if target_reached:
+            return SolveStatus.TARGET_REACHED
+        if not params.branching.guarantees_optimal:
+            return SolveStatus.APPROXIMATE
+        if params.inaccuracy > 0:
+            return SolveStatus.NEAR_OPTIMAL
+        return SolveStatus.OPTIMAL
+
+
+def solve(
+    graph: TaskGraph,
+    platform: Platform,
+    params: BnBParameters | None = None,
+) -> BnBResult:
+    """One-shot convenience wrapper: compile and solve."""
+    return BranchAndBound(params).solve_graph(graph, platform)

@@ -1,0 +1,76 @@
+"""Characteristic functions ``F`` (optional; OFF by default).
+
+The characteristic function eliminates partial solutions that cannot
+lead to a *valid* complete solution.  The paper leaves ``F`` unused
+(Section 3): under lateness minimization every partial schedule extends
+to a complete one, so validity-based elimination only applies when the
+user wants a schedule meeting all deadlines rather than the minimum-
+lateness one.
+
+:class:`LatenessTargetFilter` prunes any vertex whose lower bound
+already exceeds a target lateness (default 0 = "all deadlines met").
+With it enabled the B&B becomes a feasibility search: it terminates as
+soon as the incumbent cost is at or below the target, and it proves
+infeasibility when the search space empties without one.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from .state import SearchState
+
+__all__ = [
+    "CharacteristicFunction",
+    "NoFilter",
+    "LatenessTargetFilter",
+    "CHARACTERISTIC_FUNCTIONS",
+]
+
+
+class CharacteristicFunction(ABC):
+    """Strategy interface for the characteristic function ``F``."""
+
+    name: str = "?"
+
+    @abstractmethod
+    def admits(self, state: SearchState, lower_bound: float) -> bool:
+        """Whether the vertex may still lead to an acceptable solution."""
+
+    #: Target the incumbent must reach for the search to stop early
+    #: (None = run to exhaustion as usual).
+    early_stop_cost: float | None = None
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class NoFilter(CharacteristicFunction):
+    """The paper's configuration: no characteristic function."""
+
+    name = "none"
+
+    def admits(self, state: SearchState, lower_bound: float) -> bool:
+        return True
+
+
+class LatenessTargetFilter(CharacteristicFunction):
+    """Admit only vertices that can still meet a lateness target."""
+
+    name = "lateness-target"
+
+    def __init__(self, target: float = 0.0) -> None:
+        self.target = target
+        self.early_stop_cost = target
+
+    def admits(self, state: SearchState, lower_bound: float) -> bool:
+        return lower_bound <= self.target
+
+    def __repr__(self) -> str:
+        return f"LatenessTargetFilter(target={self.target})"
+
+
+CHARACTERISTIC_FUNCTIONS: dict[str, type[CharacteristicFunction]] = {
+    NoFilter.name: NoFilter,
+    LatenessTargetFilter.name: LatenessTargetFilter,
+}

@@ -1,0 +1,135 @@
+"""The Kohler–Steiglitz 9-tuple ``<B, S, E, F, D, L, U, BR, RB>``.
+
+:class:`BnBParameters` bundles one concrete choice per parameter plus
+two engine knobs that the paper leaves implicit (child push order and
+processor-symmetry breaking, both defaulting to the faithful behaviour).
+Presets reproduce every configuration the evaluation section uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import ConfigurationError
+from .branching import BF1Branching, BFnBranching, BranchingRule, DFBranching
+from .bounds import LB0, LB1, LowerBound
+from .dominance import DominanceRule, NoDominance
+from .elimination import EliminationRule, UDBASElimination
+from .feasibility import CharacteristicFunction, NoFilter
+from .resources import ResourceBounds
+from .selection import (
+    LIFOSelection,
+    LLBSelection,
+    SelectionRule,
+)
+from .upper import EDFUpperBound, UpperBoundProvider
+
+__all__ = ["BnBParameters", "CHILD_ORDERS"]
+
+#: Valid child push orders.
+#:
+#: * ``generation`` — push children exactly as the branching rule emits
+#:   them (faithful default);
+#: * ``best-last`` — sort children so the lowest bound is pushed last
+#:   (under LIFO the most promising child is explored first — a common
+#:   DFS refinement, exposed for ablations);
+#: * ``best-first`` — lowest bound pushed first.
+CHILD_ORDERS = ("generation", "best-last", "best-first")
+
+
+@dataclass(frozen=True)
+class BnBParameters:
+    """One fully specified branch-and-bound configuration."""
+
+    branching: BranchingRule = field(default_factory=BFnBranching)
+    selection: SelectionRule = field(default_factory=LIFOSelection)
+    elimination: EliminationRule = field(default_factory=UDBASElimination)
+    characteristic: CharacteristicFunction = field(default_factory=NoFilter)
+    dominance: DominanceRule = field(default_factory=NoDominance)
+    lower_bound: LowerBound = field(default_factory=LB1)
+    upper_bound: UpperBoundProvider = field(default_factory=EDFUpperBound)
+    #: Inaccuracy limit BR (fraction, e.g. 0.10 for 10%).
+    inaccuracy: float = 0.0
+    resources: ResourceBounds = field(default_factory=ResourceBounds)
+    #: Push order of surviving children into the active set.
+    child_order: str = "generation"
+    #: Collapse equivalent empty processors at branching (sound on
+    #: uniform interconnects only; ignored otherwise).  Default off,
+    #: matching the paper.
+    break_symmetry: bool = False
+
+    def __post_init__(self) -> None:
+        if self.inaccuracy < 0:
+            raise ConfigurationError(
+                f"inaccuracy limit BR must be >= 0, got {self.inaccuracy}"
+            )
+        if self.child_order not in CHILD_ORDERS:
+            raise ConfigurationError(
+                f"child_order must be one of {CHILD_ORDERS}, got {self.child_order!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def guarantees_optimal(self) -> bool:
+        """Whether this configuration can prove optimality (before RB)."""
+        return self.branching.guarantees_optimal and self.inaccuracy == 0.0
+
+    def describe(self) -> str:
+        return (
+            f"<B={self.branching.name}, S={self.selection.name}, "
+            f"E={self.elimination.name}, F={self.characteristic.name}, "
+            f"D={self.dominance.name}, L={self.lower_bound.name}, "
+            f"U={self.upper_bound.name}, BR={self.inaccuracy:.0%}, "
+            f"{self.resources.describe()}>"
+        )
+
+    def evolve(self, **changes) -> "BnBParameters":
+        """Functional update (rules are stateless and shareable)."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # Presets matching the paper's evaluation
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def paper_default(cls, **changes) -> "BnBParameters":
+        """Optimal configuration: BFn / LIFO / U-DBAS / LB1 / EDF / BR=0."""
+        return cls().evolve(**changes)
+
+    @classmethod
+    def paper_lifo(cls, **changes) -> "BnBParameters":
+        """Figure 3(a), LIFO curve (same as :meth:`paper_default`)."""
+        return cls(selection=LIFOSelection()).evolve(**changes)
+
+    @classmethod
+    def paper_llb(cls, **changes) -> "BnBParameters":
+        """Figure 3(a), LLB curve."""
+        return cls(selection=LLBSelection()).evolve(**changes)
+
+    @classmethod
+    def paper_lb0(cls, **changes) -> "BnBParameters":
+        """Figure 3(b), LB0 curve (LIFO selection)."""
+        return cls(lower_bound=LB0()).evolve(**changes)
+
+    @classmethod
+    def paper_lb1(cls, **changes) -> "BnBParameters":
+        """Figure 3(b), LB1 curve (LIFO selection)."""
+        return cls(lower_bound=LB1()).evolve(**changes)
+
+    @classmethod
+    def approximate_df(cls, **changes) -> "BnBParameters":
+        """Figure 3(c), depth-first approximate rule."""
+        return cls(branching=DFBranching()).evolve(**changes)
+
+    @classmethod
+    def approximate_bf1(cls, **changes) -> "BnBParameters":
+        """Figure 3(c), breadth-first-one-task approximate rule."""
+        return cls(branching=BF1Branching()).evolve(**changes)
+
+    @classmethod
+    def near_optimal(cls, br: float = 0.10, **changes) -> "BnBParameters":
+        """Figure 3(c), BFn with a performance-guarantee margin BR."""
+        return cls(inaccuracy=br).evolve(**changes)

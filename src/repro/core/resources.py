@@ -1,0 +1,79 @@
+"""Resource bounds ``RB = <TIMELIMIT, MAXSZAS, MAXSZDB>`` (Section 3).
+
+The paper's semantics:
+
+* **TIMELIMIT** — maximum wall-clock time to find a solution.  On
+  expiry the algorithm "either fails or terminates with the best
+  solution found so far"; we do the latter by default and raise
+  :class:`~repro.errors.ResourceLimitExceeded` when
+  ``fail_on_exhaustion`` is set.
+* **MAXSZAS** — maximum size of the active set.  On overflow "the
+  algorithm must dispose of one or more of the active intermediate
+  solutions, thereby running the risk of missing the optimal solution";
+  we drop the worst-bound vertices and mark the result as truncated.
+* **MAXSZDB** — maximum number of child vertices per branching; excess
+  children (worst bounds first) are discarded, likewise truncating.
+
+``max_vertices`` is our addition: a hard cap on generated vertices so
+benchmark instances cannot run away (pure-Python searches are slower
+than the paper's C milieu).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["ResourceBounds", "UNBOUNDED"]
+
+#: Convenience alias for "no limit".
+UNBOUNDED = math.inf
+
+
+@dataclass(frozen=True)
+class ResourceBounds:
+    """The RB triple plus a generated-vertex cap.
+
+    All limits default to unbounded.  ``time_limit`` is in seconds.
+    """
+
+    time_limit: float = UNBOUNDED
+    max_active: float = UNBOUNDED
+    max_children: float = UNBOUNDED
+    max_vertices: float = UNBOUNDED
+    #: When True, exceeding any bound raises instead of degrading.
+    fail_on_exhaustion: bool = False
+
+    def __post_init__(self) -> None:
+        for field_name in ("time_limit", "max_active", "max_children", "max_vertices"):
+            value = getattr(self, field_name)
+            if not value > 0:
+                raise ConfigurationError(
+                    f"resource bound {field_name} must be positive, got {value}"
+                )
+
+    @property
+    def bounded(self) -> bool:
+        """Whether any limit is finite."""
+        return any(
+            not math.isinf(v)
+            for v in (
+                self.time_limit,
+                self.max_active,
+                self.max_children,
+                self.max_vertices,
+            )
+        )
+
+    def describe(self) -> str:
+        def fmt(v: float) -> str:
+            return "inf" if math.isinf(v) else f"{v:g}"
+
+        return (
+            f"RB<TIMELIMIT={fmt(self.time_limit)}s, "
+            f"MAXSZAS={fmt(self.max_active)}, "
+            f"MAXSZDB={fmt(self.max_children)}, "
+            f"MAXVERT={fmt(self.max_vertices)}>"
+        )

@@ -1,0 +1,285 @@
+"""Vertex selection rules ``S`` (Section 3.2).
+
+The selection rule picks the next active vertex to explore and defines
+the search's stop condition:
+
+* ``S_LLB`` — least lower bound (best-first).  Stop when the selected
+  vertex's bound is >= the current upper-bound cost: no remaining vertex
+  can improve on the incumbent.
+* ``S_LIFO`` — last in, first out (depth-first).  Stop when the active
+  set is empty.
+* ``S_FIFO`` — first in, first out (breadth-first).  Stop when the
+  active set is empty.  Included for completeness; the paper dismisses
+  it (all goal vertices sit at the same level ``n``, so FIFO generates
+  every intermediate vertex before reaching any solution).
+* ``S_LLB-D`` (ours) — least lower bound with a *depth* tie-break:
+  among equal bounds the deepest vertex wins.  On lateness objectives
+  huge bound plateaus are the norm (the cost is set by one critical
+  task), and plain LLB walks them breadth-first; biasing ties toward
+  depth restores goal-directed behaviour while keeping the best-first
+  stop condition.  An ablation of the paper's C1 finding.
+
+A rule is a factory for :class:`Frontier` objects — the active set ``AS``
+with the access discipline baked in.  Frontiers support eager pruning
+(:meth:`Frontier.prune_above`), used by the U/DBAS elimination rule when
+the incumbent improves.
+"""
+
+from __future__ import annotations
+
+import heapq
+from abc import ABC, abstractmethod
+from collections import deque
+
+from .vertex import Vertex
+
+__all__ = [
+    "DepthBiasedLLBSelection",
+    "FIFOSelection",
+    "Frontier",
+    "LIFOSelection",
+    "LLBSelection",
+    "SELECTION_RULES",
+    "SelectionRule",
+]
+
+
+class Frontier(ABC):
+    """The active set ``AS`` under one selection discipline."""
+
+    @abstractmethod
+    def push(self, vertex: Vertex) -> None:
+        """Insert a newly generated active vertex."""
+
+    @abstractmethod
+    def pop(self) -> Vertex | None:
+        """Remove and return the next vertex to explore (None when empty)."""
+
+    @abstractmethod
+    def prune_above(self, threshold: float) -> int:
+        """Drop every vertex with ``L(v) >= threshold``; return the count."""
+
+    @abstractmethod
+    def drop_worst(self, count: int) -> int:
+        """Dispose of up to ``count`` vertices with the *largest* bounds.
+
+        Implements the paper's MAXSZAS overflow semantics ("the algorithm
+        must dispose of one or more of the active intermediate
+        solutions").  Returns how many were dropped.
+        """
+
+    @abstractmethod
+    def __len__(self) -> int: ...
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+
+class _ListFrontier(Frontier):
+    """Shared list-backed implementation for LIFO and FIFO."""
+
+    def __init__(self) -> None:
+        self._items: deque[Vertex] = deque()
+
+    def push(self, vertex: Vertex) -> None:
+        self._items.append(vertex)
+
+    def prune_above(self, threshold: float) -> int:
+        before = len(self._items)
+        self._items = deque(
+            v for v in self._items if v.lower_bound < threshold
+        )
+        return before - len(self._items)
+
+    def drop_worst(self, count: int) -> int:
+        if count <= 0 or not self._items:
+            return 0
+        # Identify the `count` largest bounds, then drop them preserving
+        # the discipline's order for the survivors.
+        worst = heapq.nlargest(
+            count, self._items, key=lambda v: (v.lower_bound, v.seq)
+        )
+        doomed = {id(v) for v in worst}
+        before = len(self._items)
+        self._items = deque(v for v in self._items if id(v) not in doomed)
+        return before - len(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class _LIFOFrontier(_ListFrontier):
+    def pop(self) -> Vertex | None:
+        return self._items.pop() if self._items else None
+
+
+class _FIFOFrontier(_ListFrontier):
+    def pop(self) -> Vertex | None:
+        return self._items.popleft() if self._items else None
+
+
+class _LLBFrontier(Frontier):
+    """Binary heap keyed by (lower bound, seq), with lazy deletion.
+
+    ``prune_above`` only records the new threshold; stale entries are
+    skipped at pop time.  This keeps incumbent updates O(1) while the
+    *effective* content matches eager U/DBAS pruning exactly (every entry
+    at or above the threshold is unreachable).  ``__len__`` reports the
+    effective size, maintained incrementally.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Vertex] = []
+        self._threshold = float("inf")
+        self._live = 0
+
+    def push(self, vertex: Vertex) -> None:
+        if vertex.lower_bound >= self._threshold:
+            return
+        heapq.heappush(self._heap, vertex)
+        self._live += 1
+
+    def pop(self) -> Vertex | None:
+        while self._heap:
+            v = heapq.heappop(self._heap)
+            if v.lower_bound < self._threshold:
+                self._live -= 1
+                return v
+        self._live = 0
+        return None
+
+    def prune_above(self, threshold: float) -> int:
+        if threshold >= self._threshold:
+            return 0
+        # Count only newly dead entries: those below the old threshold
+        # (still live) but at or above the new one.
+        pruned = sum(
+            1
+            for v in self._heap
+            if threshold <= v.lower_bound < self._threshold
+        )
+        self._threshold = threshold
+        self._live -= pruned
+        # Compact when most of the heap is stale, bounding memory.
+        if pruned and self._live < len(self._heap) // 2:
+            self._heap = [v for v in self._heap if v.lower_bound < threshold]
+            heapq.heapify(self._heap)
+        return pruned
+
+    def drop_worst(self, count: int) -> int:
+        if count <= 0:
+            return 0
+        live = [v for v in self._heap if v.lower_bound < self._threshold]
+        live.sort()  # ascending (lb, seq)
+        keep = live[: max(0, len(live) - count)]
+        dropped = len(live) - len(keep)
+        self._heap = keep
+        heapq.heapify(self._heap)
+        self._live = len(keep)
+        return dropped
+
+    def __len__(self) -> int:
+        return self._live
+
+
+class SelectionRule(ABC):
+    """Factory for frontiers; also carries the rule's stop condition."""
+
+    name: str = "?"
+
+    #: Whether the engine should stop the whole search as soon as a
+    #: selected vertex's bound reaches the pruning threshold.  True for
+    #: best-first (LLB): the frontier is bound-ordered, so nothing after
+    #: the first such vertex can be better.
+    stop_on_bound: bool = False
+
+    @abstractmethod
+    def make_frontier(self) -> Frontier: ...
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class LLBSelection(SelectionRule):
+    """Least-lower-bound (best-first) selection."""
+
+    name = "LLB"
+    stop_on_bound = True
+
+    def make_frontier(self) -> Frontier:
+        return _LLBFrontier()
+
+
+class _DepthKeyed:
+    """Heap adapter ordering by (bound, -level, seq)."""
+
+    __slots__ = ("vertex",)
+
+    def __init__(self, vertex: Vertex) -> None:
+        self.vertex = vertex
+
+    @property
+    def lower_bound(self) -> float:
+        return self.vertex.lower_bound
+
+    @property
+    def seq(self) -> int:
+        return self.vertex.seq
+
+    def __lt__(self, other: "_DepthKeyed") -> bool:
+        a, b = self.vertex, other.vertex
+        if a.lower_bound != b.lower_bound:
+            return a.lower_bound < b.lower_bound
+        if a.level != b.level:
+            return a.level > b.level  # deeper first
+        return a.seq < b.seq
+
+
+class _DepthLLBFrontier(_LLBFrontier):
+    def push(self, vertex: Vertex) -> None:
+        if vertex.lower_bound >= self._threshold:
+            return
+        heapq.heappush(self._heap, _DepthKeyed(vertex))
+        self._live += 1
+
+    def pop(self) -> Vertex | None:
+        popped = super().pop()
+        return popped.vertex if popped is not None else None  # type: ignore[attr-defined]
+
+
+class DepthBiasedLLBSelection(SelectionRule):
+    """Least lower bound, ties broken toward the deepest vertex (ours)."""
+
+    name = "LLB-D"
+    stop_on_bound = True
+
+    def make_frontier(self) -> Frontier:
+        return _DepthLLBFrontier()
+
+
+class LIFOSelection(SelectionRule):
+    """Last-in-first-out (depth-first) selection."""
+
+    name = "LIFO"
+    stop_on_bound = False
+
+    def make_frontier(self) -> Frontier:
+        return _LIFOFrontier()
+
+
+class FIFOSelection(SelectionRule):
+    """First-in-first-out (breadth-first) selection."""
+
+    name = "FIFO"
+    stop_on_bound = False
+
+    def make_frontier(self) -> Frontier:
+        return _FIFOFrontier()
+
+
+SELECTION_RULES: dict[str, type[SelectionRule]] = {
+    LLBSelection.name: LLBSelection,
+    DepthBiasedLLBSelection.name: DepthBiasedLLBSelection,
+    LIFOSelection.name: LIFOSelection,
+    FIFOSelection.name: FIFOSelection,
+}

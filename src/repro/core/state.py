@@ -1,0 +1,213 @@
+"""Immutable partial-schedule states for the search tree.
+
+Each vertex of the branch-and-bound search tree owns a
+:class:`SearchState`: one specific task-to-processor assignment and
+schedule ordering prefix.  States are immutable; branching creates a
+child state by appending one (task, processor) placement via the
+Section 4.3 scheduling operation.
+
+Representation (hot path — flat tuples and bitmasks, per the HPC guides):
+
+* ``scheduled_mask`` / ``ready_mask`` — bitmask integers over task indices;
+* ``proc_of`` / ``start`` / ``finish`` — per-task placement tuples
+  (``proc_of[i] == -1`` when unscheduled);
+* ``avail`` — per-processor finish time of the last appended task;
+* ``scheduled_lateness`` — running max lateness of the placed tasks,
+  maintained incrementally.
+
+Creating a child is O(deg + n) dominated by the small tuple copies
+(n <= 16 in the paper's workloads).
+"""
+
+from __future__ import annotations
+
+from ..errors import ModelError
+from ..model.compile import CompiledProblem
+
+__all__ = ["SearchState", "root_state"]
+
+_NEG_INF = float("-inf")
+
+
+class SearchState(object):
+    """One partial (or complete) schedule: a search-tree vertex's payload."""
+
+    __slots__ = (
+        "problem",
+        "scheduled_mask",
+        "ready_mask",
+        "proc_of",
+        "start",
+        "finish",
+        "avail",
+        "level",
+        "scheduled_lateness",
+        "last_task",
+        "last_proc",
+    )
+
+    def __init__(
+        self,
+        problem: CompiledProblem,
+        scheduled_mask: int,
+        ready_mask: int,
+        proc_of: tuple[int, ...],
+        start: tuple[float, ...],
+        finish: tuple[float, ...],
+        avail: tuple[float, ...],
+        level: int,
+        scheduled_lateness: float,
+        last_task: int = -1,
+        last_proc: int = -1,
+    ) -> None:
+        self.problem = problem
+        self.scheduled_mask = scheduled_mask
+        self.ready_mask = ready_mask
+        self.proc_of = proc_of
+        self.start = start
+        self.finish = finish
+        self.avail = avail
+        self.level = level
+        self.scheduled_lateness = scheduled_lateness
+        self.last_task = last_task
+        self.last_proc = last_proc
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def is_goal(self) -> bool:
+        """All tasks placed — the vertex is a goal vertex."""
+        return self.scheduled_mask == self.problem.all_mask
+
+    def is_scheduled(self, task: int) -> bool:
+        return bool(self.scheduled_mask >> task & 1)
+
+    def is_ready(self, task: int) -> bool:
+        return bool(self.ready_mask >> task & 1)
+
+    def ready_tasks(self) -> list[int]:
+        """Indices of ready tasks (all predecessors placed), ascending."""
+        out = []
+        mask = self.ready_mask
+        i = 0
+        while mask:
+            if mask & 1:
+                out.append(i)
+            mask >>= 1
+            i += 1
+        return out
+
+    def min_avail(self) -> float:
+        """``l_min``: earliest time any processor can accept a new task."""
+        return min(self.avail)
+
+    def earliest_start(self, task: int, proc: int) -> float:
+        """Start time the scheduling operation would give ``task`` on ``proc``."""
+        return self.problem.earliest_start(
+            task, proc, self.proc_of, self.finish, self.avail[proc]
+        )
+
+    # ------------------------------------------------------------------
+    # Branching
+    # ------------------------------------------------------------------
+
+    def child(self, task: int, proc: int) -> "SearchState":
+        """Append one placement, producing the child vertex's state."""
+        p = self.problem
+        bit = 1 << task
+        if not self.ready_mask & bit:
+            raise ModelError(
+                f"task {p.names[task]!r} is not ready in this state"
+            )
+        s = p.earliest_start(task, proc, self.proc_of, self.finish, self.avail[proc])
+        f = s + p.wcet[task]
+
+        new_mask = self.scheduled_mask | bit
+        new_ready = self.ready_mask & ~bit
+        for j, _ in p.succ_edges[task]:
+            # A successor becomes ready when every direct predecessor is
+            # now in the scheduled set.
+            if not new_mask >> j & 1 and (p.pred_mask[j] & ~new_mask) == 0:
+                new_ready |= 1 << j
+
+        proc_of = list(self.proc_of)
+        start = list(self.start)
+        finish = list(self.finish)
+        avail = list(self.avail)
+        proc_of[task] = proc
+        start[task] = s
+        finish[task] = f
+        avail[proc] = f
+
+        lat = f - p.deadline[task]
+        if lat < self.scheduled_lateness:
+            lat = self.scheduled_lateness
+
+        return SearchState(
+            problem=p,
+            scheduled_mask=new_mask,
+            ready_mask=new_ready,
+            proc_of=tuple(proc_of),
+            start=tuple(start),
+            finish=tuple(finish),
+            avail=tuple(avail),
+            level=self.level + 1,
+            scheduled_lateness=lat,
+            last_task=task,
+            last_proc=proc,
+        )
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+
+    def canonical_key(self) -> tuple:
+        """Hashable key identifying the state up to processor relabeling.
+
+        Identical processors make states that differ only by a processor
+        permutation equivalent; the key relabels processors in order of
+        first use (by task index).  Only sound for uniform interconnects
+        (shared bus, fully connected) — callers must check
+        ``problem.uniform_delay``.
+        """
+        relabel: dict[int, int] = {}
+        canon = []
+        for i in range(self.problem.n):
+            q = self.proc_of[i]
+            if q < 0:
+                canon.append(-1)
+            else:
+                if q not in relabel:
+                    relabel[q] = len(relabel)
+                canon.append(relabel[q])
+        return (self.scheduled_mask, tuple(canon), self.start)
+
+    def to_schedule(self):
+        """Materialize an explicit :class:`~repro.model.schedule.Schedule`."""
+        return self.problem.make_schedule(self.proc_of, self.start)
+
+    def __repr__(self) -> str:
+        return (
+            f"SearchState(level={self.level}/{self.problem.n}, "
+            f"lat={self.scheduled_lateness:g})"
+        )
+
+
+def root_state(problem: CompiledProblem) -> SearchState:
+    """The root vertex's state: an empty schedule, input tasks ready."""
+    ready = 0
+    for i in problem.inputs:
+        ready |= 1 << i
+    return SearchState(
+        problem=problem,
+        scheduled_mask=0,
+        ready_mask=ready,
+        proc_of=(-1,) * problem.n,
+        start=(0.0,) * problem.n,
+        finish=(0.0,) * problem.n,
+        avail=(0.0,) * problem.m,
+        level=0,
+        scheduled_lateness=_NEG_INF,
+    )

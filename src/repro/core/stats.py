@@ -1,0 +1,88 @@
+"""Search statistics.
+
+The paper's secondary performance measure is the number of searched
+(generated active) vertices; :class:`SearchStats` tracks that plus the
+full breakdown needed by the figures and ablations: explored vertices,
+per-cause pruning counters, incumbent updates, peak active-set size (the
+memory-locality proxy behind the paper's Section 6 thrashing discussion)
+and wall-clock timing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["SearchStats"]
+
+
+@dataclass
+class SearchStats:
+    """Mutable counters filled in by one engine run."""
+
+    #: Vertices created by branching (the paper's "generated active
+    #: vertices" — its primary complexity measure).  The root vertex
+    #: counts as generated.
+    generated: int = 0
+    #: Vertices selected from the active set and branched.
+    explored: int = 0
+    #: Children discarded by the elimination rule E before entering AS.
+    pruned_children: int = 0
+    #: Active vertices swept from AS when the incumbent improved (U/DBAS).
+    pruned_active: int = 0
+    #: Children discarded by the dominance rule D.
+    pruned_dominated: int = 0
+    #: Children discarded by the characteristic function F.
+    pruned_infeasible: int = 0
+    #: Vertices dropped by MAXSZAS / MAXSZDB overflow.
+    dropped_resource: int = 0
+    #: Goal vertices evaluated (complete schedules compared to incumbent).
+    goals_evaluated: int = 0
+    #: Times the incumbent improved.
+    incumbent_updates: int = 0
+    #: Largest active-set size observed.
+    peak_active: int = 0
+    #: Wall-clock duration of the solve, in seconds.
+    elapsed: float = 0.0
+    #: Flags raised during the run.
+    time_limit_hit: bool = False
+    truncated: bool = False
+    _t0: float = field(default=0.0, repr=False)
+
+    # ------------------------------------------------------------------
+
+    def start_clock(self) -> None:
+        self._t0 = time.perf_counter()
+
+    def stop_clock(self) -> None:
+        self.elapsed = time.perf_counter() - self._t0
+
+    def time_since_start(self) -> float:
+        return time.perf_counter() - self._t0
+
+    @property
+    def pruned_total(self) -> int:
+        return (
+            self.pruned_children
+            + self.pruned_active
+            + self.pruned_dominated
+            + self.pruned_infeasible
+        )
+
+    @property
+    def vertices_per_second(self) -> float:
+        return self.generated / self.elapsed if self.elapsed > 0 else 0.0
+
+    def summary(self) -> str:
+        flags = []
+        if self.time_limit_hit:
+            flags.append("TIMELIMIT")
+        if self.truncated:
+            flags.append("TRUNCATED")
+        tail = f" [{' '.join(flags)}]" if flags else ""
+        return (
+            f"generated={self.generated} explored={self.explored} "
+            f"pruned={self.pruned_total} goals={self.goals_evaluated} "
+            f"peakAS={self.peak_active} "
+            f"t={self.elapsed:.3f}s ({self.vertices_per_second:,.0f} v/s){tail}"
+        )

@@ -1,0 +1,132 @@
+"""Search tracing: per-event logs and anytime convergence profiles.
+
+A :class:`TraceRecorder` can be attached to :class:`~repro.core.engine.BranchAndBound`
+to record what the search did, turn by turn:
+
+* one :class:`ExploreEvent` per branched vertex (level, bound, active-set
+  size at selection time);
+* one :class:`IncumbentEvent` per incumbent improvement (cost and the
+  generated-vertex count at which it happened).
+
+The incumbent series is the search's *anytime profile* — how quickly the
+B&B converges toward the optimum — which is what distinguishes LIFO's
+dive-then-prune behaviour from LLB's breadth-first wade even when both
+eventually explore similar vertex counts.
+
+Recording costs one append per explored vertex; leave the recorder off
+(the default) for benchmark runs.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+
+__all__ = ["ExploreEvent", "IncumbentEvent", "TraceRecorder"]
+
+
+@dataclass(frozen=True, slots=True)
+class ExploreEvent:
+    """One vertex selected and branched."""
+
+    #: Running count of explored vertices (1-based).
+    step: int
+    #: Generated-vertex count when this vertex was selected.
+    generated: int
+    level: int
+    lower_bound: float
+    active_size: int
+
+
+@dataclass(frozen=True, slots=True)
+class IncumbentEvent:
+    """The incumbent improved."""
+
+    #: Generated-vertex count at the moment of improvement.
+    generated: int
+    cost: float
+
+
+class TraceRecorder:
+    """Collects search events; attach via ``BranchAndBound(params, trace=...)``.
+
+    ``max_explore_events`` bounds the explore log (the incumbent log is
+    always complete — it is tiny); after the cap only incumbent events
+    are recorded, so long searches stay traceable without unbounded
+    memory.
+    """
+
+    def __init__(self, max_explore_events: int = 1_000_000) -> None:
+        self.max_explore_events = max_explore_events
+        self.explored: list[ExploreEvent] = []
+        self.incumbents: list[IncumbentEvent] = []
+        self.initial_bound: float | None = None
+
+    # -- hooks called by the engine -------------------------------------
+
+    def on_start(self, initial_bound: float) -> None:
+        self.initial_bound = initial_bound
+
+    def on_explore(
+        self,
+        step: int,
+        generated: int,
+        level: int,
+        lower_bound: float,
+        active_size: int,
+    ) -> None:
+        if len(self.explored) < self.max_explore_events:
+            self.explored.append(
+                ExploreEvent(step, generated, level, lower_bound, active_size)
+            )
+
+    def on_incumbent(self, generated: int, cost: float) -> None:
+        self.incumbents.append(IncumbentEvent(generated, cost))
+
+    # -- analysis --------------------------------------------------------
+
+    def anytime_profile(self) -> list[tuple[int, float]]:
+        """(generated vertices, best cost so far) steps, starting at U."""
+        profile: list[tuple[int, float]] = []
+        if self.initial_bound is not None:
+            profile.append((0, self.initial_bound))
+        profile.extend((e.generated, e.cost) for e in self.incumbents)
+        return profile
+
+    def cost_at(self, generated: int) -> float:
+        """Best incumbent cost once `generated` vertices had been created."""
+        best = float("inf") if self.initial_bound is None else self.initial_bound
+        for e in self.incumbents:
+            if e.generated <= generated:
+                best = e.cost
+            else:
+                break
+        return best
+
+    def max_level_reached(self) -> int:
+        return max((e.level for e in self.explored), default=0)
+
+    def mean_active_size(self) -> float:
+        if not self.explored:
+            return 0.0
+        return sum(e.active_size for e in self.explored) / len(self.explored)
+
+    def to_csv(self) -> str:
+        """Explore log as CSV (step,generated,level,lower_bound,active)."""
+        out = io.StringIO()
+        out.write("step,generated,level,lower_bound,active_size\n")
+        for e in self.explored:
+            out.write(
+                f"{e.step},{e.generated},{e.level},{e.lower_bound},"
+                f"{e.active_size}\n"
+            )
+        return out.getvalue()
+
+    def __len__(self) -> int:
+        return len(self.explored)
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceRecorder(explored={len(self.explored)}, "
+            f"incumbents={len(self.incumbents)})"
+        )

@@ -1,0 +1,46 @@
+"""Search-tree vertices.
+
+A :class:`Vertex` pairs a :class:`~repro.core.state.SearchState` with its
+lower-bound cost ``L(v)`` and a monotone sequence number recording
+generation order (used by the FIFO/LIFO selection rules and as a
+deterministic heap tie-break for LLB).
+"""
+
+from __future__ import annotations
+
+from .state import SearchState
+
+__all__ = ["Vertex"]
+
+
+class Vertex(object):
+    """One vertex of the branch-and-bound search tree."""
+
+    __slots__ = ("state", "lower_bound", "seq")
+
+    def __init__(self, state: SearchState, lower_bound: float, seq: int) -> None:
+        self.state = state
+        self.lower_bound = lower_bound
+        self.seq = seq
+
+    @property
+    def level(self) -> int:
+        """Number of tasks placed in the vertex's partial schedule."""
+        return self.state.level
+
+    @property
+    def is_goal(self) -> bool:
+        return self.state.is_goal
+
+    def __lt__(self, other: "Vertex") -> bool:
+        # Heap order for the LLB rule: least lower bound first; the
+        # sequence number makes the order total and deterministic.
+        if self.lower_bound != other.lower_bound:
+            return self.lower_bound < other.lower_bound
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:
+        return (
+            f"Vertex(seq={self.seq}, level={self.level}, "
+            f"lb={self.lower_bound:g})"
+        )

@@ -1,0 +1,148 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures without also swallowing programming
+errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ModelError",
+    "CycleError",
+    "UnknownTaskError",
+    "UnknownChannelError",
+    "InvalidScheduleError",
+    "WorkloadError",
+    "SpecificationError",
+    "GenerationError",
+    "DeadlineAssignmentError",
+    "SearchError",
+    "ResourceLimitExceeded",
+    "ConfigurationError",
+    "SerializationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+# ---------------------------------------------------------------------------
+# Model layer
+# ---------------------------------------------------------------------------
+
+
+class ModelError(ReproError):
+    """A task-system or platform model is malformed."""
+
+
+class CycleError(ModelError):
+    """The precedence relation is not an irreflexive partial order.
+
+    Raised when a task graph contains a directed cycle (including
+    self-loops), which would make the partial order ``<`` reflexive or
+    non-antisymmetric.
+    """
+
+    def __init__(self, cycle: list[str] | None = None) -> None:
+        self.cycle = list(cycle) if cycle else []
+        if self.cycle:
+            msg = "task graph contains a cycle: " + " -> ".join(self.cycle)
+        else:
+            msg = "task graph contains a cycle"
+        super().__init__(msg)
+
+
+class UnknownTaskError(ModelError, KeyError):
+    """A task name was referenced that is not part of the graph."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        super().__init__(f"unknown task: {name!r}")
+
+    def __str__(self) -> str:  # KeyError quotes its args; keep it readable.
+        return f"unknown task: {self.name!r}"
+
+
+class UnknownChannelError(ModelError, KeyError):
+    """A communication channel was referenced that does not exist."""
+
+    def __init__(self, src: str, dst: str) -> None:
+        self.src = src
+        self.dst = dst
+        super().__init__(f"unknown channel: {src!r} -> {dst!r}")
+
+    def __str__(self) -> str:
+        return f"unknown channel: {self.src!r} -> {self.dst!r}"
+
+
+class InvalidScheduleError(ModelError):
+    """A schedule violates a validity condition.
+
+    Carries the list of human-readable violations so that callers (and
+    tests) can assert on the precise failure mode.
+    """
+
+    def __init__(self, violations: list[str]) -> None:
+        self.violations = list(violations)
+        super().__init__(
+            "invalid schedule: " + "; ".join(self.violations)
+            if self.violations
+            else "invalid schedule"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Workload layer
+# ---------------------------------------------------------------------------
+
+
+class WorkloadError(ReproError):
+    """Workload specification or generation failed."""
+
+
+class SpecificationError(WorkloadError, ValueError):
+    """A workload specification is self-contradictory or out of range."""
+
+
+class GenerationError(WorkloadError):
+    """The random generator could not realize the requested specification."""
+
+
+class DeadlineAssignmentError(WorkloadError):
+    """Deadline slicing failed (e.g. end-to-end deadline below workload)."""
+
+
+# ---------------------------------------------------------------------------
+# Search layer
+# ---------------------------------------------------------------------------
+
+
+class SearchError(ReproError):
+    """The branch-and-bound engine hit an unrecoverable condition."""
+
+
+class ResourceLimitExceeded(SearchError):
+    """A hard resource bound was exceeded and the caller asked to fail.
+
+    The engine normally *degrades* on resource exhaustion (returning the
+    best solution found so far, per the paper's RB semantics); this is
+    only raised when ``ResourceBounds.fail_on_exhaustion`` is set.
+    """
+
+    def __init__(self, which: str, detail: str = "") -> None:
+        self.which = which
+        msg = f"resource bound exceeded: {which}"
+        if detail:
+            msg += f" ({detail})"
+        super().__init__(msg)
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A parameter combination is invalid (e.g. BR < 0)."""
+
+
+class SerializationError(ReproError):
+    """Serialized data could not be parsed or written."""

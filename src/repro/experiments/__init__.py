@@ -1,0 +1,59 @@
+"""Experiment harness reproducing every figure and Section 6 claim."""
+
+from .anytime import anytime_convergence
+from .ablations import (
+    bound_extension_ablation,
+    selection_tiebreak_ablation,
+    child_order_ablation,
+    dominance_ablation,
+    elimination_ablation,
+    symmetry_ablation,
+)
+from .discussion import (
+    ccr_sweep,
+    memory_behaviour,
+    parallelism_sweep,
+    upper_bound_impact,
+)
+from .figures import PROCESSORS, fig3a, fig3b, fig3c
+from .registry import EXPERIMENTS, get_experiment, run_by_name
+from .scaling import scaling_sweep
+from .report import format_ratios, format_table, render, series_ratio
+from .runner import (
+    Cell,
+    EDF_LABEL,
+    ExperimentOutput,
+    default_resources,
+    run_experiment,
+)
+
+__all__ = [
+    "Cell",
+    "EDF_LABEL",
+    "EXPERIMENTS",
+    "ExperimentOutput",
+    "PROCESSORS",
+    "anytime_convergence",
+    "bound_extension_ablation",
+    "ccr_sweep",
+    "child_order_ablation",
+    "default_resources",
+    "dominance_ablation",
+    "elimination_ablation",
+    "fig3a",
+    "fig3b",
+    "fig3c",
+    "format_ratios",
+    "format_table",
+    "get_experiment",
+    "memory_behaviour",
+    "parallelism_sweep",
+    "render",
+    "run_by_name",
+    "run_experiment",
+    "scaling_sweep",
+    "selection_tiebreak_ablation",
+    "series_ratio",
+    "symmetry_ablation",
+    "upper_bound_impact",
+]

@@ -1,0 +1,228 @@
+"""Design-choice ablations (ours, beyond the paper).
+
+The paper explicitly leaves the dominance rule ``D`` and characteristic
+function ``F`` unused and does not discuss child push order or
+processor-symmetry breaking.  These ablations quantify each choice on
+the same workloads so downstream users know what the knobs are worth:
+
+* :func:`dominance_ablation` — D = none (paper) vs state dominance;
+* :func:`symmetry_ablation` — expanding all empty processors vs
+  collapsing them (sound on the uniform shared bus);
+* :func:`child_order_ablation` — generation order (paper) vs pushing
+  the most promising child last (explored first under LIFO);
+* :func:`bound_extension_ablation` — LB1 (paper) vs the processor-aware
+  LB2;
+* :func:`elimination_ablation` — U/DBAS vs no elimination at all
+  (tiny workloads only: this one is exponential by construction);
+* :func:`selection_tiebreak_ablation` — plain LLB vs our depth-biased
+  LLB-D vs LIFO: how much of the LLB penalty is just tie ordering.
+"""
+
+from __future__ import annotations
+
+from ..core.bounds import LB2
+from ..core.selection import DepthBiasedLLBSelection
+from ..core.dominance import StateDominance
+from ..core.elimination import NoElimination
+from ..core.params import BnBParameters
+from ..core.resources import ResourceBounds
+from ..workload.suites import spec_for_profile
+from .runner import Cell, ExperimentOutput, default_resources, run_experiment
+
+__all__ = [
+    "dominance_ablation",
+    "selection_tiebreak_ablation",
+    "symmetry_ablation",
+    "child_order_ablation",
+    "bound_extension_ablation",
+    "elimination_ablation",
+]
+
+
+def _run(
+    name: str,
+    description: str,
+    strategies,
+    profile: str,
+    processors,
+    num_graphs: int,
+    base_seed: int,
+    workers: int = 0,
+) -> ExperimentOutput:
+    spec = spec_for_profile(profile)
+    cells = [Cell(x=float(m), spec=spec, processors=m) for m in processors]
+    return run_experiment(
+        name=name,
+        description=description,
+        x_label="processors",
+        cells=cells,
+        strategies=strategies,
+        num_graphs=num_graphs,
+        base_seed=base_seed,
+        include_edf=False,
+        workers=workers,
+    )
+
+
+def dominance_ablation(
+    profile: str = "scaled",
+    processors=(2, 3),
+    num_graphs: int = 15,
+    base_seed: int = 0,
+    resources: ResourceBounds | None = None,
+    workers: int = 0,
+) -> ExperimentOutput:
+    rb = resources or default_resources(profile)
+    return _run(
+        "abl-dominance",
+        "Ablation: dominance rule D off (paper) vs state dominance",
+        {
+            "D=none": BnBParameters.paper_default(resources=rb),
+            "D=state": BnBParameters.paper_default(
+                resources=rb, dominance=StateDominance()
+            ),
+        },
+        profile,
+        processors,
+        num_graphs,
+        base_seed,
+        workers,
+    )
+
+
+def symmetry_ablation(
+    profile: str = "scaled",
+    processors=(2, 3, 4),
+    num_graphs: int = 15,
+    base_seed: int = 0,
+    resources: ResourceBounds | None = None,
+    workers: int = 0,
+) -> ExperimentOutput:
+    rb = resources or default_resources(profile)
+    return _run(
+        "abl-symmetry",
+        "Ablation: processor-symmetry breaking at branching",
+        {
+            "sym=off": BnBParameters.paper_default(resources=rb),
+            "sym=on": BnBParameters.paper_default(
+                resources=rb, break_symmetry=True
+            ),
+        },
+        profile,
+        processors,
+        num_graphs,
+        base_seed,
+        workers,
+    )
+
+
+def child_order_ablation(
+    profile: str = "scaled",
+    processors=(2, 3),
+    num_graphs: int = 15,
+    base_seed: int = 0,
+    resources: ResourceBounds | None = None,
+    workers: int = 0,
+) -> ExperimentOutput:
+    rb = resources or default_resources(profile)
+    return _run(
+        "abl-child-order",
+        "Ablation: child push order under LIFO",
+        {
+            "order=generation": BnBParameters.paper_default(resources=rb),
+            "order=best-last": BnBParameters.paper_default(
+                resources=rb, child_order="best-last"
+            ),
+        },
+        profile,
+        processors,
+        num_graphs,
+        base_seed,
+        workers,
+    )
+
+
+def bound_extension_ablation(
+    profile: str = "scaled",
+    processors=(2, 3),
+    num_graphs: int = 15,
+    base_seed: int = 0,
+    resources: ResourceBounds | None = None,
+    workers: int = 0,
+) -> ExperimentOutput:
+    rb = resources or default_resources(profile)
+    return _run(
+        "abl-lb2",
+        "Ablation: paper's LB1 vs processor-aware LB2",
+        {
+            "L=LB1": BnBParameters.paper_default(resources=rb),
+            "L=LB2": BnBParameters.paper_default(resources=rb, lower_bound=LB2()),
+        },
+        profile,
+        processors,
+        num_graphs,
+        base_seed,
+        workers,
+    )
+
+
+def selection_tiebreak_ablation(
+    profile: str = "scaled",
+    processors=(2, 3),
+    num_graphs: int = 15,
+    base_seed: int = 0,
+    resources: ResourceBounds | None = None,
+    workers: int = 0,
+) -> ExperimentOutput:
+    """LLB vs depth-biased LLB-D vs LIFO.
+
+    Lateness objectives produce large equal-bound plateaus; plain LLB
+    wades through them breadth-first (its tie-break is generation
+    order).  LLB-D keeps best-first optimality proofs but walks
+    plateaus depth-first — quantifying how much of Figure 3(a)'s LLB
+    penalty is pure tie ordering.
+    """
+    rb = resources or default_resources(profile)
+    return _run(
+        "abl-selection-tiebreak",
+        "Ablation: LLB tie-breaking (plain vs depth-biased vs LIFO)",
+        {
+            "S=LLB": BnBParameters.paper_llb(resources=rb),
+            "S=LLB-D": BnBParameters.paper_default(
+                resources=rb, selection=DepthBiasedLLBSelection()
+            ),
+            "S=LIFO": BnBParameters.paper_lifo(resources=rb),
+        },
+        profile,
+        processors,
+        num_graphs,
+        base_seed,
+        workers,
+    )
+
+
+def elimination_ablation(
+    profile: str = "tiny",
+    processors=(2,),
+    num_graphs: int = 10,
+    base_seed: int = 0,
+    resources: ResourceBounds | None = None,
+    workers: int = 0,
+) -> ExperimentOutput:
+    """U/DBAS vs exhaustive enumeration.  Tiny workloads only."""
+    rb = resources or default_resources(profile)
+    return _run(
+        "abl-elimination",
+        "Ablation: elimination rule E on/off (exhaustive enumeration)",
+        {
+            "E=U/DBAS": BnBParameters.paper_default(resources=rb),
+            "E=none": BnBParameters.paper_default(
+                resources=rb, elimination=NoElimination()
+            ),
+        },
+        profile,
+        processors,
+        num_graphs,
+        base_seed,
+        workers,
+    )

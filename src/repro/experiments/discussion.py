@@ -1,0 +1,176 @@
+"""The Section 6 complementary experiments (no figures in the paper).
+
+The paper summarizes four results whose plots were cut for space:
+
+* **Parallelism sweep** — with more parallelism in the task graph, a
+  contention-aware lower bound (LB1) helps even more
+  (:func:`parallelism_sweep`).
+* **CCR sweep** — lower communication-to-computation ratios make the
+  lower-bound estimates more accurate, so the B&B converges faster
+  (:func:`ccr_sweep`).
+* **Upper-bound impact** — seeding with the greedy EDF cost improves
+  B&B performance by more than 200% over a naive positive constant
+  (:func:`upper_bound_impact`).
+* **Memory behaviour** — LLB's scattered access pattern thrashed the
+  SPARCstation's virtual memory while LIFO's stack matched LRU paging;
+  the modern analogue is peak active-set size, reported by
+  :func:`memory_behaviour`.
+"""
+
+from __future__ import annotations
+
+from ..core.params import BnBParameters
+from ..core.resources import ResourceBounds
+from ..core.upper import ConstantUpperBound
+from ..workload.suites import ccr_suite, parallelism_suite, spec_for_profile
+from .runner import Cell, ExperimentOutput, default_resources, run_experiment
+
+__all__ = [
+    "parallelism_sweep",
+    "ccr_sweep",
+    "upper_bound_impact",
+    "memory_behaviour",
+]
+
+
+def parallelism_sweep(
+    profile: str = "scaled",
+    processors: int = 2,
+    num_graphs: int = 20,
+    base_seed: int = 0,
+    resources: ResourceBounds | None = None,
+    workers: int = 0,
+) -> ExperimentOutput:
+    """LB0 vs LB1 across graph shapes of increasing parallelism.
+
+    x is the shape index (0 = deep/narrow ... 2 = shallow/wide).
+    Expected shape: the LB0/LB1 vertex ratio grows with parallelism.
+    """
+    rb = resources or default_resources(profile)
+    cells = [
+        Cell(x=float(i), spec=spec, processors=processors)
+        for i, spec in enumerate(parallelism_suite(profile))
+    ]
+    strategies = {
+        "BnB L=LB0": BnBParameters.paper_lb0(resources=rb),
+        "BnB L=LB1": BnBParameters.paper_lb1(resources=rb),
+    }
+    return run_experiment(
+        name="disc-parallelism",
+        description="Section 6: lower bounds vs task-graph parallelism",
+        x_label="shape (0=deep ... 2=wide)",
+        cells=cells,
+        strategies=strategies,
+        num_graphs=num_graphs,
+        base_seed=base_seed,
+        workers=workers,
+    )
+
+
+def ccr_sweep(
+    profile: str = "scaled",
+    processors: int = 3,
+    ccrs=(0.1, 0.5, 1.0, 2.0),
+    num_graphs: int = 20,
+    base_seed: int = 0,
+    resources: ResourceBounds | None = None,
+    workers: int = 0,
+) -> ExperimentOutput:
+    """Optimal B&B across communication-to-computation ratios.
+
+    Expected shape: searched vertices grow with CCR (lower CCR => more
+    accurate bound estimates => faster convergence).
+    """
+    rb = resources or default_resources(profile)
+    cells = [
+        Cell(x=spec.ccr, spec=spec, processors=processors)
+        for spec in ccr_suite(profile, ccrs)
+    ]
+    strategies = {"BnB LIFO/LB1": BnBParameters.paper_default(resources=rb)}
+    return run_experiment(
+        name="disc-ccr",
+        description="Section 6: B&B performance vs CCR",
+        x_label="CCR",
+        cells=cells,
+        strategies=strategies,
+        num_graphs=num_graphs,
+        base_seed=base_seed,
+        workers=workers,
+    )
+
+
+def upper_bound_impact(
+    profile: str = "scaled",
+    processors=(2, 3),
+    naive_cost: float = 1000.0,
+    num_graphs: int = 20,
+    base_seed: int = 0,
+    resources: ResourceBounds | None = None,
+    workers: int = 0,
+) -> ExperimentOutput:
+    """EDF-seeded vs naive-constant initial upper bound.
+
+    The naive provider supplies only a (large) positive cost, no
+    schedule, so the search must find its own incumbent before pruning
+    can bite.  Expected shape (the paper's ">200% improvement"): the
+    EDF-seeded search generates several times fewer vertices.  The
+    effect is dramatic under best-first selection — LIFO dives to a
+    self-found incumbent quickly, while LLB wades through the whole
+    sub-incumbent frontier — so both selection rules are included.
+    """
+    rb = resources or default_resources(profile)
+    spec = spec_for_profile(profile)
+    cells = [Cell(x=float(m), spec=spec, processors=m) for m in processors]
+    strategies = {
+        "BnB U=EDF": BnBParameters.paper_default(resources=rb),
+        "BnB U=naive": BnBParameters.paper_default(
+            resources=rb, upper_bound=ConstantUpperBound(naive_cost)
+        ),
+        "BnB LLB U=EDF": BnBParameters.paper_llb(resources=rb),
+        "BnB LLB U=naive": BnBParameters.paper_llb(
+            resources=rb, upper_bound=ConstantUpperBound(naive_cost)
+        ),
+    }
+    return run_experiment(
+        name="disc-upper-bound",
+        description="Section 6: impact of the initial upper bound",
+        x_label="processors",
+        cells=cells,
+        strategies=strategies,
+        num_graphs=num_graphs,
+        base_seed=base_seed,
+        include_edf=False,
+        workers=workers,
+    )
+
+
+def memory_behaviour(
+    profile: str = "scaled",
+    processors=(2, 3),
+    num_graphs: int = 20,
+    base_seed: int = 0,
+    resources: ResourceBounds | None = None,
+    workers: int = 0,
+) -> ExperimentOutput:
+    """Peak active-set size under LLB vs LIFO (thrashing proxy).
+
+    The interesting quantity is in each point's ``extras['peak_active']``.
+    """
+    rb = resources or default_resources(profile)
+    spec = spec_for_profile(profile)
+    cells = [Cell(x=float(m), spec=spec, processors=m) for m in processors]
+    strategies = {
+        "BnB S=LLB": BnBParameters.paper_llb(resources=rb),
+        "BnB S=LIFO": BnBParameters.paper_lifo(resources=rb),
+    }
+    return run_experiment(
+        name="disc-memory",
+        description="Section 6: active-set memory footprint by selection rule",
+        x_label="processors",
+        cells=cells,
+        strategies=strategies,
+        num_graphs=num_graphs,
+        base_seed=base_seed,
+        include_edf=False,
+        workers=workers,
+    )

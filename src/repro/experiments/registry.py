@@ -1,0 +1,60 @@
+"""Experiment registry: name -> runnable, for the CLI and docs."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import ConfigurationError
+from .anytime import anytime_convergence
+from .ablations import (
+    bound_extension_ablation,
+    selection_tiebreak_ablation,
+    child_order_ablation,
+    dominance_ablation,
+    elimination_ablation,
+    symmetry_ablation,
+)
+from .discussion import (
+    ccr_sweep,
+    memory_behaviour,
+    parallelism_sweep,
+    upper_bound_impact,
+)
+from .figures import fig3a, fig3b, fig3c
+from .scaling import scaling_sweep
+from .runner import ExperimentOutput
+
+__all__ = ["EXPERIMENTS", "get_experiment", "run_by_name"]
+
+#: Every reproducible artifact, keyed by the DESIGN.md experiment id.
+EXPERIMENTS: dict[str, Callable[..., ExperimentOutput]] = {
+    "fig3a": fig3a,
+    "fig3b": fig3b,
+    "fig3c": fig3c,
+    "disc-parallelism": parallelism_sweep,
+    "disc-ccr": ccr_sweep,
+    "disc-upper-bound": upper_bound_impact,
+    "disc-memory": memory_behaviour,
+    "scaling": scaling_sweep,
+    "anytime": anytime_convergence,
+    "abl-dominance": dominance_ablation,
+    "abl-symmetry": symmetry_ablation,
+    "abl-child-order": child_order_ablation,
+    "abl-lb2": bound_extension_ablation,
+    "abl-elimination": elimination_ablation,
+    "abl-selection-tiebreak": selection_tiebreak_ablation,
+}
+
+
+def get_experiment(name: str) -> Callable[..., ExperimentOutput]:
+    try:
+        return EXPERIMENTS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+        ) from None
+
+
+def run_by_name(name: str, **kwargs) -> ExperimentOutput:
+    """Run one registered experiment with keyword overrides."""
+    return get_experiment(name)(**kwargs)

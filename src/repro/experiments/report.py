@@ -1,0 +1,127 @@
+"""Plain-text rendering of experiment outputs.
+
+Prints the same rows the paper plots: for each x value, the mean number
+of searched vertices (with its 90% CI half-width) and the mean maximum
+task lateness (95% CI), one column per strategy — plus ratio summaries
+("LIFO searched Nx fewer vertices than LLB") used by EXPERIMENTS.md and
+the shape-assertion helpers the regression tests rely on.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..analysis.aggregate import Series
+from .runner import ExperimentOutput
+
+__all__ = ["format_table", "format_ratios", "series_ratio", "render"]
+
+
+def _fmt(value: float, digits: int = 1) -> str:
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "-"
+    if math.isinf(value):
+        return "inf"
+    if abs(value) >= 10_000:
+        return f"{value:.3g}"
+    return f"{value:.{digits}f}"
+
+
+def _table(rows: list[list[str]]) -> str:
+    widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
+    out = []
+    for idx, row in enumerate(rows):
+        out.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        if idx == 0:
+            out.append("  ".join("-" * w for w in widths))
+    return "\n".join(out)
+
+
+def format_table(output: ExperimentOutput) -> str:
+    """Both metric blocks as aligned ASCII tables."""
+    xs = sorted({p.x for s in output.series for p in s.points})
+    blocks = [f"== {output.name}: {output.description}"]
+    meta = output.metadata
+    blocks.append(
+        f"   ({meta.get('num_graphs', '?')} graphs/point, base seed "
+        f"{meta.get('base_seed', '?')}, truncated runs: "
+        f"{meta.get('truncated_runs', 0)})"
+    )
+    for metric, attr, ci_attr in (
+        ("searched vertices (mean +/- 90% CI)", "mean_vertices", "ci_vertices"),
+        ("maximum task lateness (mean +/- 95% CI)", "mean_lateness", "ci_lateness"),
+    ):
+        rows = [[output.x_label] + [s.label for s in output.series]]
+        for x in xs:
+            row = [_fmt(x, 1 if x != int(x) else 0)]
+            for s in output.series:
+                try:
+                    p = s.point_at(x)
+                except KeyError:
+                    row.append("-")
+                    continue
+                ci = getattr(p, ci_attr)
+                ci_txt = "" if math.isinf(ci) else f" ±{_fmt(ci)}"
+                row.append(f"{_fmt(getattr(p, attr))}{ci_txt}")
+            rows.append(row)
+        blocks.append(f"-- {metric}")
+        blocks.append(_table(rows))
+    return "\n".join(blocks)
+
+
+def series_ratio(
+    output: ExperimentOutput,
+    numerator: str,
+    denominator: str,
+    x: float | None = None,
+) -> float:
+    """Mean-vertices ratio between two series (at one x or averaged).
+
+    The paper's headline numbers ("more than an order of magnitude") are
+    ratios of mean searched-vertex counts; averaging ratios across x
+    uses the arithmetic mean of per-x ratios.
+    """
+    num = output.series_by_label(numerator)
+    den = output.series_by_label(denominator)
+    xs = [x] if x is not None else sorted(set(num.xs) & set(den.xs))
+    ratios = []
+    for xv in xs:
+        d = den.point_at(xv).mean_vertices
+        n = num.point_at(xv).mean_vertices
+        if d > 0:
+            ratios.append(n / d)
+    if not ratios:
+        return math.nan
+    return sum(ratios) / len(ratios)
+
+
+def format_ratios(output: ExperimentOutput, reference: str) -> str:
+    """One line per strategy: vertex ratio and lateness delta vs reference."""
+    ref = output.series_by_label(reference)
+    lines = [f"-- ratios vs {reference}"]
+    for s in output.series:
+        if s.label == reference:
+            continue
+        common = sorted(set(s.xs) & set(ref.xs))
+        if not common:
+            continue
+        vr = series_ratio(output, s.label, reference)
+        lat_deltas = [
+            s.point_at(x).mean_lateness - ref.point_at(x).mean_lateness
+            for x in common
+        ]
+        lines.append(
+            f"   {s.label}: vertices x{_fmt(vr, 2)} of {reference}; "
+            f"lateness delta {_fmt(sum(lat_deltas) / len(lat_deltas), 3)}"
+        )
+    return "\n".join(lines)
+
+
+def render(output: ExperimentOutput, reference: str | None = None) -> str:
+    """Full report: tables plus optional ratio block."""
+    text = format_table(output)
+    if reference is not None and any(
+        s.label == reference for s in output.series
+    ):
+        text += "\n" + format_ratios(output, reference)
+    return text

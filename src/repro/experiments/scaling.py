@@ -1,0 +1,56 @@
+"""Scalability sweep: search effort versus task count.
+
+Not a paper figure, but the paper's framing depends on it: "because the
+inherent exponential complexity of the B&B strategy cannot be completely
+eliminated, its applicability is in general restricted to small systems"
+(Section 1).  This sweep quantifies that restriction for the optimal
+configuration: mean searched vertices as the task count grows with the
+graph shape held proportional (depth ~ n/2, i.e. the scaled profile's
+width-to-depth ratio).
+"""
+
+from __future__ import annotations
+
+from ..core.params import BnBParameters
+from ..core.resources import ResourceBounds
+from ..workload.suites import spec_for_profile
+from .runner import Cell, ExperimentOutput, default_resources, run_experiment
+
+__all__ = ["scaling_sweep"]
+
+
+def scaling_sweep(
+    profile: str = "scaled",
+    sizes=(6, 8, 10, 12),
+    processors: int = 2,
+    num_graphs: int = 15,
+    base_seed: int = 0,
+    resources: ResourceBounds | None = None,
+    workers: int = 0,
+) -> ExperimentOutput:
+    """Optimal B&B effort vs. task count at fixed shape and platform."""
+    rb = resources or default_resources(profile)
+    base = spec_for_profile(profile)
+    cells = []
+    for n in sizes:
+        depth_lo = max(2, n // 2)
+        spec = base.evolve(
+            name=f"{base.name}-n{n}",
+            num_tasks=(n, n),
+            depth=(depth_lo, depth_lo + 1),
+        )
+        cells.append(Cell(x=float(n), spec=spec, processors=processors))
+    strategies = {
+        "BnB optimal": BnBParameters.paper_default(resources=rb),
+        "BnB B=DF": BnBParameters.approximate_df(resources=rb),
+    }
+    return run_experiment(
+        name="scaling",
+        description="Search effort vs task count (optimal and approximate)",
+        x_label="tasks",
+        cells=cells,
+        strategies=strategies,
+        num_graphs=num_graphs,
+        base_seed=base_seed,
+        workers=workers,
+    )

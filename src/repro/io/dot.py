@@ -1,0 +1,61 @@
+"""Graphviz DOT export for task graphs and schedules.
+
+Pure text generation (no graphviz dependency); feed the output to
+``dot -Tpng`` or any DOT viewer.
+"""
+
+from __future__ import annotations
+
+from ..model.schedule import Schedule
+from ..model.taskgraph import TaskGraph
+
+__all__ = ["graph_to_dot", "schedule_to_dot"]
+
+
+def _esc(s: str) -> str:
+    return s.replace('"', '\\"')
+
+
+def graph_to_dot(graph: TaskGraph, include_windows: bool = True) -> str:
+    """Render the weighted DAG; node labels carry WCETs (and windows)."""
+    lines = [f'digraph "{_esc(graph.name)}" {{', "  rankdir=TB;"]
+    for task in graph:
+        label = f"{task.name}\\nc={task.wcet:g}"
+        if include_windows and task.relative_deadline != float("inf"):
+            label += f"\\n[{task.arrival(1):g}, {task.absolute_deadline(1):g}]"
+        lines.append(f'  "{_esc(task.name)}" [label="{label}", shape=box];')
+    for ch in graph.channels:
+        attrs = f'label="{ch.message_size:g}"' if ch.message_size else ""
+        lines.append(
+            f'  "{_esc(ch.src)}" -> "{_esc(ch.dst)}"'
+            + (f" [{attrs}]" if attrs else "")
+            + ";"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def schedule_to_dot(schedule: Schedule) -> str:
+    """Render a schedule as a clustered DOT graph (one cluster per CPU)."""
+    lines = [f'digraph "{_esc(schedule.graph.name)}-schedule" {{']
+    for p in schedule.platform.processors:
+        lines.append(f"  subgraph cluster_p{p} {{")
+        lines.append(f'    label="processor {p}";')
+        prev = None
+        for e in schedule.timeline(p):
+            label = f"{e.task}\\n[{e.start:g}, {e.finish:g}]"
+            lines.append(f'    "{_esc(e.task)}" [label="{label}", shape=box];')
+            if prev is not None:
+                lines.append(
+                    f'    "{_esc(prev)}" -> "{_esc(e.task)}" [style=dotted];'
+                )
+            prev = e.task
+        lines.append("  }")
+    for msg in schedule.messages():
+        if not msg.is_local:
+            lines.append(
+                f'  "{_esc(msg.src)}" -> "{_esc(msg.dst)}" '
+                f'[label="{msg.size:g}", color=red];'
+            )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,180 @@
+"""Standard Task Graph (STG) format support.
+
+The STG format (Kasahara Lab's Standard Task Graph Set) is the de-facto
+exchange format for precedence-constrained scheduling benchmarks in this
+literature.  A file looks like::
+
+    4
+    0    0   0
+    1   10   1   0
+    2   20   1   0
+    3    0   2   1 2
+    # comments after the task list
+
+Line 1 is the number of *real* tasks plus two dummy nodes by convention
+(we accept files with or without the dummy entry/exit nodes); each task
+line is ``id  processing_time  predecessor_count  predecessor_ids...``.
+Lines starting with ``#`` and blank lines are ignored.
+
+STG carries no communication costs, deadlines or periods, so:
+
+* reading produces tasks with infinite deadlines and zero-size channels
+  (run :func:`repro.workload.assign_deadlines` and/or attach message
+  sizes afterwards);
+* zero-cost dummy nodes (processing time 0) are dropped by default,
+  because :class:`~repro.model.task.Task` requires positive WCETs — pass
+  ``keep_dummies_as`` a positive float to retain them with that WCET;
+* writing emits the canonical form with dummy entry/exit nodes so output
+  is consumable by standard STG tools.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..errors import SerializationError
+from ..model.channel import Channel
+from ..model.task import Task
+from ..model.taskgraph import TaskGraph
+
+__all__ = ["parse_stg", "format_stg", "load_stg", "save_stg"]
+
+
+def parse_stg(
+    text: str,
+    name: str = "stg",
+    keep_dummies_as: float | None = None,
+) -> TaskGraph:
+    """Parse STG text into a :class:`TaskGraph`."""
+    tokens_lines: list[list[str]] = []
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if line:
+            tokens_lines.append(line.split())
+    if not tokens_lines:
+        raise SerializationError("empty STG input")
+    try:
+        declared = int(tokens_lines[0][0])
+    except ValueError as exc:
+        raise SerializationError(
+            f"first STG line must be the task count, got {tokens_lines[0]!r}"
+        ) from exc
+
+    entries: dict[int, tuple[float, list[int]]] = {}
+    for tokens in tokens_lines[1:]:
+        if len(tokens) < 3:
+            raise SerializationError(f"malformed STG task line: {tokens!r}")
+        try:
+            tid = int(tokens[0])
+            cost = float(tokens[1])
+            npred = int(tokens[2])
+            preds = [int(x) for x in tokens[3 : 3 + npred]]
+        except ValueError as exc:
+            raise SerializationError(
+                f"malformed STG task line: {tokens!r}"
+            ) from exc
+        if len(preds) != npred:
+            raise SerializationError(
+                f"task {tid}: declared {npred} predecessors, "
+                f"got {len(preds)}"
+            )
+        if tid in entries:
+            raise SerializationError(f"duplicate STG task id {tid}")
+        entries[tid] = (cost, preds)
+
+    if len(entries) not in (declared, declared + 2):
+        # Accept both the "n excludes dummies" and "n includes dummies"
+        # conventions, which both occur in the wild.
+        if len(entries) != declared:
+            raise SerializationError(
+                f"STG declares {declared} tasks but lists {len(entries)}"
+            )
+
+    dummies = {
+        tid for tid, (cost, _) in entries.items() if cost == 0.0
+    }
+    if keep_dummies_as is not None:
+        if keep_dummies_as <= 0:
+            raise SerializationError("keep_dummies_as must be positive")
+        dummies = set()
+
+    graph = TaskGraph(name=name)
+    for tid in sorted(entries):
+        if tid in dummies:
+            continue
+        cost, _ = entries[tid]
+        wcet = cost if cost > 0 else float(keep_dummies_as)  # type: ignore[arg-type]
+        graph.add_task(Task(name=f"n{tid}", wcet=wcet))
+
+    def real_preds(tid: int, seen: frozenset[int] = frozenset()) -> set[int]:
+        """Predecessors with dummies transitively collapsed."""
+        out: set[int] = set()
+        for p in entries[tid][1]:
+            if p not in entries:
+                raise SerializationError(
+                    f"task {tid} references unknown predecessor {p}"
+                )
+            if p in seen:
+                raise SerializationError(f"cycle through STG task {p}")
+            if p in dummies:
+                out |= real_preds(p, seen | {p})
+            else:
+                out.add(p)
+        return out
+
+    for tid in sorted(entries):
+        if tid in dummies:
+            continue
+        for p in sorted(real_preds(tid)):
+            graph.add_channel(
+                Channel(src=f"n{p}", dst=f"n{tid}", message_size=0.0)
+            )
+    return graph
+
+
+def format_stg(graph: TaskGraph, with_dummies: bool = True) -> str:
+    """Serialize a graph to STG text (canonical dummy entry/exit form).
+
+    Message sizes, deadlines and periods are not representable in STG
+    and are silently dropped; WCETs are written as integers when whole.
+    """
+    index = {name: i + (1 if with_dummies else 0) for i, name in
+             enumerate(graph.task_names)}
+    n = len(graph)
+
+    def fmt_cost(c: float) -> str:
+        # repr round-trips floats exactly; integers stay integral.
+        return str(int(c)) if float(c).is_integer() else repr(float(c))
+
+    lines = [str(n + (2 if with_dummies else 0))]
+    if with_dummies:
+        lines.append("0 0 0")  # dummy entry
+    for name in graph.task_names:
+        preds = [index[p] for p in graph.predecessors(name)]
+        if with_dummies and not preds:
+            preds = [0]
+        lines.append(
+            f"{index[name]} {fmt_cost(graph.task(name).wcet)} "
+            f"{len(preds)}"
+            + ("".join(f" {p}" for p in sorted(preds)))
+        )
+    if with_dummies:
+        exit_id = n + 1
+        outs = sorted(index[t] for t in graph.output_tasks)
+        if not outs:
+            outs = [0]
+        lines.append(
+            f"{exit_id} 0 {len(outs)}" + "".join(f" {p}" for p in outs)
+        )
+    return "\n".join(lines) + "\n"
+
+
+def load_stg(path: str | Path, **kwargs) -> TaskGraph:
+    """Read an STG file."""
+    p = Path(path)
+    return parse_stg(p.read_text(), name=p.stem, **kwargs)
+
+
+def save_stg(graph: TaskGraph, path: str | Path, **kwargs) -> None:
+    """Write an STG file."""
+    Path(path).write_text(format_stg(graph, **kwargs))

@@ -1,0 +1,52 @@
+"""System models: tasks, channels, task graphs, platforms, schedules.
+
+This subpackage implements Section 2 of the paper — the multiprocessor
+system model, the (periodic) task system with precedence constraints and
+communication channels, and the definition of valid time-driven
+non-preemptive schedules — plus the problem compiler feeding the search
+engine.
+"""
+
+from .bussim import BusSimulation, BusTransfer, simulate_bus
+from .channel import Channel
+from .compile import CompiledProblem, compile_problem
+from .interconnect import (
+    FullyConnected,
+    Interconnect,
+    Mesh2D,
+    Ring,
+    SharedBus,
+    ZeroCost,
+)
+from .platform import Platform, shared_bus_platform
+from .schedule import EPSILON, MessageRecord, Schedule, ScheduleEntry
+from .task import APERIODIC, Job, Task
+from .taskgraph import TaskGraph
+from .unroll import hyperperiod, unroll
+
+__all__ = [
+    "APERIODIC",
+    "BusSimulation",
+    "BusTransfer",
+    "Channel",
+    "CompiledProblem",
+    "EPSILON",
+    "FullyConnected",
+    "Interconnect",
+    "Job",
+    "Mesh2D",
+    "MessageRecord",
+    "Platform",
+    "Ring",
+    "Schedule",
+    "ScheduleEntry",
+    "SharedBus",
+    "Task",
+    "TaskGraph",
+    "ZeroCost",
+    "compile_problem",
+    "hyperperiod",
+    "shared_bus_platform",
+    "simulate_bus",
+    "unroll",
+]

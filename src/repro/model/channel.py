@@ -1,0 +1,92 @@
+"""Communication channels: the tuple ``<m_ij, a_ij, d_ij>`` of Section 2.2.
+
+A :class:`Channel` models the message-transfer activity between a
+producer task and a consumer task.  The *real* communication cost of a
+message depends on where the endpoints are placed and on the interconnect
+(see :mod:`repro.model.interconnect`); the channel itself only carries the
+message size and the (optional) message timing attributes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ModelError
+
+__all__ = ["Channel"]
+
+
+@dataclass(frozen=True, slots=True)
+class Channel:
+    """A directed communication channel ``chi_{i,j}`` between two tasks.
+
+    Attributes
+    ----------
+    src:
+        Name of the producer task ``tau_i``.
+    dst:
+        Name of the consumer task ``tau_j``.
+    message_size:
+        Maximum message size ``m_{i,j}`` in data items.  The nominal
+        communication delay of the interconnect is charged *per data
+        item*, so the nominal cost of the message between two distinct
+        processors is ``message_size * nominal_delay``.  A size of zero
+        models a pure precedence constraint with no data transfer.
+    arrival:
+        Message arrival time ``a_{i,j}``: earliest time the message may be
+        injected into the network.  Defaults to 0 (the message is ready as
+        soon as the producer finishes).
+    relative_deadline:
+        Relative deadline ``d_{i,j}`` of the message.  Defaults to
+        infinity (no explicit message deadline; the consumer task deadline
+        dominates).
+    """
+
+    src: str
+    dst: str
+    message_size: float = 0.0
+    arrival: float = 0.0
+    relative_deadline: float = math.inf
+
+    def __post_init__(self) -> None:
+        if not self.src or not self.dst:
+            raise ModelError("channel endpoints must be non-empty task names")
+        if self.src == self.dst:
+            raise ModelError(
+                f"channel {self.src!r} -> {self.dst!r}: the precedence order is "
+                "irreflexive; a task cannot precede itself"
+            )
+        if self.message_size < 0 or math.isinf(self.message_size):
+            raise ModelError(
+                f"channel {self.src!r} -> {self.dst!r}: message size must be "
+                f"finite and >= 0, got {self.message_size}"
+            )
+        if self.arrival < 0:
+            raise ModelError(
+                f"channel {self.src!r} -> {self.dst!r}: arrival must be >= 0, "
+                f"got {self.arrival}"
+            )
+        if self.relative_deadline <= 0:
+            raise ModelError(
+                f"channel {self.src!r} -> {self.dst!r}: relative deadline must "
+                f"be positive, got {self.relative_deadline}"
+            )
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """The ``(src, dst)`` pair identifying this channel in a graph."""
+        return (self.src, self.dst)
+
+    def nominal_cost(self, nominal_delay: float) -> float:
+        """Worst-case transfer time across links with the given nominal delay.
+
+        Per Section 2.1 this is the product of the message length and the
+        nominal communication delay; it applies only when the endpoints
+        are on *different* processors (same-processor communication is via
+        shared memory at negligible cost).
+        """
+        return self.message_size * nominal_delay
+
+    def __str__(self) -> str:
+        return f"Channel({self.src} -> {self.dst}, m={self.message_size})"

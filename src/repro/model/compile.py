@@ -1,0 +1,211 @@
+"""Compilation of (task graph, platform) pairs into flat index arrays.
+
+The branch-and-bound engine touches task parameters millions of times; per
+the HPC guides, the hot path avoids per-vertex object graphs and dict
+lookups.  :class:`CompiledProblem` freezes a :class:`~repro.model.taskgraph.TaskGraph`
+and a :class:`~repro.model.platform.Platform` into integer-indexed tuples:
+
+* tasks are indexed ``0..n-1`` in graph insertion order;
+* adjacency is stored as tuples of ``(neighbour, message_size)`` pairs;
+* the interconnect is precompiled into an ``m x m`` nominal-delay matrix,
+  with a scalar fast path when the off-diagonal delay is uniform (the
+  paper's shared bus);
+* scheduled/ready sets are represented as bitmask integers
+  (``pred_mask[i]`` collects the direct predecessors of task ``i``).
+
+Everything here is immutable, so one compiled problem can be shared by
+any number of concurrent searches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import ModelError
+from .platform import Platform
+from .schedule import Schedule
+from .taskgraph import TaskGraph
+
+__all__ = ["CompiledProblem", "compile_problem"]
+
+
+@dataclass(frozen=True)
+class CompiledProblem:
+    """Flattened, immutable scheduling problem for the search hot path."""
+
+    graph: TaskGraph
+    platform: Platform
+    n: int
+    m: int
+    names: tuple[str, ...]
+    index: dict[str, int]
+    wcet: tuple[float, ...]
+    arrival: tuple[float, ...]
+    deadline: tuple[float, ...]
+    #: ``pred_edges[i]`` = tuple of ``(j, message_size)`` for each direct
+    #: predecessor ``j`` of ``i``.
+    pred_edges: tuple[tuple[tuple[int, float], ...], ...]
+    #: ``succ_edges[i]`` = tuple of ``(j, message_size)`` for each direct
+    #: successor ``j`` of ``i``.
+    succ_edges: tuple[tuple[tuple[int, float], ...], ...]
+    #: ``m x m`` nominal delay matrix (rows = source processor).
+    delay: tuple[tuple[float, ...], ...]
+    #: Scalar off-diagonal delay when uniform (shared bus / fully
+    #: connected); ``None`` when the topology is non-uniform.
+    uniform_delay: float | None
+    #: ``pred_mask[i]`` has bit ``j`` set for each direct predecessor.
+    pred_mask: tuple[int, ...]
+    #: Topological order of task indices (graph insertion tie-break).
+    topo: tuple[int, ...]
+    #: Bitmask with all ``n`` bits set (the goal "scheduled set").
+    all_mask: int
+    #: Indices of tasks with no predecessors.
+    inputs: tuple[int, ...] = field(default=())
+
+    # ------------------------------------------------------------------
+    # Placement primitive (the Section 4.3 scheduling operation)
+    # ------------------------------------------------------------------
+
+    def earliest_start(
+        self,
+        task: int,
+        proc: int,
+        proc_of: Sequence[int],
+        finish: Sequence[float],
+        avail: float,
+    ) -> float:
+        """Earliest start of ``task`` on ``proc`` under the list-scheduling op.
+
+        ``avail`` is the finish time of the last task already appended to
+        ``proc`` (the non-preemptive run-time model appends; it never
+        back-fills gaps, which is what makes the operation
+        non-commutative).  ``proc_of``/``finish`` describe the already
+        scheduled tasks; every direct predecessor of ``task`` must be
+        scheduled.
+        """
+        s = self.arrival[task]
+        if avail > s:
+            s = avail
+        ud = self.uniform_delay
+        if ud is not None:
+            for j, size in self.pred_edges[task]:
+                r = finish[j]
+                if proc_of[j] != proc:
+                    r += size * ud
+                if r > s:
+                    s = r
+        else:
+            drow = self.delay
+            for j, size in self.pred_edges[task]:
+                r = finish[j] + size * drow[proc_of[j]][proc]
+                if r > s:
+                    s = r
+        return s
+
+    def communication_cost(self, src_proc: int, dst_proc: int, size: float) -> float:
+        """Nominal message cost between two processors."""
+        return size * self.delay[src_proc][dst_proc]
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+
+    def make_schedule(
+        self, proc_of: Sequence[int], start: Sequence[float]
+    ) -> Schedule:
+        """Materialize an explicit :class:`Schedule` from placement arrays.
+
+        Entries with ``proc_of[i] < 0`` are treated as unscheduled, so
+        partial placements are supported.
+        """
+        sched = Schedule(self.graph, self.platform)
+        for i in range(self.n):
+            if proc_of[i] >= 0:
+                sched.place(self.names[i], proc_of[i], start[i])
+        return sched
+
+    def lateness_of(self, finish: Sequence[float], scheduled_mask: int) -> float:
+        """Max lateness over the tasks present in ``scheduled_mask``."""
+        best = float("-inf")
+        for i in range(self.n):
+            if scheduled_mask >> i & 1:
+                lat = finish[i] - self.deadline[i]
+                if lat > best:
+                    best = lat
+        return best
+
+    def __repr__(self) -> str:
+        return f"CompiledProblem(n={self.n}, m={self.m}, graph={self.graph.name!r})"
+
+
+def compile_problem(graph: TaskGraph, platform: Platform) -> CompiledProblem:
+    """Freeze a graph/platform pair for the search engine."""
+    n = len(graph)
+    if n == 0:
+        raise ModelError("cannot compile an empty task graph")
+    if n > 62:
+        # Bitmask state uses machine-friendly ints; the B&B is intractable
+        # far below this anyway, so it is a sanity bound, not a real limit
+        # (Python ints would keep working, just slower).
+        raise ModelError(f"task graphs above 62 tasks are not supported (got {n})")
+    names = tuple(graph.task_names)
+    index = {name: i for i, name in enumerate(names)}
+    tasks = [graph.task(name) for name in names]
+    wcet = tuple(platform.effective_wcet(t.wcet) for t in tasks)
+    arrival = tuple(t.arrival(1) for t in tasks)
+    deadline = tuple(t.absolute_deadline(1) for t in tasks)
+
+    pred_edges: list[tuple[tuple[int, float], ...]] = []
+    succ_edges: list[tuple[tuple[int, float], ...]] = []
+    pred_mask: list[int] = []
+    for name in names:
+        pe = tuple(
+            (index[p], graph.channel(p, name).message_size)
+            for p in graph.predecessors(name)
+        )
+        se = tuple(
+            (index[s], graph.channel(name, s).message_size)
+            for s in graph.successors(name)
+        )
+        pred_edges.append(pe)
+        succ_edges.append(se)
+        mask = 0
+        for j, _ in pe:
+            mask |= 1 << j
+        pred_mask.append(mask)
+
+    delay_rows = platform.interconnect.delay_matrix()
+    delay = tuple(tuple(row) for row in delay_rows)
+    off_diag = {
+        delay[p][q]
+        for p in range(platform.num_processors)
+        for q in range(platform.num_processors)
+        if p != q
+    }
+    uniform_delay = off_diag.pop() if len(off_diag) == 1 else (
+        0.0 if not off_diag else None
+    )
+
+    topo = tuple(index[name] for name in graph.topological_order())
+    inputs = tuple(index[name] for name in graph.input_tasks)
+
+    return CompiledProblem(
+        graph=graph,
+        platform=platform,
+        n=n,
+        m=platform.num_processors,
+        names=names,
+        index=index,
+        wcet=wcet,
+        arrival=arrival,
+        deadline=deadline,
+        pred_edges=tuple(pred_edges),
+        succ_edges=tuple(succ_edges),
+        delay=delay,
+        uniform_delay=uniform_delay,
+        pred_mask=tuple(pred_mask),
+        topo=topo,
+        all_mask=(1 << n) - 1,
+        inputs=inputs,
+    )

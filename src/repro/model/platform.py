@@ -1,0 +1,83 @@
+"""Multiprocessor platform model (Section 2.1).
+
+A :class:`Platform` is a set of ``m`` identical processors plus an
+:class:`~repro.model.interconnect.Interconnect`.  Processors are
+identified by integer indices ``0..m-1`` (the paper's ``p_1..p_m``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ModelError
+from .interconnect import Interconnect, SharedBus
+
+__all__ = ["Platform", "shared_bus_platform"]
+
+
+@dataclass(frozen=True)
+class Platform:
+    """``m`` identical processors communicating over an interconnect.
+
+    Attributes
+    ----------
+    num_processors:
+        Number of identical processors ``m``.
+    interconnect:
+        The network model supplying nominal per-item delays.  Defaults to
+        the paper's shared bus at 1 time unit per data item.
+    context_switch:
+        Fixed per-dispatch overhead added to each task's execution on the
+        platform.  The paper folds architectural overheads into the WCET;
+        this knob lets a user model them explicitly instead.  Default 0.
+    """
+
+    num_processors: int
+    interconnect: Interconnect = field(default=None)  # type: ignore[assignment]
+    context_switch: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_processors < 1:
+            raise ModelError(
+                f"platform needs at least one processor, got {self.num_processors}"
+            )
+        if self.interconnect is None:
+            object.__setattr__(
+                self, "interconnect", SharedBus(self.num_processors)
+            )
+        if self.interconnect.num_processors != self.num_processors:
+            raise ModelError(
+                f"interconnect is sized for {self.interconnect.num_processors} "
+                f"processors but the platform has {self.num_processors}"
+            )
+        if self.context_switch < 0:
+            raise ModelError(
+                f"context switch overhead must be >= 0, got {self.context_switch}"
+            )
+
+    @property
+    def processors(self) -> range:
+        """Iterable of processor indices."""
+        return range(self.num_processors)
+
+    def communication_cost(self, src: int, dst: int, message_size: float) -> float:
+        """Worst-case message transfer time between two processors."""
+        return self.interconnect.message_cost(src, dst, message_size)
+
+    def effective_wcet(self, wcet: float) -> float:
+        """Execution time on this platform including dispatch overhead."""
+        return wcet + self.context_switch
+
+    def __repr__(self) -> str:
+        return (
+            f"Platform(m={self.num_processors}, "
+            f"interconnect={self.interconnect!r})"
+        )
+
+
+def shared_bus_platform(num_processors: int, delay_per_item: float = 1.0) -> Platform:
+    """The Section 4 evaluation platform: shared bus, identical processors."""
+    return Platform(
+        num_processors=num_processors,
+        interconnect=SharedBus(num_processors, delay_per_item),
+    )

@@ -1,0 +1,306 @@
+"""Explicit multiprocessor schedules and their validity conditions.
+
+A time-driven non-preemptive multiprocessor schedule (Section 2.2) maps
+each task ``tau_i`` to a start time ``s_i`` and a processor ``p_i``; the
+task then runs without preemption in ``[s_i, f_i]`` with
+``f_i = s_i + c_i``.
+
+Terminology (matching the paper):
+
+* a schedule is **consistent** if its bookkeeping is sound: every placed
+  task respects its arrival time, its predecessors' finishes plus
+  interprocessor communication costs, and mutual exclusion on its
+  processor;
+* a schedule is **valid** if it is consistent *and* every task finishes
+  by its absolute deadline (``L_max <= 0``);
+* a task set is **feasible** if a valid schedule exists, and
+  **schedulable** by an algorithm if that algorithm produces one.
+
+Schedules may be partial (the branch-and-bound search manipulates partial
+schedules); completeness is a separate predicate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import InvalidScheduleError, ModelError, UnknownTaskError
+from .platform import Platform
+from .taskgraph import TaskGraph
+
+__all__ = ["ScheduleEntry", "MessageRecord", "Schedule", "EPSILON"]
+
+#: Numeric slack used by the validity checker when comparing float times.
+EPSILON = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class ScheduleEntry:
+    """Placement of one task: ``(processor, start, finish)``."""
+
+    task: str
+    processor: int
+    start: float
+    finish: float
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+    def overlaps(self, other: "ScheduleEntry") -> bool:
+        """Whether the two execution intervals intersect with positive measure."""
+        return (
+            self.start < other.finish - EPSILON
+            and other.start < self.finish - EPSILON
+        )
+
+    def __str__(self) -> str:
+        return f"{self.task}@p{self.processor}[{self.start}, {self.finish}]"
+
+
+@dataclass(frozen=True, slots=True)
+class MessageRecord:
+    """A realized message transfer between two scheduled tasks.
+
+    ``departure`` is the producer's finish time, ``arrival`` adds the
+    nominal transfer cost (zero when both endpoints share a processor).
+    """
+
+    src: str
+    dst: str
+    src_processor: int
+    dst_processor: int
+    size: float
+    departure: float
+    arrival: float
+
+    @property
+    def is_local(self) -> bool:
+        return self.src_processor == self.dst_processor
+
+    @property
+    def transfer_time(self) -> float:
+        return self.arrival - self.departure
+
+
+class Schedule:
+    """A (possibly partial) mapping of tasks to processors and start times."""
+
+    def __init__(self, graph: TaskGraph, platform: Platform) -> None:
+        self.graph = graph
+        self.platform = platform
+        self._entries: dict[str, ScheduleEntry] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def place(self, task: str, processor: int, start: float) -> ScheduleEntry:
+        """Place a task; its finish time follows from the platform WCET."""
+        t = self.graph.task(task)  # raises UnknownTaskError
+        if task in self._entries:
+            raise ModelError(f"task {task!r} is already scheduled")
+        if not 0 <= processor < self.platform.num_processors:
+            raise ModelError(
+                f"processor index {processor} out of range "
+                f"[0, {self.platform.num_processors})"
+            )
+        finish = start + self.platform.effective_wcet(t.wcet)
+        entry = ScheduleEntry(task=task, processor=processor, start=start, finish=finish)
+        self._entries[task] = entry
+        return entry
+
+    def remove(self, task: str) -> None:
+        if task not in self._entries:
+            raise UnknownTaskError(task)
+        del self._entries[task]
+
+    def copy(self) -> "Schedule":
+        out = Schedule(self.graph, self.platform)
+        out._entries = dict(self._entries)
+        return out
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, task: str) -> bool:
+        return task in self._entries
+
+    def entry(self, task: str) -> ScheduleEntry:
+        try:
+            return self._entries[task]
+        except KeyError:
+            raise UnknownTaskError(task) from None
+
+    @property
+    def entries(self) -> list[ScheduleEntry]:
+        """All entries, ordered by (start, processor, task)."""
+        return sorted(
+            self._entries.values(), key=lambda e: (e.start, e.processor, e.task)
+        )
+
+    @property
+    def is_complete(self) -> bool:
+        return len(self._entries) == len(self.graph)
+
+    @property
+    def scheduled_tasks(self) -> set[str]:
+        return set(self._entries)
+
+    def timeline(self, processor: int) -> list[ScheduleEntry]:
+        """Entries on one processor, in start-time order."""
+        return sorted(
+            (e for e in self._entries.values() if e.processor == processor),
+            key=lambda e: (e.start, e.task),
+        )
+
+    def processor_finish(self, processor: int) -> float:
+        """Finish time of the last task on a processor (0 if idle)."""
+        return max(
+            (e.finish for e in self._entries.values() if e.processor == processor),
+            default=0.0,
+        )
+
+    def messages(self) -> list[MessageRecord]:
+        """Realized message transfers for every arc with both endpoints placed."""
+        out: list[MessageRecord] = []
+        for ch in self.graph.channels:
+            if ch.src in self._entries and ch.dst in self._entries:
+                es, ed = self._entries[ch.src], self._entries[ch.dst]
+                cost = self.platform.communication_cost(
+                    es.processor, ed.processor, ch.message_size
+                )
+                out.append(
+                    MessageRecord(
+                        src=ch.src,
+                        dst=ch.dst,
+                        src_processor=es.processor,
+                        dst_processor=ed.processor,
+                        size=ch.message_size,
+                        departure=es.finish,
+                        arrival=es.finish + cost,
+                    )
+                )
+        out.sort(key=lambda m: (m.departure, m.src, m.dst))
+        return out
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+
+    def lateness(self, task: str) -> float:
+        """``f_i - D_i`` for a scheduled task (negative = early)."""
+        e = self.entry(task)
+        return e.finish - self.graph.task(task).absolute_deadline(1)
+
+    def max_lateness(self) -> float:
+        """Maximum task lateness over the *scheduled* tasks.
+
+        On a complete schedule this is the paper's objective ``L_max``.
+        Returns ``-inf`` for an empty schedule.
+        """
+        if not self._entries:
+            return -math.inf
+        return max(self.lateness(t) for t in self._entries)
+
+    def makespan(self) -> float:
+        """Latest finish time over the scheduled tasks (0 if empty)."""
+        return max((e.finish for e in self._entries.values()), default=0.0)
+
+    def is_feasible(self) -> bool:
+        """Complete, consistent and every deadline met (``L_max <= 0``)."""
+        if not self.is_complete:
+            return False
+        try:
+            self.validate(require_deadlines=True)
+        except InvalidScheduleError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def violations(self, require_deadlines: bool = False) -> list[str]:
+        """Collect every validity violation (empty list = consistent).
+
+        Checks, for each scheduled task:
+
+        * start >= arrival time;
+        * finish = start + effective WCET;
+        * start >= predecessor finish (+ message cost across processors)
+          for every *scheduled* predecessor — an unscheduled predecessor of
+          a scheduled task is itself a violation;
+        * no two tasks overlap on one processor;
+        * with ``require_deadlines``, finish <= absolute deadline.
+        """
+        out: list[str] = []
+        for name, e in self._entries.items():
+            task = self.graph.task(name)
+            if e.start < task.arrival(1) - EPSILON:
+                out.append(
+                    f"{name}: starts at {e.start} before its arrival {task.arrival(1)}"
+                )
+            expected_finish = e.start + self.platform.effective_wcet(task.wcet)
+            if abs(e.finish - expected_finish) > EPSILON:
+                out.append(
+                    f"{name}: finish {e.finish} != start + wcet = {expected_finish}"
+                )
+            if require_deadlines and e.finish > task.absolute_deadline(1) + EPSILON:
+                out.append(
+                    f"{name}: finishes at {e.finish} after its deadline "
+                    f"{task.absolute_deadline(1)}"
+                )
+            for pred in self.graph.predecessors(name):
+                if pred not in self._entries:
+                    out.append(f"{name}: scheduled before its predecessor {pred}")
+                    continue
+                ep = self._entries[pred]
+                ch = self.graph.channel(pred, name)
+                cost = self.platform.communication_cost(
+                    ep.processor, e.processor, ch.message_size
+                )
+                if e.start < ep.finish + cost - EPSILON:
+                    out.append(
+                        f"{name}: starts at {e.start} before predecessor {pred} "
+                        f"finish {ep.finish} + communication {cost}"
+                    )
+        for p in self.platform.processors:
+            line = self.timeline(p)
+            for a, b in zip(line, line[1:]):
+                if a.overlaps(b):
+                    out.append(f"p{p}: {a} overlaps {b}")
+        return out
+
+    def validate(self, require_deadlines: bool = False) -> None:
+        """Raise :class:`InvalidScheduleError` listing every violation."""
+        v = self.violations(require_deadlines=require_deadlines)
+        if v:
+            raise InvalidScheduleError(v)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def as_table(self) -> str:
+        """Human-readable per-processor Gantt listing."""
+        lines = [f"Schedule of {self.graph.name!r} on m={self.platform.num_processors}"]
+        for p in self.platform.processors:
+            parts = [
+                f"{e.task}[{e.start:g},{e.finish:g}]" for e in self.timeline(p)
+            ]
+            lines.append(f"  p{p}: " + (" ".join(parts) if parts else "(idle)"))
+        if self.is_complete:
+            lines.append(f"  L_max = {self.max_lateness():g}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"Schedule({self.graph.name!r}, placed={len(self._entries)}/"
+            f"{len(self.graph)})"
+        )

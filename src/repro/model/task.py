@@ -1,0 +1,201 @@
+"""Task model: the 4-tuple ``<c_i, phi_i, d_i, T_i>`` of Section 2.2.
+
+A :class:`Task` is the *static* description of a (possibly periodic)
+real-time task.  The *dynamic* behaviour of the ``k``-th invocation is a
+:class:`Job` with absolute arrival time ``a_i^k = phi_i + T_i * (k - 1)``
+and absolute deadline ``D_i^k = a_i^k + d_i``.
+
+The ICPP'97 evaluation schedules a single invocation of each task; the
+periodic attributes are retained for the hyperperiod-unrolling extension
+(:mod:`repro.model.unroll`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Iterator
+
+from ..errors import ModelError
+
+__all__ = ["Task", "Job", "APERIODIC"]
+
+#: Period value denoting a one-shot (aperiodic) task.  One-shot tasks have
+#: exactly one invocation.
+APERIODIC = math.inf
+
+
+@dataclass(frozen=True, slots=True)
+class Task:
+    """Static real-time task parameters.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier within a task graph.
+    wcet:
+        Worst-case execution time ``c_i`` (includes architectural overheads
+        such as cache misses, pipeline hazards, context switches and
+        message (de)packetization, per Section 2.2).  Strictly positive.
+    phase:
+        Phasing ``phi_i``: earliest time of the first invocation, measured
+        from the time origin.  Non-negative.
+    relative_deadline:
+        Relative deadline ``d_i``: each invocation must complete within
+        this amount of time after its arrival.
+    period:
+        Period ``T_i`` between consecutive invocations.  Use
+        :data:`APERIODIC` (the default) for one-shot tasks.  For periodic
+        tasks the paper assumes ``d_i <= T_i`` so that execution windows of
+        consecutive invocations never overlap.
+    """
+
+    name: str
+    wcet: float
+    phase: float = 0.0
+    relative_deadline: float = math.inf
+    period: float = field(default=APERIODIC)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("task name must be a non-empty string")
+        if not (self.wcet > 0) or math.isinf(self.wcet):
+            raise ModelError(
+                f"task {self.name!r}: wcet must be positive and finite, got {self.wcet}"
+            )
+        if self.phase < 0 or math.isinf(self.phase):
+            raise ModelError(
+                f"task {self.name!r}: phase must be finite and >= 0, got {self.phase}"
+            )
+        if self.relative_deadline <= 0:
+            raise ModelError(
+                f"task {self.name!r}: relative deadline must be positive, "
+                f"got {self.relative_deadline}"
+            )
+        if self.period <= 0:
+            raise ModelError(
+                f"task {self.name!r}: period must be positive, got {self.period}"
+            )
+        if self.is_periodic and self.relative_deadline > self.period:
+            raise ModelError(
+                f"task {self.name!r}: the paper requires d_i <= T_i "
+                f"(got d={self.relative_deadline}, T={self.period})"
+            )
+        if self.wcet > self.window_length:
+            raise ModelError(
+                f"task {self.name!r}: wcet {self.wcet} exceeds the execution "
+                f"window length {self.window_length}"
+            )
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def is_periodic(self) -> bool:
+        """Whether the task re-arrives every ``period`` time units."""
+        return not math.isinf(self.period)
+
+    @property
+    def window_length(self) -> float:
+        """Length ``|w_i|`` of each invocation's execution window."""
+        return self.relative_deadline
+
+    def arrival(self, k: int = 1) -> float:
+        """Absolute arrival time ``a_i^k`` of the ``k``-th invocation (1-based)."""
+        self._check_invocation(k)
+        if k == 1:
+            return self.phase
+        return self.phase + self.period * (k - 1)
+
+    def absolute_deadline(self, k: int = 1) -> float:
+        """Absolute deadline ``D_i^k`` of the ``k``-th invocation (1-based)."""
+        return self.arrival(k) + self.relative_deadline
+
+    def job(self, k: int = 1) -> "Job":
+        """Materialize the ``k``-th invocation as a :class:`Job`."""
+        return Job(
+            task=self,
+            index=k,
+            arrival=self.arrival(k),
+            deadline=self.absolute_deadline(k),
+        )
+
+    def jobs_until(self, horizon: float) -> Iterator["Job"]:
+        """Yield every invocation whose arrival falls in ``[0, horizon)``.
+
+        One-shot tasks yield at most one job.  The horizon is exclusive so
+        that iterating until a hyperperiod yields exactly
+        ``hyperperiod / period`` jobs for a zero-phase task.
+        """
+        if horizon <= self.phase:
+            return
+        if not self.is_periodic:
+            yield self.job(1)
+            return
+        k = 1
+        while self.arrival(k) < horizon:
+            yield self.job(k)
+            k += 1
+
+    def with_window(self, arrival: float, deadline: float) -> "Task":
+        """Return a copy whose first invocation has the given window.
+
+        Used by the deadline-assignment pass to stamp sliced windows onto
+        tasks: the phase becomes ``arrival`` and the relative deadline
+        becomes ``deadline - arrival``.
+        """
+        tolerance = 1e-9 * max(1.0, abs(deadline))
+        if deadline - arrival < self.wcet - tolerance:
+            raise ModelError(
+                f"task {self.name!r}: window [{arrival}, {deadline}] shorter "
+                f"than wcet {self.wcet}"
+            )
+        # Guard against float cancellation making the window a hair
+        # shorter than the wcet (e.g. d - (d - c) < c in binary floats).
+        return replace(
+            self,
+            phase=arrival,
+            relative_deadline=max(self.wcet, deadline - arrival),
+        )
+
+    def _check_invocation(self, k: int) -> None:
+        if k < 1:
+            raise ModelError(f"invocation index must be >= 1, got {k}")
+        if k > 1 and not self.is_periodic:
+            raise ModelError(
+                f"task {self.name!r} is one-shot; invocation {k} does not exist"
+            )
+
+    def __str__(self) -> str:
+        per = f", T={self.period}" if self.is_periodic else ""
+        return (
+            f"Task({self.name}: c={self.wcet}, phi={self.phase}, "
+            f"d={self.relative_deadline}{per})"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Job:
+    """One invocation ``tau_i^k`` of a task: the pair ``(a_i^k, D_i^k)``."""
+
+    task: Task
+    index: int
+    arrival: float
+    deadline: float
+
+    @property
+    def name(self) -> str:
+        """Unique job identifier, e.g. ``"sensor#3"`` for invocation 3."""
+        if self.index == 1 and not self.task.is_periodic:
+            return self.task.name
+        return f"{self.task.name}#{self.index}"
+
+    @property
+    def wcet(self) -> float:
+        return self.task.wcet
+
+    def lateness(self, finish_time: float) -> float:
+        """Task lateness ``f - D`` for a given finish time (negative = early)."""
+        return finish_time - self.deadline
+
+    def __str__(self) -> str:
+        return f"Job({self.name}: a={self.arrival}, D={self.deadline}, c={self.wcet})"

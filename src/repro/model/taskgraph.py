@@ -1,0 +1,547 @@
+"""Directed acyclic task graphs ``G = (N, A)`` (Section 2.2).
+
+Nodes carry :class:`~repro.model.task.Task` objects (annotated with the
+computational demand ``c_i``); arcs carry
+:class:`~repro.model.channel.Channel` objects (annotated with the message
+size ``m_ij``).  The graph encodes the irreflexive partial order ``<``:
+``tau_i < tau_j`` iff there is a directed path from ``i`` to ``j``.
+
+The class provides every graph query the scheduler stack needs:
+
+* direct and transitive predecessor/successor sets;
+* input tasks (no predecessors) and output tasks (no successors);
+* deterministic topological orders, including the *depth-first* order
+  used by the ``B_DF`` branching rule and the *level* order used by
+  ``B_BF1``;
+* top/bottom levels in both hop and computation metrics (the
+  computation bottom level is the "task level" of Hou & Shin [4]);
+* structural metrics (depth, width, parallelism) used by the Section 6
+  parallelism experiments.
+
+Derived structures are cached and invalidated on mutation, so queries are
+amortized O(1) after the first call.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable, Iterator, Mapping
+
+from ..errors import CycleError, ModelError, UnknownChannelError, UnknownTaskError
+from .channel import Channel
+from .task import Task
+
+__all__ = ["TaskGraph"]
+
+
+class TaskGraph:
+    """A mutable weighted DAG of tasks and communication channels."""
+
+    def __init__(
+        self,
+        tasks: Iterable[Task] = (),
+        channels: Iterable[Channel] = (),
+        name: str = "taskgraph",
+    ) -> None:
+        self.name = name
+        self._tasks: dict[str, Task] = {}
+        self._channels: dict[tuple[str, str], Channel] = {}
+        self._succ: dict[str, list[str]] = {}
+        self._pred: dict[str, list[str]] = {}
+        self._cache: dict[str, object] = {}
+        for t in tasks:
+            self.add_task(t)
+        for ch in channels:
+            self.add_channel(ch)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_task(self, task: Task) -> Task:
+        """Insert a task node.  Names must be unique."""
+        if task.name in self._tasks:
+            raise ModelError(f"duplicate task name: {task.name!r}")
+        self._tasks[task.name] = task
+        self._succ[task.name] = []
+        self._pred[task.name] = []
+        self._invalidate()
+        return task
+
+    def add_channel(self, channel: Channel) -> Channel:
+        """Insert a precedence arc (with its message annotation).
+
+        Raises :class:`CycleError` immediately if the arc would create a
+        directed cycle, so the graph is a DAG at all times.
+        """
+        src, dst = channel.src, channel.dst
+        if src not in self._tasks:
+            raise UnknownTaskError(src)
+        if dst not in self._tasks:
+            raise UnknownTaskError(dst)
+        if (src, dst) in self._channels:
+            raise ModelError(f"duplicate channel: {src!r} -> {dst!r}")
+        if self._reaches(dst, src):
+            raise CycleError(self._find_path(dst, src) + [dst])
+        self._channels[(src, dst)] = channel
+        self._succ[src].append(dst)
+        self._pred[dst].append(src)
+        self._invalidate()
+        return channel
+
+    def add_edge(self, src: str, dst: str, message_size: float = 0.0) -> Channel:
+        """Convenience wrapper around :meth:`add_channel`."""
+        return self.add_channel(Channel(src=src, dst=dst, message_size=message_size))
+
+    def replace_task(self, task: Task) -> None:
+        """Swap the task object stored under ``task.name`` (arcs unchanged).
+
+        Used by the deadline-assignment pass to stamp execution windows.
+        """
+        if task.name not in self._tasks:
+            raise UnknownTaskError(task.name)
+        self._tasks[task.name] = task
+        self._invalidate()
+
+    def with_tasks(self, tasks: Mapping[str, Task]) -> "TaskGraph":
+        """Return a copy of the graph with some task objects replaced."""
+        for name in tasks:
+            if name not in self._tasks:
+                raise UnknownTaskError(name)
+        new_tasks = [tasks.get(name, t) for name, t in self._tasks.items()]
+        for name, t in zip(self._tasks, new_tasks):
+            if t.name != name:
+                raise ModelError(
+                    f"replacement for {name!r} has a different name: {t.name!r}"
+                )
+        return TaskGraph(new_tasks, self._channels.values(), name=self.name)
+
+    def copy(self) -> "TaskGraph":
+        """Structural copy (tasks and channels are immutable, so shared)."""
+        return TaskGraph(self._tasks.values(), self._channels.values(), name=self.name)
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tasks
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self._tasks.values())
+
+    @property
+    def task_names(self) -> list[str]:
+        """Task names in insertion order (the canonical index order)."""
+        return list(self._tasks)
+
+    @property
+    def tasks(self) -> list[Task]:
+        return list(self._tasks.values())
+
+    @property
+    def channels(self) -> list[Channel]:
+        return list(self._channels.values())
+
+    @property
+    def num_arcs(self) -> int:
+        return len(self._channels)
+
+    def task(self, name: str) -> Task:
+        try:
+            return self._tasks[name]
+        except KeyError:
+            raise UnknownTaskError(name) from None
+
+    def channel(self, src: str, dst: str) -> Channel:
+        try:
+            return self._channels[(src, dst)]
+        except KeyError:
+            raise UnknownChannelError(src, dst) from None
+
+    def has_channel(self, src: str, dst: str) -> bool:
+        return (src, dst) in self._channels
+
+    def successors(self, name: str) -> list[str]:
+        """Direct successors of a task (the ``<.``-successors)."""
+        self._require(name)
+        return list(self._succ[name])
+
+    def predecessors(self, name: str) -> list[str]:
+        """Direct predecessors of a task (the ``<.``-predecessors)."""
+        self._require(name)
+        return list(self._pred[name])
+
+    def in_degree(self, name: str) -> int:
+        self._require(name)
+        return len(self._pred[name])
+
+    def out_degree(self, name: str) -> int:
+        self._require(name)
+        return len(self._succ[name])
+
+    @property
+    def input_tasks(self) -> list[str]:
+        """Tasks with no predecessors (in insertion order)."""
+        return [n for n in self._tasks if not self._pred[n]]
+
+    @property
+    def output_tasks(self) -> list[str]:
+        """Tasks with no successors (in insertion order)."""
+        return [n for n in self._tasks if not self._succ[n]]
+
+    def precedes(self, a: str, b: str) -> bool:
+        """Whether ``a < b`` in the transitive partial order."""
+        self._require(a)
+        self._require(b)
+        return a != b and self._reaches(a, b)
+
+    def ancestors(self, name: str) -> set[str]:
+        """All transitive predecessors of a task."""
+        self._require(name)
+        return self._closure(name, self._pred)
+
+    def descendants(self, name: str) -> set[str]:
+        """All transitive successors of a task."""
+        self._require(name)
+        return self._closure(name, self._succ)
+
+    # ------------------------------------------------------------------
+    # Orders
+    # ------------------------------------------------------------------
+
+    def topological_order(self) -> list[str]:
+        """Deterministic Kahn topological order (insertion-order ties)."""
+        return list(self._cached("topo", self._compute_topological_order))
+
+    def depth_first_order(self) -> list[str]:
+        """Depth-first topological order, the fixed list used by ``B_DF``.
+
+        The traversal starts from the input tasks in insertion order and
+        descends eagerly into successors; a node is emitted as soon as all
+        of its predecessors have been emitted, so the result is always a
+        valid topological order while preserving the depth-first flavour
+        (long chains are emitted contiguously).
+        """
+        return list(self._cached("dfo", self._compute_depth_first_order))
+
+    def level_order(self) -> list[str]:
+        """Breadth-first (level) topological order, used by ``B_BF1``.
+
+        Tasks are sorted by ascending precedence depth (:meth:`top_level_hops`,
+        the task "level" in the sense of Hou & Shin [4]), tie-broken by
+        *descending* computation bottom level (more critical first) and
+        finally by insertion order.
+        """
+        return list(self._cached("lvo", self._compute_level_order))
+
+    # ------------------------------------------------------------------
+    # Levels and paths
+    # ------------------------------------------------------------------
+
+    def top_level_hops(self) -> dict[str, int]:
+        """Longest hop distance from any input task (inputs are level 0)."""
+        return dict(self._cached("tl_hops", self._compute_top_level_hops))
+
+    def bottom_level_hops(self) -> dict[str, int]:
+        """Longest hop distance to any output task (outputs are level 0)."""
+        return dict(self._cached("bl_hops", self._compute_bottom_level_hops))
+
+    def top_level(self, include_comm: bool = True, delay: float = 1.0) -> dict[str, float]:
+        """Longest weighted path from the graph entry *through* each task.
+
+        ``top[i]`` is the length of the heaviest path ending at (and
+        including) ``tau_i``, counting execution times and, when
+        ``include_comm``, message costs at ``delay`` per data item.  Used
+        by the deadline-slicing pass and the critical-path metric.
+        """
+        key = ("top", include_comm, delay)
+        return dict(self._cached(key, lambda: self._compute_top(include_comm, delay)))
+
+    def bottom_level(self, include_comm: bool = True, delay: float = 1.0) -> dict[str, float]:
+        """Longest weighted path from each task (inclusive) to any output."""
+        key = ("bot", include_comm, delay)
+        return dict(self._cached(key, lambda: self._compute_bottom(include_comm, delay)))
+
+    def critical_path_length(self, include_comm: bool = True, delay: float = 1.0) -> float:
+        """Length of the heaviest input-to-output path."""
+        top = self.top_level(include_comm, delay)
+        return max(top.values(), default=0.0)
+
+    def critical_path(self, include_comm: bool = True, delay: float = 1.0) -> list[str]:
+        """One heaviest input-to-output path (deterministic tie-break)."""
+        if not self._tasks:
+            return []
+        top = self.top_level(include_comm, delay)
+        # Walk backwards from the heaviest output task.
+        end = max(self.output_tasks, key=lambda n: (top[n], n))
+        path = [end]
+        cur = end
+        while self._pred[cur]:
+            c = self._tasks[cur].wcet
+            best = None
+            for p in self._pred[cur]:
+                w = c
+                if include_comm:
+                    w += self._channels[(p, cur)].message_size * delay
+                if abs(top[p] + w - top[cur]) < 1e-9:
+                    if best is None or top[p] > top[best]:
+                        best = p
+            if best is None:  # numeric safety: pick heaviest predecessor
+                best = max(self._pred[cur], key=lambda p: top[p])
+            path.append(best)
+            cur = best
+        path.reverse()
+        return path
+
+    def paths_between(self, src: str, dst: str, limit: int = 10_000) -> list[list[str]]:
+        """Enumerate all simple directed paths from ``src`` to ``dst``.
+
+        Bounded by ``limit`` to keep worst-case enumeration in check; a
+        :class:`ModelError` is raised if the bound is hit.
+        """
+        self._require(src)
+        self._require(dst)
+        out: list[list[str]] = []
+        stack: list[tuple[str, list[str]]] = [(src, [src])]
+        while stack:
+            node, path = stack.pop()
+            if node == dst:
+                out.append(path)
+                if len(out) > limit:
+                    raise ModelError(
+                        f"more than {limit} paths between {src!r} and {dst!r}"
+                    )
+                continue
+            for nxt in reversed(self._succ[node]):
+                stack.append((nxt, path + [nxt]))
+        return out
+
+    # ------------------------------------------------------------------
+    # Structural metrics
+    # ------------------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Number of precedence levels (longest hop chain, in nodes)."""
+        if not self._tasks:
+            return 0
+        return max(self.top_level_hops().values()) + 1
+
+    def level_widths(self) -> list[int]:
+        """Number of tasks at each precedence depth (index = level)."""
+        hops = self.top_level_hops()
+        widths = [0] * self.depth
+        for lvl in hops.values():
+            widths[lvl] += 1
+        return widths
+
+    @property
+    def width(self) -> int:
+        """Maximum number of tasks at one precedence level.
+
+        A cheap upper proxy for exploitable parallelism, used by the
+        Section 6 parallelism sweep.
+        """
+        return max(self.level_widths(), default=0)
+
+    def parallelism(self) -> float:
+        """Average parallelism: total work / critical-path work.
+
+        Computed on execution times only (communication excluded), the
+        classical definition.
+        """
+        total = self.total_workload
+        cp = self.critical_path_length(include_comm=False)
+        return total / cp if cp > 0 else 0.0
+
+    @property
+    def total_workload(self) -> float:
+        """Accumulated task-graph workload: the sum of all execution times."""
+        return sum(t.wcet for t in self._tasks.values())
+
+    @property
+    def total_message_volume(self) -> float:
+        return sum(ch.message_size for ch in self._channels.values())
+
+    def communication_to_computation_ratio(self, delay: float = 1.0) -> float:
+        """Realized CCR: mean message cost over mean execution time."""
+        if not self._channels or not self._tasks:
+            return 0.0
+        mean_msg = self.total_message_volume * delay / len(self._channels)
+        mean_exec = self.total_workload / len(self._tasks)
+        return mean_msg / mean_exec if mean_exec > 0 else 0.0
+
+    def validate(self) -> None:
+        """Re-check every structural invariant (acyclicity, consistency)."""
+        order = self.topological_order()  # raises CycleError on a cycle
+        if len(order) != len(self._tasks):
+            raise CycleError()
+        for (src, dst), ch in self._channels.items():
+            if ch.src != src or ch.dst != dst:
+                raise ModelError(f"channel stored under wrong key: {ch}")
+            if src not in self._tasks or dst not in self._tasks:
+                raise ModelError(f"dangling channel: {ch}")
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _require(self, name: str) -> None:
+        if name not in self._tasks:
+            raise UnknownTaskError(name)
+
+    def _invalidate(self) -> None:
+        self._cache.clear()
+
+    def _cached(self, key: object, compute: Callable[[], object]) -> object:
+        if key not in self._cache:
+            self._cache[key] = compute()
+        return self._cache[key]
+
+    def _reaches(self, a: str, b: str) -> bool:
+        """Whether there is a directed path from ``a`` to ``b`` (a == b counts)."""
+        if a == b:
+            return True
+        seen = {a}
+        stack = [a]
+        while stack:
+            node = stack.pop()
+            for nxt in self._succ[node]:
+                if nxt == b:
+                    return True
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return False
+
+    def _find_path(self, a: str, b: str) -> list[str]:
+        """One directed path from ``a`` to ``b`` (assumes it exists)."""
+        parent: dict[str, str] = {}
+        stack = [a]
+        seen = {a}
+        while stack:
+            node = stack.pop()
+            if node == b:
+                break
+            for nxt in self._succ[node]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    parent[nxt] = node
+                    stack.append(nxt)
+        path = [b]
+        while path[-1] != a:
+            path.append(parent[path[-1]])
+        path.reverse()
+        return path
+
+    def _closure(self, name: str, adj: dict[str, list[str]]) -> set[str]:
+        out: set[str] = set()
+        stack = list(adj[name])
+        while stack:
+            node = stack.pop()
+            if node not in out:
+                out.add(node)
+                stack.extend(adj[node])
+        return out
+
+    def _compute_topological_order(self) -> list[str]:
+        indeg = {n: len(self._pred[n]) for n in self._tasks}
+        queue = deque(n for n in self._tasks if indeg[n] == 0)
+        order: list[str] = []
+        while queue:
+            node = queue.popleft()
+            order.append(node)
+            for nxt in self._succ[node]:
+                indeg[nxt] -= 1
+                if indeg[nxt] == 0:
+                    queue.append(nxt)
+        if len(order) != len(self._tasks):
+            raise CycleError()
+        return order
+
+    def _compute_depth_first_order(self) -> list[str]:
+        emitted: set[str] = set()
+        order: list[str] = []
+        remaining_preds = {n: len(self._pred[n]) for n in self._tasks}
+
+        def emit_chain(start: str) -> None:
+            # Emit `start`, then eagerly descend into its first now-ready
+            # successor, depth-first.
+            stack = [start]
+            while stack:
+                node = stack.pop()
+                if node in emitted or remaining_preds[node] > 0:
+                    continue
+                emitted.add(node)
+                order.append(node)
+                ready_children = []
+                for nxt in self._succ[node]:
+                    remaining_preds[nxt] -= 1
+                    if remaining_preds[nxt] == 0:
+                        ready_children.append(nxt)
+                # LIFO stack: push in reverse so the first child is
+                # explored first (depth-first).
+                for nxt in reversed(ready_children):
+                    stack.append(nxt)
+
+        for root in self.input_tasks:
+            emit_chain(root)
+        if len(order) != len(self._tasks):
+            raise CycleError()
+        return order
+
+    def _compute_level_order(self) -> list[str]:
+        hops = self.top_level_hops()
+        bot = self.bottom_level(include_comm=False)
+        index = {n: i for i, n in enumerate(self._tasks)}
+        return sorted(self._tasks, key=lambda n: (hops[n], -bot[n], index[n]))
+
+    def _compute_top_level_hops(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for node in self.topological_order():
+            preds = self._pred[node]
+            out[node] = 1 + max(out[p] for p in preds) if preds else 0
+        return out
+
+    def _compute_bottom_level_hops(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for node in reversed(self.topological_order()):
+            succs = self._succ[node]
+            out[node] = 1 + max(out[s] for s in succs) if succs else 0
+        return out
+
+    def _compute_top(self, include_comm: bool, delay: float) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for node in self.topological_order():
+            c = self._tasks[node].wcet
+            best = 0.0
+            for p in self._pred[node]:
+                w = out[p]
+                if include_comm:
+                    w += self._channels[(p, node)].message_size * delay
+                best = max(best, w)
+            out[node] = best + c
+        return out
+
+    def _compute_bottom(self, include_comm: bool, delay: float) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for node in reversed(self.topological_order()):
+            c = self._tasks[node].wcet
+            best = 0.0
+            for s in self._succ[node]:
+                w = out[s]
+                if include_comm:
+                    w += self._channels[(node, s)].message_size * delay
+                best = max(best, w)
+            out[node] = best + c
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"TaskGraph({self.name!r}, n={len(self._tasks)}, "
+            f"arcs={len(self._channels)})"
+        )

@@ -1,0 +1,148 @@
+"""Hyperperiod unrolling of periodic task graphs.
+
+The paper's task model (Section 2.2) is periodic — each task has a phase
+``phi_i`` and period ``T_i`` — but the evaluation schedules a single
+invocation of each task.  This module provides the natural extension: the
+expansion of a periodic task graph into a *job-level* DAG over one
+hyperperiod, so the single-shot B&B machinery applies unchanged to
+periodic workloads.
+
+Unrolling semantics:
+
+* invocation ``k`` of task ``tau_i`` becomes job node ``tau_i#k`` with a
+  one-shot window ``[a_i^k, D_i^k]``;
+* each channel ``tau_i -> tau_j`` connects same-index invocations when the
+  producer and consumer share a rate, and rate-transition invocations
+  otherwise (a consumer job depends on the latest producer job whose
+  window closes no later than the consumer's arrival — the standard
+  deterministic rate-transition rule);
+* because ``d_i <= T_i``, windows of consecutive invocations of one task
+  never overlap; an explicit zero-message precedence chain
+  ``tau_i#k -> tau_i#(k+1)`` enforces invocation order.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import reduce
+
+from ..errors import ModelError
+from .channel import Channel
+from .task import Task
+from .taskgraph import TaskGraph
+
+__all__ = ["hyperperiod", "unroll"]
+
+
+def _lcm_float(values: list[float], resolution: float) -> float:
+    """LCM of float periods on a fixed resolution grid."""
+    ints = []
+    for v in values:
+        scaled = round(v / resolution)
+        if scaled <= 0 or abs(scaled * resolution - v) > resolution * 1e-6:
+            raise ModelError(
+                f"period {v} is not representable at resolution {resolution}"
+            )
+        ints.append(scaled)
+    return reduce(math.lcm, ints, 1) * resolution
+
+
+def hyperperiod(graph: TaskGraph, resolution: float = 1e-6) -> float:
+    """Least common multiple of the periodic tasks' periods.
+
+    One-shot tasks contribute nothing.  Returns 0 when no task is
+    periodic (a pure one-shot graph needs no unrolling).
+    """
+    periods = [t.period for t in graph if t.is_periodic]
+    if not periods:
+        return 0.0
+    return _lcm_float(periods, resolution)
+
+
+def unroll(
+    graph: TaskGraph,
+    horizon: float | None = None,
+    resolution: float = 1e-6,
+    chain_invocations: bool = True,
+) -> TaskGraph:
+    """Expand a periodic task graph into a one-shot job-level DAG.
+
+    Parameters
+    ----------
+    graph:
+        Source graph; may mix periodic and one-shot tasks.
+    horizon:
+        Unrolling horizon.  Defaults to one hyperperiod (starting at time
+        0).  Every invocation arriving strictly before the horizon is
+        instantiated.
+    resolution:
+        Time grid used to compute the hyperperiod of float periods.
+    chain_invocations:
+        Whether to add the zero-message ``#k -> #(k+1)`` precedence chain
+        between consecutive invocations of the same task.
+    """
+    if horizon is None:
+        horizon = hyperperiod(graph, resolution)
+        if horizon == 0.0:
+            return graph.copy()
+        horizon = max(horizon, max(t.phase for t in graph) + resolution)
+    if horizon <= 0:
+        raise ModelError(f"unrolling horizon must be positive, got {horizon}")
+
+    out = TaskGraph(name=f"{graph.name}@unrolled")
+    jobs_of: dict[str, list[tuple[str, float, float]]] = {}
+
+    for task in graph:
+        jobs = []
+        for job in task.jobs_until(horizon):
+            node = Task(
+                name=job.name,
+                wcet=task.wcet,
+                phase=job.arrival,
+                relative_deadline=job.deadline - job.arrival,
+            )
+            out.add_task(node)
+            jobs.append((job.name, job.arrival, job.deadline))
+        if not jobs:
+            raise ModelError(
+                f"task {task.name!r} has no invocation before horizon {horizon}"
+            )
+        jobs_of[task.name] = jobs
+
+    if chain_invocations:
+        for jobs in jobs_of.values():
+            for (a, _, _), (b, _, _) in zip(jobs, jobs[1:]):
+                out.add_edge(a, b, message_size=0.0)
+
+    for ch in graph.channels:
+        src_task = graph.task(ch.src)
+        dst_task = graph.task(ch.dst)
+        src_jobs = jobs_of[ch.src]
+        dst_jobs = jobs_of[ch.dst]
+        if src_task.period == dst_task.period:
+            # Same-rate pipeline: invocation k feeds invocation k.
+            for (src_name, _, _), (dst_name, _, _) in zip(src_jobs, dst_jobs):
+                if not out.has_channel(src_name, dst_name):
+                    out.add_channel(
+                        Channel(
+                            src=src_name, dst=dst_name, message_size=ch.message_size
+                        )
+                    )
+            continue
+        for dst_name, dst_arrival, _ in dst_jobs:
+            # Rate transition: the consumer invocation reads the freshest
+            # producer invocation whose window opened by the consumer's
+            # arrival (at least the first producer invocation).
+            chosen = src_jobs[0][0]
+            for src_name, src_arrival, _ in src_jobs:
+                if src_arrival <= dst_arrival + 1e-12:
+                    chosen = src_name
+                else:
+                    break
+            if not out.has_channel(chosen, dst_name):
+                out.add_channel(
+                    Channel(
+                        src=chosen, dst=dst_name, message_size=ch.message_size
+                    )
+                )
+    return out

@@ -1,0 +1,42 @@
+"""Polynomial-time scheduling substrate.
+
+Implements the paper's Section 4.3 non-preemptive list-scheduling
+operation, the Section 4.4 greedy EDF baseline/upper-bound generator, and
+additional list-scheduling heuristics used by the ablation benchmarks.
+"""
+
+from .edf import edf_schedule
+from .heuristics import (
+    HEURISTICS,
+    best_heuristic_schedule,
+    depth_first_schedule,
+    hlfet_schedule,
+    least_laxity_schedule,
+    level_order_schedule,
+    random_order_schedule,
+)
+from .preemptive import PreemptiveResult, Slice, preemptive_edf
+from .listsched import (
+    HeuristicResult,
+    SchedulingState,
+    best_processor,
+    schedule_in_order,
+)
+
+__all__ = [
+    "HEURISTICS",
+    "HeuristicResult",
+    "PreemptiveResult",
+    "Slice",
+    "SchedulingState",
+    "best_heuristic_schedule",
+    "best_processor",
+    "depth_first_schedule",
+    "edf_schedule",
+    "hlfet_schedule",
+    "least_laxity_schedule",
+    "level_order_schedule",
+    "preemptive_edf",
+    "random_order_schedule",
+    "schedule_in_order",
+]

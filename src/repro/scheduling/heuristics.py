@@ -1,0 +1,151 @@
+"""Additional polynomial-time list-scheduling baselines.
+
+These are not part of the paper's evaluation (which uses only EDF as the
+greedy reference), but they exercise the same Section 4.3 scheduling
+operation and are used by the upper-bound ablation benchmarks: the
+quality of the initial upper bound ``U`` strongly affects B&B pruning
+(Section 6 reports a >200% improvement from seeding with a greedy
+solution).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from ..model.compile import CompiledProblem
+from .edf import edf_schedule
+from .listsched import HeuristicResult, SchedulingState, best_processor, schedule_in_order
+
+__all__ = [
+    "hlfet_schedule",
+    "least_laxity_schedule",
+    "depth_first_schedule",
+    "level_order_schedule",
+    "random_order_schedule",
+    "best_heuristic_schedule",
+    "HEURISTICS",
+]
+
+
+def hlfet_schedule(problem: CompiledProblem) -> HeuristicResult:
+    """Highest-Level-First (HLFET-style) list scheduling.
+
+    Priority = computation bottom level (longest execution-time path to
+    an output task); ready task with the highest level goes first, on the
+    earliest-start processor.
+    """
+    graph = problem.graph
+    bot = graph.bottom_level(include_comm=False)
+    level = [bot[name] for name in problem.names]
+    state = SchedulingState(problem)
+    order: list[int] = []
+    for _ in range(problem.n):
+        ready = state.ready_tasks()
+        task = max(ready, key=lambda i: (level[i], -problem.arrival[i], -i))
+        proc, _ = best_processor(state, task)
+        state.place(task, proc)
+        order.append(task)
+    return HeuristicResult(
+        problem=problem,
+        proc_of=tuple(state.proc_of),
+        start=tuple(state.start),
+        finish=tuple(state.finish),
+        max_lateness=state.max_lateness(),
+        order=tuple(order),
+    )
+
+
+def least_laxity_schedule(problem: CompiledProblem) -> HeuristicResult:
+    """Least-laxity-first: ready task with the smallest D_i - now - c_i.
+
+    "now" is approximated by the task's earliest possible start over all
+    processors, so the rule adapts to the partially built schedule.
+    """
+    state = SchedulingState(problem)
+    order: list[int] = []
+    for _ in range(problem.n):
+        ready = state.ready_tasks()
+        best_task, best_key, best_proc = -1, None, 0
+        for i in ready:
+            proc, s = best_processor(state, i)
+            laxity = problem.deadline[i] - s - problem.wcet[i]
+            key = (laxity, problem.deadline[i], i)
+            if best_key is None or key < best_key:
+                best_task, best_key, best_proc = i, key, proc
+        state.place(best_task, best_proc)
+        order.append(best_task)
+    return HeuristicResult(
+        problem=problem,
+        proc_of=tuple(state.proc_of),
+        start=tuple(state.start),
+        finish=tuple(state.finish),
+        max_lateness=state.max_lateness(),
+        order=tuple(order),
+    )
+
+
+def depth_first_schedule(problem: CompiledProblem) -> HeuristicResult:
+    """Schedule tasks in the fixed depth-first topological order.
+
+    The greedy analogue of branching rule ``B_DF`` (the search over
+    processor assignments collapsed to earliest-start placement).
+    """
+    order = [problem.index[name] for name in problem.graph.depth_first_order()]
+    return schedule_in_order(problem, order)
+
+
+def level_order_schedule(problem: CompiledProblem) -> HeuristicResult:
+    """Schedule tasks in the fixed breadth-first (level) order.
+
+    The greedy analogue of branching rule ``B_BF1``.
+    """
+    order = [problem.index[name] for name in problem.graph.level_order()]
+    return schedule_in_order(problem, order)
+
+
+def random_order_schedule(
+    problem: CompiledProblem, rng: random.Random | None = None
+) -> HeuristicResult:
+    """Schedule tasks in a random topological order (earliest-start procs).
+
+    Useful as a noise floor in upper-bound ablations.
+    """
+    rng = rng or random.Random(0)
+    state = SchedulingState(problem)
+    order: list[int] = []
+    for _ in range(problem.n):
+        ready = state.ready_tasks()
+        task = rng.choice(ready)
+        proc, _ = best_processor(state, task)
+        state.place(task, proc)
+        order.append(task)
+    return HeuristicResult(
+        problem=problem,
+        proc_of=tuple(state.proc_of),
+        start=tuple(state.start),
+        finish=tuple(state.finish),
+        max_lateness=state.max_lateness(),
+        order=tuple(order),
+    )
+
+
+#: Registry of deterministic heuristics by name.
+HEURISTICS: dict[str, Callable[[CompiledProblem], HeuristicResult]] = {
+    "edf": edf_schedule,
+    "hlfet": hlfet_schedule,
+    "least-laxity": least_laxity_schedule,
+    "depth-first": depth_first_schedule,
+    "level-order": level_order_schedule,
+}
+
+
+def best_heuristic_schedule(problem: CompiledProblem) -> HeuristicResult:
+    """Run every registered heuristic and keep the best (lowest lateness).
+
+    A cheap way to seed the B&B with a tighter upper bound than EDF
+    alone; Kohler & Steiglitz prove one cannot lose by starting from a
+    better initial solution.
+    """
+    results = [h(problem) for h in HEURISTICS.values()]
+    return min(results, key=lambda r: r.max_lateness)

@@ -1,0 +1,182 @@
+"""The non-preemptive list-scheduling operation (Section 4.3).
+
+The processor scheduling strategy assumed throughout the paper is
+time-driven and non-preemptive: a new task is placed on a processor at
+the earliest time that is
+
+* no earlier than its arrival time,
+* no earlier than each scheduled predecessor's finish time plus the
+  interprocessor message cost (zero when co-located), and
+* no earlier than the finish of **every task previously scheduled on that
+  processor** (tasks are appended; the operation never back-fills gaps).
+
+The append-only third condition is what makes the operation
+*non-commutative*: the order in which tasks are handed to the scheduler
+changes the result, which is why the B&B search must consider schedule
+orderings and not only assignments.
+
+This module provides a mutable :class:`SchedulingState` used by the
+greedy heuristics (the B&B keeps its own immutable state in
+:mod:`repro.core.state`) and a generic priority-list scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from ..errors import ModelError
+from ..model.compile import CompiledProblem
+from ..model.schedule import Schedule
+
+__all__ = [
+    "SchedulingState",
+    "HeuristicResult",
+    "best_processor",
+    "schedule_in_order",
+]
+
+
+class SchedulingState(object):
+    """Mutable partial schedule for greedy construction.
+
+    Tracks task placements, per-processor availability (finish time of
+    the last appended task) and the ready set via predecessor-remaining
+    counters.
+    """
+
+    __slots__ = ("problem", "proc_of", "start", "finish", "avail", "n_placed", "_npred")
+
+    def __init__(self, problem: CompiledProblem) -> None:
+        self.problem = problem
+        self.proc_of = [-1] * problem.n
+        self.start = [0.0] * problem.n
+        self.finish = [0.0] * problem.n
+        self.avail = [0.0] * problem.m
+        self.n_placed = 0
+        self._npred = [len(problem.pred_edges[i]) for i in range(problem.n)]
+
+    # -- queries --------------------------------------------------------
+
+    def is_ready(self, task: int) -> bool:
+        """All direct predecessors placed and the task itself not placed."""
+        return self.proc_of[task] < 0 and self._npred[task] == 0
+
+    def ready_tasks(self) -> list[int]:
+        return [i for i in range(self.problem.n) if self.is_ready(i)]
+
+    @property
+    def is_complete(self) -> bool:
+        return self.n_placed == self.problem.n
+
+    def earliest_start(self, task: int, proc: int) -> float:
+        """Earliest start of a ready task on one processor."""
+        return self.problem.earliest_start(
+            task, proc, self.proc_of, self.finish, self.avail[proc]
+        )
+
+    def max_lateness(self) -> float:
+        """Max lateness over placed tasks (-inf when empty)."""
+        best = float("-inf")
+        d = self.problem.deadline
+        for i in range(self.problem.n):
+            if self.proc_of[i] >= 0:
+                lat = self.finish[i] - d[i]
+                if lat > best:
+                    best = lat
+        return best
+
+    # -- mutation ---------------------------------------------------------
+
+    def place(self, task: int, proc: int) -> float:
+        """Append a ready task to a processor; returns its start time."""
+        if not self.is_ready(task):
+            raise ModelError(
+                f"task {self.problem.names[task]!r} is not ready "
+                "(already placed or has unplaced predecessors)"
+            )
+        s = self.earliest_start(task, proc)
+        f = s + self.problem.wcet[task]
+        self.proc_of[task] = proc
+        self.start[task] = s
+        self.finish[task] = f
+        self.avail[proc] = f
+        self.n_placed += 1
+        for j, _ in self.problem.succ_edges[task]:
+            self._npred[j] -= 1
+        return s
+
+    def to_schedule(self) -> Schedule:
+        return self.problem.make_schedule(self.proc_of, self.start)
+
+
+@dataclass(frozen=True)
+class HeuristicResult:
+    """Outcome of a polynomial-time scheduling heuristic."""
+
+    problem: CompiledProblem
+    proc_of: tuple[int, ...]
+    start: tuple[float, ...]
+    finish: tuple[float, ...]
+    max_lateness: float
+    #: Order in which tasks were handed to the scheduling operation.
+    order: tuple[int, ...]
+
+    def to_schedule(self) -> Schedule:
+        return self.problem.make_schedule(self.proc_of, self.start)
+
+    @property
+    def is_feasible(self) -> bool:
+        """Whether every deadline is met (``L_max <= 0``)."""
+        return self.max_lateness <= 0.0
+
+
+def best_processor(state: SchedulingState, task: int) -> tuple[int, float]:
+    """Processor yielding the earliest start for a ready task.
+
+    Ties are broken toward the lowest processor index, which keeps the
+    heuristics deterministic.
+    """
+    best_p, best_s = 0, float("inf")
+    for p in range(state.problem.m):
+        s = state.earliest_start(task, p)
+        if s < best_s:
+            best_p, best_s = p, s
+    return best_p, best_s
+
+
+ProcessorRule = Callable[[SchedulingState, int], tuple[int, float]]
+
+
+def schedule_in_order(
+    problem: CompiledProblem,
+    order: Iterable[int],
+    processor_rule: ProcessorRule = best_processor,
+) -> HeuristicResult:
+    """Feed tasks to the scheduling operation in a fixed permutation.
+
+    ``order`` must be a topological permutation of all task indices; the
+    processor for each task is chosen by ``processor_rule`` (default:
+    earliest start).  This is the engine behind the priority-list
+    baselines and the ``B_DF``/``B_BF1`` intuition.
+    """
+    state = SchedulingState(problem)
+    order = list(order)
+    if sorted(order) != list(range(problem.n)):
+        raise ModelError("order must be a permutation of all task indices")
+    for task in order:
+        if not state.is_ready(task):
+            raise ModelError(
+                f"order is not topological: task {problem.names[task]!r} "
+                "reached before its predecessors"
+            )
+        proc, _ = processor_rule(state, task)
+        state.place(task, proc)
+    return HeuristicResult(
+        problem=problem,
+        proc_of=tuple(state.proc_of),
+        start=tuple(state.start),
+        finish=tuple(state.finish),
+        max_lateness=state.max_lateness(),
+        order=tuple(order),
+    )

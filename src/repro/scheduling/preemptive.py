@@ -1,0 +1,210 @@
+"""Preemptive single-machine scheduling (Baker et al. [12]).
+
+The paper's related-work pivot: the B&B algorithms of Peng & Shin [1]
+and Hou & Shin [4] rely on the *commutative* optimal preemptive
+uniprocessor strategy of Baker, Lawler, Lenstra and Rinnooy Kan —
+"Preemptive Scheduling of a Single Machine to Minimize Maximum Cost
+Subject to Release Dates and Precedence Constraints" (Oper. Res. 1983).
+Our paper deliberately moves to a *non-preemptive, non-commutative*
+operation (context switches are not free and the single-machine
+non-preemptive problem is NP-complete), which is why its search must
+consider schedule orderings.
+
+This module implements the [12] strategy for maximum lateness so the
+two worlds can be compared:
+
+* release times and deadlines are made precedence-consistent
+  (``r'_j = max(r_j, max_pred r'_p)``;
+  ``d'_j = min(d_j, min_succ d'_s)``), after which preemptive EDF over
+  the modified dates is optimal for ``1 | pmtn, prec, r_j | L_max``;
+* the resulting schedule is a list of execution *slices* per task
+  (tasks may be split across slices — that is the point of preemption).
+
+Because it is a relaxation of the non-preemptive single-processor
+problem (every non-preemptive schedule is a preemptive one), its
+``L_max`` lower-bounds the non-preemptive single-machine optimum — a
+property the test suite checks against the B&B.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+
+from ..errors import ModelError
+from ..model.taskgraph import TaskGraph
+
+__all__ = ["Slice", "PreemptiveResult", "preemptive_edf"]
+
+
+@dataclass(frozen=True, slots=True)
+class Slice:
+    """One contiguous execution interval of one task."""
+
+    task: str
+    start: float
+    end: float
+
+    @property
+    def length(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class PreemptiveResult:
+    """Outcome of the preemptive single-machine schedule."""
+
+    slices: tuple[Slice, ...]
+    finish: dict[str, float]
+    max_lateness: float
+    #: Number of preemptions (a task resumed after being interrupted).
+    preemptions: int
+
+    def slices_of(self, task: str) -> list[Slice]:
+        return [s for s in self.slices if s.task == task]
+
+    def validate(self, graph: TaskGraph) -> None:
+        """Check machine exclusivity, work conservation and precedence."""
+        problems: list[str] = []
+        for a, b in zip(self.slices, self.slices[1:]):
+            if b.start < a.end - 1e-9:
+                problems.append(f"slices overlap: {a} / {b}")
+        for task in graph:
+            total = sum(s.length for s in self.slices_of(task.name))
+            if abs(total - task.wcet) > 1e-6:
+                problems.append(
+                    f"{task.name}: executed {total}, wcet {task.wcet}"
+                )
+            first = min(
+                (s.start for s in self.slices_of(task.name)), default=None
+            )
+            if first is not None and first < task.arrival(1) - 1e-9:
+                problems.append(f"{task.name}: starts before release")
+        for ch in graph.channels:
+            pred_finish = self.finish[ch.src]
+            succ_start = min(s.start for s in self.slices_of(ch.dst))
+            if succ_start < pred_finish - 1e-9:
+                problems.append(
+                    f"{ch.dst} starts at {succ_start} before predecessor "
+                    f"{ch.src} completes at {pred_finish}"
+                )
+        if problems:
+            raise ModelError("invalid preemptive schedule: " + "; ".join(problems))
+
+
+def _modified_dates(graph: TaskGraph) -> tuple[dict[str, float], dict[str, float]]:
+    release: dict[str, float] = {}
+    deadline: dict[str, float] = {}
+    topo = graph.topological_order()
+    for name in topo:
+        t = graph.task(name)
+        r = t.arrival(1)
+        for p in graph.predecessors(name):
+            r = max(r, release[p])
+        release[name] = r
+    for name in reversed(topo):
+        t = graph.task(name)
+        d = t.absolute_deadline(1)
+        for s in graph.successors(name):
+            d = min(d, deadline[s])
+        deadline[name] = d
+    return release, deadline
+
+
+def preemptive_edf(graph: TaskGraph) -> PreemptiveResult:
+    """Optimal preemptive single-machine schedule minimizing ``L_max``.
+
+    Communication costs are irrelevant on one machine (shared-memory
+    communication is free in the paper's model), so channel weights are
+    ignored.  Lateness is measured against the *original* deadlines; the
+    modified dates only steer EDF.
+    """
+    if len(graph) == 0:
+        raise ModelError("cannot schedule an empty graph")
+    release, mod_deadline = _modified_dates(graph)
+    topo_pos = {n: i for i, n in enumerate(graph.topological_order())}
+    remaining = {t.name: t.wcet for t in graph}
+    unfinished_preds = {n: graph.in_degree(n) for n in graph.task_names}
+    finish: dict[str, float] = {}
+    slices: list[Slice] = []
+    preemptions = 0
+    started: set[str] = set()
+
+    # Ready heap keyed by (modified deadline, topo position) — the topo
+    # tie-break keeps EDF precedence-consistent when dates tie.
+    ready: list[tuple[float, int, str]] = []
+    # Tasks whose predecessors are complete, waiting for their release.
+    pending: list[tuple[float, int, str]] = []
+    for n in graph.input_tasks:
+        heapq.heappush(pending, (release[n], topo_pos[n], n))
+
+    clock = 0.0
+    current: str | None = None
+    current_start = 0.0
+
+    def cut_current(now: float) -> None:
+        nonlocal current
+        if current is not None and now > current_start + 1e-15:
+            slices.append(Slice(task=current, start=current_start, end=now))
+        current = None
+
+    while ready or pending or current is not None:
+        # Move released tasks into the ready heap.
+        while pending and pending[0][0] <= clock + 1e-12:
+            _, pos, name = heapq.heappop(pending)
+            heapq.heappush(ready, (mod_deadline[name], pos, name))
+        if current is None and not ready:
+            if not pending:
+                break
+            clock = pending[0][0]
+            continue
+
+        # Preempt if a strictly more urgent task became ready.
+        if current is not None and ready and ready[0][:2] < (
+            mod_deadline[current],
+            topo_pos[current],
+        ):
+            interrupted = current
+            cut_current(clock)  # clears `current`
+            preemptions += 1
+            heapq.heappush(
+                ready,
+                (mod_deadline[interrupted], topo_pos[interrupted], interrupted),
+            )
+        if current is None:
+            _, _, name = heapq.heappop(ready)
+            if name in started:
+                pass  # resuming after preemption
+            started.add(name)
+            current = name
+            current_start = clock
+
+        # Run until the task completes or the next release arrives.
+        completion = clock + remaining[current]
+        next_release = pending[0][0] if pending else math.inf
+        if completion <= next_release + 1e-12:
+            done = current
+            clock = completion
+            remaining[done] = 0.0
+            cut_current(clock)
+            finish[done] = clock
+            for s in graph.successors(done):
+                unfinished_preds[s] -= 1
+                if unfinished_preds[s] == 0:
+                    heapq.heappush(
+                        pending, (max(release[s], clock), topo_pos[s], s)
+                    )
+        else:
+            remaining[current] -= next_release - clock
+            clock = next_release
+
+    lateness = max(
+        finish[t.name] - t.absolute_deadline(1) for t in graph
+    )
+    return PreemptiveResult(
+        slices=tuple(slices),
+        finish=finish,
+        max_lateness=lateness,
+        preemptions=preemptions,
+    )

@@ -1,0 +1,41 @@
+"""Workload generation: random task graphs and deadline assignment.
+
+Implements Sections 4.1 (the random task-graph generator) and 4.2 (the
+end-to-end deadline slicing of [16]), plus canned suites for every
+experiment.
+"""
+
+from .deadline import (
+    DeadlineAssignment,
+    assign_deadlines,
+    assign_deadlines_detailed,
+    end_to_end_deadline,
+)
+from .generator import generate_batch, generate_task_graph
+from .spec import PAPER_SPEC, IntRange, WorkloadSpec
+from .suites import (
+    ccr_suite,
+    paper_spec,
+    parallelism_suite,
+    scaled_spec,
+    spec_for_profile,
+    tiny_spec,
+)
+
+__all__ = [
+    "DeadlineAssignment",
+    "IntRange",
+    "PAPER_SPEC",
+    "WorkloadSpec",
+    "assign_deadlines",
+    "assign_deadlines_detailed",
+    "ccr_suite",
+    "end_to_end_deadline",
+    "generate_batch",
+    "generate_task_graph",
+    "paper_spec",
+    "parallelism_suite",
+    "scaled_spec",
+    "spec_for_profile",
+    "tiny_spec",
+]

@@ -1,0 +1,158 @@
+"""Random task-graph generator (Section 4.1).
+
+Generates layered DAGs honouring a :class:`~repro.workload.spec.WorkloadSpec`:
+
+1. draw the task count and precedence depth, then place one task per
+   level and scatter the remainder over levels at random;
+2. draw execution times from the uniform jitter window around the mean;
+3. wire a *backbone* — every task beyond level 0 gets one predecessor on
+   the previous level, so the realized depth equals the drawn depth — and
+   give every non-terminal task at least one successor;
+4. top up in-degrees to a per-task target drawn from the fan range,
+   respecting the fan cap on out-degrees where possible (the paper's
+   "number of successors/predecessors chosen at random in the range 1-3");
+5. draw message sizes so the realized CCR matches the spec;
+6. optionally run the deadline-slicing pass so every task carries an
+   arrival time and an absolute deadline.
+
+All randomness flows through one ``random.Random`` seeded by the caller,
+so workloads are fully reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import GenerationError
+from ..model.channel import Channel
+from ..model.task import Task
+from ..model.taskgraph import TaskGraph
+from .deadline import assign_deadlines
+from .spec import WorkloadSpec
+
+__all__ = ["generate_task_graph", "generate_batch"]
+
+
+def _rng_of(seed) -> random.Random:
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def _place_levels(spec: WorkloadSpec, rng: random.Random) -> list[int]:
+    """Return tasks-per-level counts realizing the drawn size and depth."""
+    n = rng.randint(*spec.num_tasks)
+    d = rng.randint(*spec.depth)
+    if d > n:
+        d = n
+    counts = [1] * d
+    for _ in range(n - d):
+        counts[rng.randrange(d)] += 1
+    return counts
+
+
+def generate_task_graph(
+    spec: WorkloadSpec = WorkloadSpec(),
+    seed: int | random.Random = 0,
+    name: str | None = None,
+    assign_windows: bool = True,
+) -> TaskGraph:
+    """Generate one random task graph (optionally with sliced deadlines)."""
+    rng = _rng_of(seed)
+    counts = _place_levels(spec, rng)
+    depth = len(counts)
+    graph_name = name or (
+        f"{spec.name}-s{seed}" if isinstance(seed, int) else spec.name
+    )
+    graph = TaskGraph(name=graph_name)
+
+    lo_c, hi_c = spec.wcet_bounds
+    levels: list[list[str]] = []
+    idx = 0
+    for lvl, count in enumerate(counts):
+        row = []
+        for _ in range(count):
+            tname = f"t{idx:02d}"
+            graph.add_task(Task(name=tname, wcet=rng.uniform(lo_c, hi_c)))
+            row.append(tname)
+            idx += 1
+        levels.append(row)
+
+    fan_lo, fan_hi = spec.fan
+    out_deg: dict[str, int] = {t: 0 for t in graph.task_names}
+    in_deg: dict[str, int] = {t: 0 for t in graph.task_names}
+    edges: list[tuple[str, str]] = []
+
+    def connect(src: str, dst: str) -> None:
+        edges.append((src, dst))
+        out_deg[src] += 1
+        in_deg[dst] += 1
+
+    # Backbone: keeps the realized depth equal to the drawn depth.
+    for lvl in range(1, depth):
+        for dst in levels[lvl]:
+            candidates = [s for s in levels[lvl - 1] if out_deg[s] < fan_hi]
+            pool = candidates or levels[lvl - 1]
+            connect(rng.choice(pool), dst)
+
+    # Every non-terminal task needs at least one successor.
+    for lvl in range(depth - 1):
+        for src in levels[lvl]:
+            if out_deg[src] == 0:
+                candidates = [t for t in levels[lvl + 1] if in_deg[t] < fan_hi]
+                pool = candidates or levels[lvl + 1]
+                connect(src, rng.choice(pool))
+
+    # Top up in-degrees toward per-task targets drawn from the fan range.
+    existing = set(edges)
+    for lvl in range(1, depth):
+        earlier = [t for row in levels[:lvl] for t in row]
+        for dst in levels[lvl]:
+            target = rng.randint(fan_lo, fan_hi)
+            if in_deg[dst] >= target:
+                continue
+            candidates = [
+                s
+                for s in earlier
+                if out_deg[s] < fan_hi and (s, dst) not in existing
+            ]
+            rng.shuffle(candidates)
+            while in_deg[dst] < target and candidates:
+                src = candidates.pop()
+                existing.add((src, dst))
+                connect(src, dst)
+
+    lo_m, hi_m = spec.message_bounds
+    for src, dst in edges:
+        size = 0.0 if spec.ccr == 0 else rng.uniform(lo_m, hi_m)
+        graph.add_channel(Channel(src=src, dst=dst, message_size=size))
+
+    if graph.depth != depth:
+        raise GenerationError(
+            f"generator bug: realized depth {graph.depth} != drawn depth {depth}"
+        )
+
+    if assign_windows:
+        graph = assign_deadlines(
+            graph,
+            laxity_ratio=spec.laxity_ratio,
+            include_comm=spec.include_comm_in_slices,
+            delay=spec.nominal_delay,
+            window_mode=spec.window_mode,
+        )
+    return graph
+
+
+def generate_batch(
+    spec: WorkloadSpec = WorkloadSpec(),
+    count: int = 10,
+    base_seed: int = 0,
+    assign_windows: bool = True,
+) -> list[TaskGraph]:
+    """Generate ``count`` independent graphs with seeds ``base_seed..+count-1``."""
+    return [
+        generate_task_graph(
+            spec, seed=base_seed + k, assign_windows=assign_windows
+        )
+        for k in range(count)
+    ]

@@ -1,0 +1,159 @@
+"""Workload specifications: every knob of Section 4.1 in one dataclass.
+
+The paper's experimental workload:
+
+* task graphs of 12-16 tasks, 8-12 precedence levels deep;
+* 1-3 successors/predecessors per task;
+* execution times uniform with mean 20, deviating at most +/-99%;
+* message sizes set so the communication-to-computation ratio (CCR) of
+  mean message cost to mean execution time is 1.0;
+* end-to-end deadlines with an overall laxity ratio of 1.5 relative to
+  the accumulated task-graph workload, distributed to individual tasks
+  by the slicing technique of [16].
+
+Ranges are inclusive ``(lo, hi)`` pairs; a plain int is promoted to the
+degenerate range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import SpecificationError
+
+__all__ = ["IntRange", "WorkloadSpec", "PAPER_SPEC"]
+
+
+def _as_range(value) -> tuple[int, int]:
+    if isinstance(value, int):
+        return (value, value)
+    lo, hi = value
+    return (int(lo), int(hi))
+
+
+@dataclass(frozen=True)
+class IntRange:
+    """Inclusive integer range used for structural knobs."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise SpecificationError(f"empty range [{self.lo}, {self.hi}]")
+
+    def sample(self, rng) -> int:
+        return rng.randint(self.lo, self.hi)
+
+    def clamp(self, value: int) -> int:
+        return max(self.lo, min(self.hi, value))
+
+    def __contains__(self, value: int) -> bool:
+        return self.lo <= value <= self.hi
+
+    def __iter__(self):
+        return iter((self.lo, self.hi))
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of the random task-graph generator."""
+
+    name: str = "paper"
+    #: Number of tasks per graph (paper: 12-16).
+    num_tasks: tuple[int, int] = (12, 16)
+    #: Precedence depth in levels (paper: 8-12).
+    depth: tuple[int, int] = (8, 12)
+    #: Successor/predecessor counts per task (paper: 1-3).
+    fan: tuple[int, int] = (1, 3)
+    #: Mean worst-case execution time (paper: 20 time units).
+    mean_wcet: float = 20.0
+    #: Max relative deviation of execution times (paper: +/-99%).
+    wcet_jitter: float = 0.99
+    #: Communication-to-computation cost ratio (paper: 1.0).
+    ccr: float = 1.0
+    #: Max relative deviation of message sizes (paper unspecified;
+    #: defaults to the execution-time jitter).
+    message_jitter: float = 0.99
+    #: End-to-end laxity ratio over the accumulated workload (paper: 1.5).
+    laxity_ratio: float = 1.5
+    #: Nominal interconnect delay per data item used to convert CCR into
+    #: message sizes (paper's shared bus: 1.0).
+    nominal_delay: float = 1.0
+    #: How the slicing pass computes path lengths and windows — see
+    #: :mod:`repro.workload.deadline`.  The default (computation-only
+    #: slicing) makes message transfers consume window slack, which is
+    #: what gives the B&B real work to do; see DESIGN.md interpretation
+    #: notes.
+    include_comm_in_slices: bool = False
+    window_mode: str = "contiguous"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "num_tasks", _as_range(self.num_tasks))
+        object.__setattr__(self, "depth", _as_range(self.depth))
+        object.__setattr__(self, "fan", _as_range(self.fan))
+        nt, dp, fan = self.num_tasks, self.depth, self.fan
+        if nt[0] < 1:
+            raise SpecificationError(f"num_tasks must be >= 1, got {nt}")
+        if dp[0] < 1:
+            raise SpecificationError(f"depth must be >= 1, got {dp}")
+        if dp[0] > nt[1]:
+            raise SpecificationError(
+                f"minimum depth {dp[0]} exceeds maximum task count {nt[1]}"
+            )
+        if fan[0] < 1:
+            raise SpecificationError(f"fan range must start at >= 1, got {fan}")
+        if not self.mean_wcet > 0:
+            raise SpecificationError(f"mean_wcet must be positive, got {self.mean_wcet}")
+        if not 0 <= self.wcet_jitter < 1:
+            raise SpecificationError(
+                f"wcet_jitter must be in [0, 1), got {self.wcet_jitter}"
+            )
+        if not 0 <= self.message_jitter < 1:
+            raise SpecificationError(
+                f"message_jitter must be in [0, 1), got {self.message_jitter}"
+            )
+        if self.ccr < 0:
+            raise SpecificationError(f"ccr must be >= 0, got {self.ccr}")
+        if self.laxity_ratio <= 0:
+            raise SpecificationError(
+                f"laxity_ratio must be positive, got {self.laxity_ratio}"
+            )
+        if self.nominal_delay <= 0:
+            raise SpecificationError(
+                f"nominal_delay must be positive, got {self.nominal_delay}"
+            )
+        if self.window_mode not in ("contiguous", "tight"):
+            raise SpecificationError(
+                f"window_mode must be 'contiguous' or 'tight', got {self.window_mode!r}"
+            )
+
+    # -- derived -----------------------------------------------------------
+
+    @property
+    def wcet_bounds(self) -> tuple[float, float]:
+        """Uniform execution-time support ``mean * (1 -/+ jitter)``."""
+        return (
+            self.mean_wcet * (1.0 - self.wcet_jitter),
+            self.mean_wcet * (1.0 + self.wcet_jitter),
+        )
+
+    @property
+    def mean_message_size(self) -> float:
+        """Message size (data items) realizing the requested CCR."""
+        return self.ccr * self.mean_wcet / self.nominal_delay
+
+    @property
+    def message_bounds(self) -> tuple[float, float]:
+        mean = self.mean_message_size
+        return (
+            mean * (1.0 - self.message_jitter),
+            mean * (1.0 + self.message_jitter),
+        )
+
+    def evolve(self, **changes) -> "WorkloadSpec":
+        return replace(self, **changes)
+
+
+#: The exact Section 4.1 workload.
+PAPER_SPEC = WorkloadSpec()

@@ -1,0 +1,97 @@
+"""Canned workload suites for the experiments.
+
+The paper's evaluation uses one base workload (Section 4.1) across all
+of Figure 3, and varies CCR and task-graph parallelism in the Section 6
+discussion.  Pure-Python searches are slower than the paper's compiled
+milieu, so each suite also has a ``scaled`` variant with smaller graphs
+(used by the test suite and the default benchmark profile); the full
+paper-size variant is selected with ``profile="paper"``.
+"""
+
+from __future__ import annotations
+
+from ..errors import SpecificationError
+from .spec import WorkloadSpec
+
+__all__ = [
+    "paper_spec",
+    "scaled_spec",
+    "spec_for_profile",
+    "ccr_suite",
+    "parallelism_suite",
+]
+
+
+def paper_spec(**changes) -> WorkloadSpec:
+    """The exact Section 4.1 workload (12-16 tasks, depth 8-12, CCR 1.0)."""
+    return WorkloadSpec(name="paper").evolve(**changes)
+
+
+def scaled_spec(**changes) -> WorkloadSpec:
+    """A laptop-scale surrogate of the Section 4.1 workload.
+
+    Graphs of 9-11 tasks, 4-6 levels deep, with identical timing
+    distributions (mean WCET 20 +/- 99%, CCR 1.0, laxity 1.5).  The
+    depth is proportionally a little shallower than the paper's so that
+    the width-to-processor contention the paper's 12-16-task graphs
+    exhibit on 2-4 processors is preserved at the smaller task count;
+    with the paper's depth ratio these small graphs degenerate to
+    near-chains where every strategy ties.  Small enough that optimal
+    BFn searches complete quickly in pure Python while every Figure 3
+    shape (LIFO<<LLB, LB1<LB0 at m=2, approximate<<optimal) manifests.
+    """
+    return WorkloadSpec(name="scaled", num_tasks=(9, 11), depth=(4, 6)).evolve(
+        **changes
+    )
+
+
+def tiny_spec(**changes) -> WorkloadSpec:
+    """Very small graphs (7-9 tasks) for exhaustive cross-checking tests."""
+    return WorkloadSpec(name="tiny", num_tasks=(7, 9), depth=(3, 5)).evolve(
+        **changes
+    )
+
+
+_PROFILES = {
+    "paper": paper_spec,
+    "scaled": scaled_spec,
+    "tiny": tiny_spec,
+}
+
+
+def spec_for_profile(profile: str, **changes) -> WorkloadSpec:
+    """Look up a base spec by profile name."""
+    try:
+        factory = _PROFILES[profile]
+    except KeyError:
+        raise SpecificationError(
+            f"unknown profile {profile!r}; choose from {sorted(_PROFILES)}"
+        ) from None
+    return factory(**changes)
+
+
+def ccr_suite(profile: str = "scaled", ccrs=(0.1, 0.5, 1.0, 2.0)) -> list[WorkloadSpec]:
+    """Specs for the Section 6 CCR sweep (lower CCR => faster B&B)."""
+    base = spec_for_profile(profile)
+    return [base.evolve(name=f"{base.name}-ccr{c:g}", ccr=c) for c in ccrs]
+
+
+def parallelism_suite(profile: str = "scaled") -> list[WorkloadSpec]:
+    """Specs for the Section 6 parallelism sweep.
+
+    Holding the task count fixed, shallower graphs have wider levels and
+    hence more exploitable parallelism; the suite spans deep/narrow to
+    shallow/wide shapes.
+    """
+    base = spec_for_profile(profile)
+    lo, hi = base.num_tasks
+    shapes = [
+        ("deep", (max(2, int(lo * 0.7)), hi)),  # near-chain
+        ("mid", (max(2, lo // 2), max(3, hi // 2))),
+        ("wide", (2, 3)),
+    ]
+    out = []
+    for label, depth in shapes:
+        depth = (min(depth[0], lo), min(depth[1], lo))
+        out.append(base.evolve(name=f"{base.name}-{label}", depth=depth))
+    return out

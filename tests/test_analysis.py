@@ -1,0 +1,175 @@
+"""Unit tests for repro.analysis (confidence, metrics, aggregate)."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    ConfidenceTarget,
+    PointAccumulator,
+    RunningStats,
+    Series,
+    confidence_interval,
+    geometric_mean,
+    lateness_improvement,
+    run_until_confident,
+    schedule_metrics,
+    student_t_quantile,
+    vertex_ratio,
+)
+from repro.errors import ConfigurationError
+from repro.model import Schedule, shared_bus_platform
+
+from conftest import make_diamond
+
+
+class TestRunningStats:
+    def test_mean_and_variance(self):
+        s = RunningStats([2.0, 4.0, 6.0])
+        assert s.count == 3
+        assert s.mean == pytest.approx(4.0)
+        assert s.variance == pytest.approx(4.0)
+        assert s.stddev == pytest.approx(2.0)
+        assert s.minimum == 2.0 and s.maximum == 6.0
+
+    def test_single_sample_zero_variance(self):
+        s = RunningStats([5.0])
+        assert s.variance == 0.0
+        assert s.stderr == 0.0
+
+    def test_matches_naive_computation(self):
+        import statistics
+
+        data = [1.5, 2.25, -3.0, 8.0, 0.0, 4.5]
+        s = RunningStats(data)
+        assert s.mean == pytest.approx(statistics.mean(data))
+        assert s.variance == pytest.approx(statistics.variance(data))
+
+
+class TestStudentT:
+    def test_known_values(self):
+        assert student_t_quantile(0.90, 1) == pytest.approx(6.314)
+        assert student_t_quantile(0.95, 10) == pytest.approx(2.228)
+        assert student_t_quantile(0.99, 5) == pytest.approx(4.032)
+
+    def test_large_df_falls_back_to_normal(self):
+        assert student_t_quantile(0.95, 1000) == pytest.approx(1.960)
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            student_t_quantile(0.95, 0)
+        with pytest.raises(ConfigurationError):
+            student_t_quantile(0.42, 5)
+
+    def test_ci_infinite_below_two_samples(self):
+        assert math.isinf(confidence_interval(RunningStats([1.0])))
+
+    def test_ci_shrinks_with_samples(self):
+        tight = RunningStats([10.0, 10.1, 9.9] * 10)
+        loose = RunningStats([10.0, 10.1, 9.9])
+        assert confidence_interval(tight) < confidence_interval(loose)
+
+
+class TestConfidenceTarget:
+    def test_satisfied_on_tight_data(self):
+        target = ConfidenceTarget(level=0.90, rel_error=0.10, min_runs=3)
+        s = RunningStats([100.0, 101.0, 99.0, 100.5])
+        assert target.satisfied(s)
+
+    def test_not_satisfied_below_min_runs(self):
+        target = ConfidenceTarget(min_runs=10)
+        s = RunningStats([100.0] * 5)
+        assert not target.satisfied(s)
+
+    def test_run_until_confident_stops_early(self):
+        calls = []
+
+        def sample(k):
+            calls.append(k)
+            return 50.0 + (k % 2) * 0.01
+
+        stats = run_until_confident(
+            sample, ConfidenceTarget(min_runs=5, max_runs=100)
+        )
+        assert stats.count == 5
+        assert calls == list(range(5))
+
+    def test_run_until_confident_respects_cap(self):
+        import random
+
+        rng = random.Random(0)
+        stats = run_until_confident(
+            lambda k: rng.uniform(0, 1000),
+            ConfidenceTarget(min_runs=3, max_runs=12, rel_error=0.001),
+        )
+        assert stats.count == 12
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConfidenceTarget(rel_error=0.0)
+        with pytest.raises(ConfigurationError):
+            ConfidenceTarget(min_runs=1)
+        with pytest.raises(ConfigurationError):
+            ConfidenceTarget(min_runs=10, max_runs=5)
+
+
+class TestScheduleMetrics:
+    def _schedule(self):
+        g = make_diamond(msg=4.0)
+        s = Schedule(g, shared_bus_platform(2))
+        s.place("src", 0, 0.0)
+        s.place("left", 0, 2.0)
+        s.place("right", 1, 6.0)
+        s.place("sink", 0, 17.0)
+        return s
+
+    def test_metrics(self):
+        m = schedule_metrics(self._schedule())
+        assert m.makespan == 20.0
+        assert m.max_lateness == pytest.approx(-80.0)
+        assert m.missed_deadlines == 0
+        assert m.remote_messages == 2  # src->right, right->sink
+        assert m.communication_time == 8.0
+        busy = 2.0 + 5.0 + 7.0 + 3.0
+        assert m.utilization == pytest.approx(busy / 40.0)
+        assert m.total_idle == pytest.approx(40.0 - busy)
+
+    def test_lateness_improvement(self):
+        # EDF -10, B&B -10.5: 5% better.
+        assert lateness_improvement(-10.0, -10.5) == pytest.approx(0.05)
+        assert lateness_improvement(10.0, 9.0) == pytest.approx(0.10)
+        assert lateness_improvement(0.0, -1.0) == 0.0
+
+    def test_vertex_ratio(self):
+        assert vertex_ratio(1000.0, 100.0) == 10.0
+        assert vertex_ratio(100.0, 0.0) == math.inf
+        assert vertex_ratio(0.0, 0.0) == 1.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 100.0]) == pytest.approx(10.0)
+        assert geometric_mean([]) == 0.0
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+
+class TestAggregate:
+    def test_accumulator_freeze(self):
+        acc = PointAccumulator()
+        for v, l in [(100, -1.0), (200, -2.0), (150, -1.5)]:
+            acc.add(v, l, peak_active=v / 10)
+        p = acc.freeze(x=2.0)
+        assert p.runs == 3
+        assert p.mean_vertices == pytest.approx(150.0)
+        assert p.mean_lateness == pytest.approx(-1.5)
+        assert p.extras["peak_active"] == pytest.approx(15.0)
+        assert p.ci_vertices > 0
+
+    def test_series_point_lookup(self):
+        acc = PointAccumulator()
+        acc.add(1, 0)
+        acc.add(2, 0)
+        s = Series(label="a", points=(acc.freeze(2.0),))
+        assert s.point_at(2.0).runs == 2
+        assert s.xs == (2.0,)
+        with pytest.raises(KeyError):
+            s.point_at(3.0)

@@ -1,0 +1,88 @@
+"""Unit tests for repro.analysis.gantt."""
+
+import pytest
+
+from repro.analysis import render_gantt
+from repro.model import Schedule, Task, TaskGraph, shared_bus_platform
+
+from conftest import make_diamond
+
+
+def simple_schedule() -> Schedule:
+    g = make_diamond(msg=4.0)
+    s = Schedule(g, shared_bus_platform(2))
+    s.place("src", 0, 0.0)
+    s.place("left", 0, 2.0)
+    s.place("right", 1, 6.0)
+    s.place("sink", 0, 17.0)
+    return s
+
+
+class TestRenderGantt:
+    def test_one_row_per_processor(self):
+        text = render_gantt(simple_schedule())
+        lines = text.splitlines()
+        assert any(line.startswith("p0 |") for line in lines)
+        assert any(line.startswith("p1 |") for line in lines)
+
+    def test_rows_have_requested_width(self):
+        text = render_gantt(simple_schedule(), width=40)
+        for line in text.splitlines():
+            if line.startswith("p"):
+                body = line.split("|")[1]
+                assert len(body) == 40
+
+    def test_legend_mentions_all_tasks(self):
+        s = simple_schedule()
+        text = render_gantt(s)
+        for name in s.scheduled_tasks:
+            assert name in text
+
+    def test_legend_optional(self):
+        text = render_gantt(simple_schedule(), show_legend=False)
+        assert "legend" not in text
+
+    def test_busy_fraction_roughly_proportional(self):
+        s = simple_schedule()
+        text = render_gantt(s, width=100, show_legend=False)
+        p1 = next(l for l in text.splitlines() if l.startswith("p1"))
+        body = p1.split("|")[1]
+        busy = sum(1 for c in body if c != ".")
+        # right runs 7 of 20 time units on p1 => ~35 cells.
+        assert 25 <= busy <= 45
+
+    def test_short_tasks_still_visible(self):
+        g = TaskGraph()
+        g.add_task(Task(name="blip", wcet=0.01))
+        g.add_task(Task(name="long", wcet=100.0))
+        s = Schedule(g, shared_bus_platform(2))
+        s.place("blip", 0, 0.0)
+        s.place("long", 1, 0.0)
+        text = render_gantt(s, width=50, show_legend=False)
+        p0 = next(l for l in text.splitlines() if l.startswith("p0"))
+        assert any(c != "." for c in p0.split("|")[1])
+
+    def test_empty_schedule(self):
+        g = make_diamond()
+        s = Schedule(g, shared_bus_platform(2))
+        text = render_gantt(s)
+        assert "empty" in text
+
+    def test_narrow_width_rejected(self):
+        with pytest.raises(ValueError, match="width"):
+            render_gantt(simple_schedule(), width=5)
+
+    def test_symbols_unique_per_task(self):
+        g = TaskGraph()
+        # Names that collide on their first letter.
+        for i in range(5):
+            g.add_task(Task(name=f"task{i}", wcet=2.0))
+        s = Schedule(g, shared_bus_platform(1))
+        t = 0.0
+        for i in range(5):
+            s.place(f"task{i}", 0, t)
+            t += 2.0
+        text = render_gantt(s, width=50, show_legend=False)
+        body = next(l for l in text.splitlines() if l.startswith("p0")).split("|")[1]
+        symbols = {c for c in body if c != "."}
+        assert len(symbols) == 5

@@ -1,0 +1,153 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io import save_graph
+from repro.workload import generate_task_graph, tiny_spec
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    g = generate_task_graph(tiny_spec(), seed=0)
+    path = tmp_path / "g.json"
+    save_graph(g, path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+
+class TestGenerate:
+    def test_generate_prints_summary(self, capsys):
+        assert main(["generate", "--profile", "tiny", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "tasks" in out and "depth" in out
+
+    def test_generate_writes_files(self, tmp_path, capsys):
+        json_path = tmp_path / "g.json"
+        dot_path = tmp_path / "g.dot"
+        rc = main([
+            "generate", "--profile", "tiny", "--seed", "1",
+            "-o", str(json_path), "--dot", str(dot_path),
+        ])
+        assert rc == 0
+        data = json.loads(json_path.read_text())
+        assert data["format"] == "repro/taskgraph-v1"
+        assert dot_path.read_text().startswith("digraph")
+
+    def test_generate_ccr_override(self, tmp_path, capsys):
+        json_path = tmp_path / "g.json"
+        assert main([
+            "generate", "--profile", "tiny", "--ccr", "0",
+            "-o", str(json_path),
+        ]) == 0
+        data = json.loads(json_path.read_text())
+        assert all(c["message_size"] == 0.0 for c in data["channels"])
+
+
+class TestSolve:
+    def test_solve_default(self, graph_file, capsys):
+        assert main(["solve", graph_file, "-m", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal" in out
+        assert "S=LIFO" in out
+
+    def test_solve_with_options(self, graph_file, capsys):
+        rc = main([
+            "solve", graph_file, "-m", "2",
+            "--selection", "LLB", "--bound", "LB0",
+            "--branching", "DF", "--br", "0.1",
+            "--max-vertices", "10000", "--gantt",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "S=LLB" in out and "L=LB0" in out and "B=DF" in out
+        assert "p0:" in out  # gantt
+
+    def test_solve_missing_file_errors(self, capsys):
+        with pytest.raises(FileNotFoundError):
+            main(["solve", "/nonexistent/g.json"])
+
+    def test_solve_bad_rule_rejected_by_argparse(self, graph_file):
+        with pytest.raises(SystemExit):
+            main(["solve", graph_file, "--selection", "BOGUS"])
+
+
+class TestExperimentAndList:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3a" in out and "disc-ccr" in out
+
+    def test_experiment_runs_and_saves(self, tmp_path, capsys):
+        out_path = tmp_path / "fig3b.json"
+        rc = main([
+            "experiment", "fig3b", "--profile", "tiny",
+            "--graphs", "2", "-o", str(out_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "searched vertices" in out
+        data = json.loads(out_path.read_text())
+        assert data["name"] == "fig3b"
+
+    def test_experiment_unknown_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig9z"])
+
+
+class TestNewFeatures:
+    def test_generate_stg_output(self, tmp_path, capsys):
+        stg_path = tmp_path / "g.stg"
+        assert main([
+            "generate", "--profile", "tiny", "--seed", "2", "-o", str(stg_path),
+        ]) == 0
+        text = stg_path.read_text()
+        assert text.splitlines()[1] == "0 0 0"  # dummy entry
+
+    def test_solve_stg_input(self, tmp_path, capsys):
+        stg_path = tmp_path / "g.stg"
+        main(["generate", "--profile", "tiny", "--seed", "2", "-o", str(stg_path)])
+        assert main(["solve", str(stg_path), "-m", "2", "--laxity", "2.0"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal" in out
+
+    def test_solve_chart_and_bus(self, graph_file, capsys):
+        assert main(["solve", graph_file, "-m", "2", "--chart", "--bus"]) == 0
+        out = capsys.readouterr().out
+        assert "p0 |" in out  # gantt chart row
+        assert "bus[fcfs]" in out
+
+    def test_solve_trace_csv(self, graph_file, tmp_path, capsys):
+        csv_path = tmp_path / "trace.csv"
+        assert main([
+            "solve", graph_file, "-m", "2", "--trace-csv", str(csv_path),
+        ]) == 0
+        lines = csv_path.read_text().splitlines()
+        assert lines[0].startswith("step,generated")
+        assert len(lines) >= 1
+
+    def test_convert_json_to_stg_and_back(self, graph_file, tmp_path, capsys):
+        stg_path = tmp_path / "g.stg"
+        json_path = tmp_path / "g2.json"
+        dot_path = tmp_path / "g.dot"
+        assert main(["convert", graph_file, str(stg_path)]) == 0
+        assert main(["convert", str(stg_path), str(json_path)]) == 0
+        assert main(["convert", graph_file, str(dot_path)]) == 0
+        assert json.loads(json_path.read_text())["format"] == "repro/taskgraph-v1"
+        assert dot_path.read_text().startswith("digraph")
+
+    def test_scaling_experiment_registered(self, capsys):
+        assert main(["list"]) == 0
+        assert "scaling" in capsys.readouterr().out

@@ -1,0 +1,116 @@
+"""Unit tests for repro.core.branching."""
+
+import pytest
+
+from repro.core import (
+    BF1Branching,
+    BFnBranching,
+    BRANCHING_RULES,
+    DFBranching,
+    FixedOrderBranching,
+    root_state,
+)
+from repro.errors import ConfigurationError
+from repro.model import Platform, Ring, compile_problem, shared_bus_platform
+
+from conftest import make_diamond, make_forkjoin, make_independent
+
+
+@pytest.fixture
+def prob():
+    return compile_problem(make_diamond(), shared_bus_platform(2))
+
+
+class TestBFn:
+    def test_all_ready_times_all_processors(self, prob):
+        rule = BFnBranching().prepare(prob)
+        st = root_state(prob).child(prob.index["src"], 0)
+        placements = rule.placements(st)
+        left, right = prob.index["left"], prob.index["right"]
+        assert set(placements) == {(left, 0), (left, 1), (right, 0), (right, 1)}
+
+    def test_root_expansion(self, prob):
+        rule = BFnBranching().prepare(prob)
+        src = prob.index["src"]
+        assert set(rule.placements(root_state(prob))) == {(src, 0), (src, 1)}
+
+    def test_guarantees_optimal_flag(self):
+        assert BFnBranching().guarantees_optimal
+        assert not DFBranching().guarantees_optimal
+        assert not BF1Branching().guarantees_optimal
+
+    def test_symmetry_breaking_collapses_empty_processors(self):
+        prob3 = compile_problem(make_independent(3), shared_bus_platform(3))
+        rule = BFnBranching().prepare(prob3)
+        st = root_state(prob3)
+        full = rule.placements(st, break_symmetry=False)
+        collapsed = rule.placements(st, break_symmetry=True)
+        assert len(full) == 9
+        assert len(collapsed) == 3  # one empty-proc representative
+        st1 = st.child(0, 0)
+        collapsed1 = rule.placements(st1, break_symmetry=True)
+        # p0 used, p1 represents both empty processors.
+        assert {q for _, q in collapsed1} == {0, 1}
+
+    def test_symmetry_breaking_skipped_on_nonuniform(self):
+        # Ring(4) has non-uniform delays (opposite corners are 2 hops),
+        # so empty processors are NOT interchangeable and the collapse
+        # must be disabled.
+        plat = Platform(num_processors=4, interconnect=Ring(4))
+        prob4 = compile_problem(make_independent(3), plat)
+        rule = BFnBranching().prepare(prob4)
+        st = root_state(prob4)
+        assert len(rule.placements(st, break_symmetry=True)) == 12
+
+
+class TestFixedOrderRules:
+    def test_df_follows_depth_first_order(self, prob):
+        rule = DFBranching().prepare(prob)
+        df = [prob.index[n] for n in prob.graph.depth_first_order()]
+        st = root_state(prob)
+        for expected in df:
+            placements = rule.placements(st)
+            tasks = {t for t, _ in placements}
+            assert tasks == {expected}
+            assert {q for _, q in placements} == {0, 1}
+            st = st.child(expected, 0)
+
+    def test_bf1_follows_level_order(self, prob):
+        rule = BF1Branching().prepare(prob)
+        lv = [prob.index[n] for n in prob.graph.level_order()]
+        st = root_state(prob)
+        for expected in lv:
+            assert {t for t, _ in rule.placements(st)} == {expected}
+            st = st.child(expected, 0)
+
+    def test_fixed_order_by_names(self, prob):
+        rule = FixedOrderBranching(["src", "right", "left", "sink"]).prepare(prob)
+        st = root_state(prob)
+        assert {t for t, _ in rule.placements(st)} == {prob.index["src"]}
+        st = st.child(prob.index["src"], 0)
+        assert {t for t, _ in rule.placements(st)} == {prob.index["right"]}
+
+    def test_fixed_order_by_indices(self, prob):
+        rule = FixedOrderBranching([0, 2, 1, 3]).prepare(prob)
+        st = root_state(prob).child(0, 0)
+        assert {t for t, _ in rule.placements(st)} == {2}
+
+    def test_non_permutation_rejected(self, prob):
+        with pytest.raises(ConfigurationError, match="permutation"):
+            FixedOrderBranching([0, 0, 1, 2]).prepare(prob)
+
+    def test_non_topological_order_detected_at_use(self, prob):
+        rule = FixedOrderBranching(["sink", "src", "left", "right"]).prepare(prob)
+        with pytest.raises(ConfigurationError, match="not topological"):
+            rule.placements(root_state(prob))
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(BRANCHING_RULES) == {"BFn", "BF1", "DF"}
+
+    def test_single_task_rules_have_m_children(self):
+        prob = compile_problem(make_forkjoin(3), shared_bus_platform(3))
+        for name in ("DF", "BF1"):
+            rule = BRANCHING_RULES[name]().prepare(prob)
+            assert len(rule.placements(root_state(prob))) == 3

@@ -1,0 +1,177 @@
+"""Unit tests for repro.core.selection (frontiers and rules)."""
+
+import pytest
+
+from repro.core import (
+    DepthBiasedLLBSelection,
+    FIFOSelection,
+    LIFOSelection,
+    LLBSelection,
+    SELECTION_RULES,
+    Vertex,
+)
+from repro.core.state import root_state
+from repro.model import compile_problem, shared_bus_platform
+
+from conftest import make_diamond
+
+
+@pytest.fixture
+def verts():
+    prob = compile_problem(make_diamond(), shared_bus_platform(2))
+    st = root_state(prob)
+    return [Vertex(st, lb, i) for i, lb in enumerate([5.0, 1.0, 3.0, 1.0, 9.0])]
+
+
+class TestLIFO:
+    def test_pop_order_is_stack(self, verts):
+        f = LIFOSelection().make_frontier()
+        for v in verts:
+            f.push(v)
+        assert [f.pop().seq for _ in range(5)] == [4, 3, 2, 1, 0]
+        assert f.pop() is None
+
+    def test_len_and_bool(self, verts):
+        f = LIFOSelection().make_frontier()
+        assert not f
+        f.push(verts[0])
+        assert len(f) == 1 and f
+
+    def test_prune_above(self, verts):
+        f = LIFOSelection().make_frontier()
+        for v in verts:
+            f.push(v)
+        pruned = f.prune_above(3.0)
+        assert pruned == 3  # 5.0, 3.0 (>=), 9.0
+        assert sorted(v.lower_bound for v in iter(f.pop, None)) == [1.0, 1.0]
+
+    def test_drop_worst(self, verts):
+        f = LIFOSelection().make_frontier()
+        for v in verts:
+            f.push(v)
+        dropped = f.drop_worst(2)
+        assert dropped == 2
+        remaining = [f.pop().lower_bound for _ in range(3)]
+        assert sorted(remaining) == [1.0, 1.0, 3.0]
+
+    def test_drop_worst_zero(self, verts):
+        f = LIFOSelection().make_frontier()
+        f.push(verts[0])
+        assert f.drop_worst(0) == 0
+        assert len(f) == 1
+
+
+class TestFIFO:
+    def test_pop_order_is_queue(self, verts):
+        f = FIFOSelection().make_frontier()
+        for v in verts:
+            f.push(v)
+        assert [f.pop().seq for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_prune_preserves_order(self, verts):
+        f = FIFOSelection().make_frontier()
+        for v in verts:
+            f.push(v)
+        f.prune_above(4.0)
+        assert [f.pop().seq for _ in range(3)] == [1, 2, 3]
+
+
+class TestLLB:
+    def test_pop_order_is_least_bound(self, verts):
+        f = LLBSelection().make_frontier()
+        for v in verts:
+            f.push(v)
+        popped = [f.pop() for _ in range(5)]
+        assert [v.lower_bound for v in popped] == [1.0, 1.0, 3.0, 5.0, 9.0]
+        # Equal bounds break ties by generation order (seq).
+        assert popped[0].seq == 1 and popped[1].seq == 3
+
+    def test_push_at_or_above_threshold_rejected(self, verts):
+        f = LLBSelection().make_frontier()
+        f.prune_above(4.0)
+        for v in verts:
+            f.push(v)
+        assert len(f) == 3
+        assert f.pop().lower_bound == 1.0
+
+    def test_lazy_prune_reports_and_hides(self, verts):
+        f = LLBSelection().make_frontier()
+        for v in verts:
+            f.push(v)
+        assert f.prune_above(3.0) == 3
+        assert len(f) == 2
+        # Tightening twice only counts newly dead vertices (the two
+        # lb=1.0 survivors; the stale >=3.0 entries are not re-counted).
+        assert f.prune_above(1.0) == 2
+        assert len(f) == 0
+        assert f.pop() is None
+
+    def test_loosening_threshold_is_noop(self, verts):
+        f = LLBSelection().make_frontier()
+        for v in verts:
+            f.push(v)
+        f.prune_above(3.0)
+        assert f.prune_above(100.0) == 0
+        assert len(f) == 2
+
+    def test_drop_worst(self, verts):
+        f = LLBSelection().make_frontier()
+        for v in verts:
+            f.push(v)
+        assert f.drop_worst(2) == 2
+        assert [f.pop().lower_bound for _ in range(3)] == [1.0, 1.0, 3.0]
+
+    def test_compaction_preserves_content(self, verts):
+        f = LLBSelection().make_frontier()
+        for i in range(100):
+            f.push(Vertex(verts[0].state, float(i), 100 + i))
+        f.prune_above(10.0)
+        assert len(f) == 10
+        assert [f.pop().lower_bound for _ in range(10)] == list(map(float, range(10)))
+
+
+class TestDepthBiasedLLB:
+    def test_pops_least_bound_first(self, verts):
+        f = DepthBiasedLLBSelection().make_frontier()
+        for v in verts:
+            f.push(v)
+        assert [f.pop().lower_bound for _ in range(5)] == [1.0, 1.0, 3.0, 5.0, 9.0]
+
+    def test_ties_prefer_deeper_vertices(self):
+        from repro.core import root_state
+        from repro.model import compile_problem, shared_bus_platform
+        from conftest import make_diamond
+
+        prob = compile_problem(make_diamond(), shared_bus_platform(2))
+        shallow = root_state(prob)
+        deep = shallow.child(prob.index["src"], 0)
+        f = DepthBiasedLLBSelection().make_frontier()
+        f.push(Vertex(shallow, 1.0, 0))
+        f.push(Vertex(deep, 1.0, 1))
+        assert f.pop().level == 1  # the deeper vertex wins the tie
+        assert f.pop().level == 0
+
+    def test_prune_and_drop(self, verts):
+        f = DepthBiasedLLBSelection().make_frontier()
+        for v in verts:
+            f.push(v)
+        assert f.prune_above(3.0) == 3
+        assert len(f) == 2
+        assert f.drop_worst(1) == 1
+        assert f.pop().lower_bound == 1.0
+
+    def test_stop_on_bound(self):
+        assert DepthBiasedLLBSelection().stop_on_bound
+
+
+class TestRuleMetadata:
+    def test_stop_on_bound_flags(self):
+        assert LLBSelection().stop_on_bound
+        assert not LIFOSelection().stop_on_bound
+        assert not FIFOSelection().stop_on_bound
+
+    def test_registry(self):
+        assert set(SELECTION_RULES) == {"LLB", "LLB-D", "LIFO", "FIFO"}
+        for cls in SELECTION_RULES.values():
+            f = cls().make_frontier()
+            assert len(f) == 0

@@ -1,0 +1,141 @@
+"""Unit tests for repro.core.state."""
+
+import math
+
+import pytest
+
+from repro.core import root_state
+from repro.errors import ModelError
+from repro.model import compile_problem, shared_bus_platform
+
+from conftest import make_diamond, make_forkjoin, make_independent
+
+
+@pytest.fixture
+def prob():
+    return compile_problem(make_diamond(msg=4.0), shared_bus_platform(2))
+
+
+class TestRootState:
+    def test_empty_schedule(self, prob):
+        st = root_state(prob)
+        assert st.level == 0
+        assert st.scheduled_mask == 0
+        assert not st.is_goal
+        assert st.proc_of == (-1, -1, -1, -1)
+        assert st.avail == (0.0, 0.0)
+        assert st.scheduled_lateness == -math.inf
+
+    def test_ready_set_is_inputs(self, prob):
+        st = root_state(prob)
+        assert st.ready_tasks() == [prob.index["src"]]
+        fj = compile_problem(make_independent(3), shared_bus_platform(2))
+        assert root_state(fj).ready_tasks() == [0, 1, 2]
+
+
+class TestChild:
+    def test_child_places_task(self, prob):
+        st = root_state(prob).child(prob.index["src"], 1)
+        src = prob.index["src"]
+        assert st.level == 1
+        assert st.proc_of[src] == 1
+        assert st.start[src] == 0.0
+        assert st.finish[src] == 2.0
+        assert st.avail == (0.0, 2.0)
+        assert st.last_task == src and st.last_proc == 1
+
+    def test_parent_unchanged(self, prob):
+        root = root_state(prob)
+        root.child(prob.index["src"], 0)
+        assert root.level == 0
+        assert root.proc_of == (-1,) * 4
+
+    def test_ready_update(self, prob):
+        st = root_state(prob).child(prob.index["src"], 0)
+        assert set(st.ready_tasks()) == {prob.index["left"], prob.index["right"]}
+        st2 = st.child(prob.index["left"], 0)
+        assert set(st2.ready_tasks()) == {prob.index["right"]}
+        st3 = st2.child(prob.index["right"], 1)
+        assert set(st3.ready_tasks()) == {prob.index["sink"]}
+
+    def test_not_ready_rejected(self, prob):
+        with pytest.raises(ModelError, match="not ready"):
+            root_state(prob).child(prob.index["sink"], 0)
+
+    def test_goal_detection(self, prob):
+        st = root_state(prob)
+        for name in ["src", "left", "right", "sink"]:
+            st = st.child(prob.index[name], 0)
+        assert st.is_goal
+        assert st.level == 4
+
+    def test_communication_in_child_start(self, prob):
+        st = root_state(prob).child(prob.index["src"], 0)
+        local = st.child(prob.index["left"], 0)
+        remote = st.child(prob.index["left"], 1)
+        assert local.start[prob.index["left"]] == 2.0
+        assert remote.start[prob.index["left"]] == 6.0
+
+    def test_append_only_avail(self, prob):
+        st = root_state(prob).child(prob.index["src"], 0)
+        st = st.child(prob.index["left"], 0)
+        # right on p0 must queue behind left even though it could start
+        # earlier by precedence alone.
+        st2 = st.child(prob.index["right"], 0)
+        assert st2.start[prob.index["right"]] == 7.0
+
+    def test_lateness_tracked_incrementally(self, prob):
+        st = root_state(prob)
+        for name in ["src", "left", "right", "sink"]:
+            st = st.child(prob.index[name], 0)
+        expected = max(
+            st.finish[i] - prob.deadline[i] for i in range(prob.n)
+        )
+        assert st.scheduled_lateness == pytest.approx(expected)
+
+    def test_min_avail(self, prob):
+        st = root_state(prob)
+        assert st.min_avail() == 0.0
+        st = st.child(prob.index["src"], 0)
+        assert st.min_avail() == 0.0
+        st = st.child(prob.index["left"], 1)
+        assert st.min_avail() == 2.0
+
+
+class TestStateQueries:
+    def test_is_scheduled_and_ready_flags(self, prob):
+        st = root_state(prob).child(prob.index["src"], 0)
+        assert st.is_scheduled(prob.index["src"])
+        assert not st.is_scheduled(prob.index["left"])
+        assert st.is_ready(prob.index["left"])
+        assert not st.is_ready(prob.index["src"])
+
+    def test_earliest_start_query_matches_child(self, prob):
+        st = root_state(prob).child(prob.index["src"], 0)
+        left = prob.index["left"]
+        assert st.earliest_start(left, 1) == st.child(left, 1).start[left]
+
+    def test_to_schedule(self, prob):
+        st = root_state(prob).child(prob.index["src"], 0)
+        st = st.child(prob.index["left"], 0)
+        sched = st.to_schedule()
+        assert len(sched) == 2
+        assert sched.violations() == []
+
+
+class TestCanonicalKey:
+    def test_processor_permutation_collapses(self, prob):
+        root = root_state(prob)
+        a = root.child(prob.index["src"], 0)
+        b = root.child(prob.index["src"], 1)
+        assert a.canonical_key() == b.canonical_key()
+
+    def test_distinct_assignments_distinct_keys(self, prob):
+        root = root_state(prob).child(prob.index["src"], 0)
+        same = root.child(prob.index["left"], 0)
+        other = root.child(prob.index["left"], 1)
+        assert same.canonical_key() != other.canonical_key()
+
+    def test_key_is_hashable(self, prob):
+        key = root_state(prob).canonical_key()
+        hash(key)

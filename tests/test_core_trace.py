@@ -1,0 +1,116 @@
+"""Unit tests for repro.core.trace and the engine tracing hooks."""
+
+import pytest
+
+from repro.core import (
+    BnBParameters,
+    BranchAndBound,
+    LLBSelection,
+    NoUpperBound,
+    TraceRecorder,
+)
+from repro.model import compile_problem, shared_bus_platform
+from repro.workload import generate_task_graph, scaled_spec
+
+from conftest import make_diamond
+
+
+@pytest.fixture
+def hard_problem():
+    # Seed 0 has a genuine search (~3k vertices at m=2).
+    return compile_problem(
+        generate_task_graph(scaled_spec(), seed=0), shared_bus_platform(2)
+    )
+
+
+class TestRecorderMechanics:
+    def test_events_recorded(self, hard_problem):
+        trace = TraceRecorder()
+        res = BranchAndBound(BnBParameters(), trace=trace).solve(hard_problem)
+        assert len(trace) == res.stats.explored
+        assert len(trace.incumbents) == res.stats.incumbent_updates
+        assert trace.initial_bound == pytest.approx(res.initial_upper_bound)
+
+    def test_explore_events_monotone_steps(self, hard_problem):
+        trace = TraceRecorder()
+        BranchAndBound(BnBParameters(), trace=trace).solve(hard_problem)
+        steps = [e.step for e in trace.explored]
+        assert steps == sorted(steps)
+        gens = [e.generated for e in trace.explored]
+        assert all(b >= a for a, b in zip(gens, gens[1:]))
+
+    def test_incumbent_costs_strictly_improve(self, hard_problem):
+        trace = TraceRecorder()
+        BranchAndBound(BnBParameters(), trace=trace).solve(hard_problem)
+        costs = [e.cost for e in trace.incumbents]
+        assert costs == sorted(costs, reverse=True)
+        assert len(set(costs)) == len(costs)
+
+    def test_final_incumbent_matches_result(self, hard_problem):
+        trace = TraceRecorder()
+        res = BranchAndBound(BnBParameters(), trace=trace).solve(hard_problem)
+        if trace.incumbents:
+            assert trace.incumbents[-1].cost == pytest.approx(res.best_cost)
+
+    def test_explore_cap_bounds_memory(self, hard_problem):
+        trace = TraceRecorder(max_explore_events=10)
+        res = BranchAndBound(BnBParameters(), trace=trace).solve(hard_problem)
+        assert len(trace.explored) == 10
+        # Incumbent log stays complete past the cap.
+        assert len(trace.incumbents) == res.stats.incumbent_updates
+
+    def test_no_trace_is_default(self, hard_problem):
+        solver = BranchAndBound(BnBParameters())
+        assert solver.trace is None
+        solver.solve(hard_problem)  # runs fine without recording
+
+
+class TestAnytimeProfile:
+    def test_profile_starts_at_initial_bound(self, hard_problem):
+        trace = TraceRecorder()
+        res = BranchAndBound(BnBParameters(), trace=trace).solve(hard_problem)
+        profile = trace.anytime_profile()
+        assert profile[0] == (0, res.initial_upper_bound)
+        assert profile[-1][1] == pytest.approx(res.best_cost)
+
+    def test_cost_at_interpolates(self, hard_problem):
+        trace = TraceRecorder()
+        res = BranchAndBound(BnBParameters(), trace=trace).solve(hard_problem)
+        assert trace.cost_at(0) == pytest.approx(res.initial_upper_bound)
+        assert trace.cost_at(10**9) == pytest.approx(res.best_cost)
+
+    def test_lifo_converges_before_llb(self, hard_problem):
+        """The anytime story behind Figure 3(a): with no initial bound,
+        depth-first reaches its first incumbent after far fewer generated
+        vertices than best-first (which must wade through the shallow
+        frontier before reaching any goal)."""
+        def first_incumbent(params):
+            trace = TraceRecorder()
+            BranchAndBound(params, trace=trace).solve(hard_problem)
+            assert trace.incumbents
+            return trace.incumbents[0].generated
+
+        lifo = first_incumbent(BnBParameters(upper_bound=NoUpperBound()))
+        llb = first_incumbent(
+            BnBParameters(selection=LLBSelection(), upper_bound=NoUpperBound())
+        )
+        assert lifo < llb
+
+    def test_max_level_and_mean_active(self, hard_problem):
+        trace = TraceRecorder()
+        BranchAndBound(BnBParameters(), trace=trace).solve(hard_problem)
+        assert 0 < trace.max_level_reached() < hard_problem.n
+        assert trace.mean_active_size() >= 0.0
+
+
+class TestCsv:
+    def test_csv_round_shape(self):
+        prob = compile_problem(make_diamond(), shared_bus_platform(2))
+        trace = TraceRecorder()
+        BranchAndBound(BnBParameters(), trace=trace).solve(prob)
+        csv = trace.to_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0] == "step,generated,level,lower_bound,active_size"
+        assert len(lines) == len(trace.explored) + 1
+        if len(lines) > 1:
+            assert lines[1].count(",") == 4

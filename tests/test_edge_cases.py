@@ -1,0 +1,182 @@
+"""Edge-case tests across modules: degenerate inputs, limits, timeouts."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    BnBParameters,
+    BranchAndBound,
+    NoUpperBound,
+    ResourceBounds,
+    SolveStatus,
+    root_state,
+)
+from repro.model import (
+    Platform,
+    Task,
+    TaskGraph,
+    ZeroCost,
+    compile_problem,
+    shared_bus_platform,
+)
+from repro.scheduling import edf_schedule
+from repro.workload import WorkloadSpec, generate_task_graph
+
+
+class TestDegenerateProblems:
+    def test_single_task_single_processor(self):
+        g = TaskGraph()
+        g.add_task(Task(name="only", wcet=3.0, relative_deadline=10.0))
+        res = BranchAndBound(BnBParameters()).solve(
+            compile_problem(g, shared_bus_platform(1))
+        )
+        assert res.status is SolveStatus.OPTIMAL
+        assert res.best_cost == pytest.approx(-7.0)
+        assert res.schedule().entry("only").start == 0.0
+
+    def test_single_task_many_processors(self):
+        g = TaskGraph()
+        g.add_task(Task(name="only", wcet=3.0, relative_deadline=10.0))
+        res = BranchAndBound(BnBParameters()).solve(
+            compile_problem(g, shared_bus_platform(4))
+        )
+        assert res.best_cost == pytest.approx(-7.0)
+
+    def test_more_processors_than_tasks(self):
+        g = TaskGraph()
+        for i in range(3):
+            g.add_task(Task(name=f"t{i}", wcet=5.0, relative_deadline=20.0))
+        res = BranchAndBound(BnBParameters()).solve(
+            compile_problem(g, shared_bus_platform(8))
+        )
+        # All three run in parallel from time 0.
+        assert res.best_cost == pytest.approx(-15.0)
+
+    def test_zero_cost_interconnect_equivalent_to_free_comm(self):
+        g = generate_task_graph(
+            WorkloadSpec(name="x", num_tasks=(6, 6), depth=(3, 3)), seed=2
+        )
+        free = Platform(2, ZeroCost(2))
+        res_free = BranchAndBound(BnBParameters()).solve(
+            compile_problem(g, free)
+        )
+        # Free communication can never be worse than the shared bus.
+        res_bus = BranchAndBound(BnBParameters()).solve(
+            compile_problem(g, shared_bus_platform(2))
+        )
+        assert res_free.best_cost <= res_bus.best_cost + 1e-9
+
+    def test_zero_message_sizes_make_topology_irrelevant(self):
+        g = TaskGraph()
+        g.add_task(Task(name="a", wcet=2.0, relative_deadline=50.0))
+        g.add_task(Task(name="b", wcet=2.0, relative_deadline=50.0))
+        g.add_edge("a", "b", message_size=0.0)
+        slow_bus = shared_bus_platform(2, delay_per_item=100.0)
+        res = BranchAndBound(BnBParameters()).solve(
+            compile_problem(g, slow_bus)
+        )
+        assert res.best_cost == pytest.approx(-46.0)  # 4 - 50
+
+    def test_identical_tasks_heavy_ties(self):
+        g = TaskGraph()
+        for i in range(5):
+            g.add_task(Task(name=f"t{i}", wcet=10.0, relative_deadline=30.0))
+        prob = compile_problem(g, shared_bus_platform(2))
+        res = BranchAndBound(BnBParameters()).solve(prob)
+        # 5 x 10 over 2 processors: best max finish is 30.
+        assert res.best_cost == pytest.approx(0.0)
+
+    def test_huge_wcet_spread(self):
+        g = TaskGraph()
+        g.add_task(Task(name="tiny", wcet=1e-6, relative_deadline=1e6))
+        g.add_task(Task(name="huge", wcet=1e5, relative_deadline=1e6))
+        g.add_edge("tiny", "huge", message_size=1.0)
+        res = BranchAndBound(BnBParameters()).solve(
+            compile_problem(g, shared_bus_platform(2))
+        )
+        assert res.found_solution
+        res.schedule().validate()
+
+
+class TestTimeoutPath:
+    def test_time_limit_returns_best_so_far(self):
+        # A large-ish instance with an (effectively) immediate deadline.
+        g = generate_task_graph(
+            WorkloadSpec(name="x", num_tasks=(12, 12), depth=(4, 5)), seed=3
+        )
+        prob = compile_problem(g, shared_bus_platform(3))
+        rb = ResourceBounds(time_limit=0.02)
+        res = BranchAndBound(
+            BnBParameters(resources=rb, upper_bound=NoUpperBound())
+        ).solve(prob)
+        if res.stats.time_limit_hit:
+            assert res.status in (SolveStatus.TIMEOUT, SolveStatus.FAILED)
+        # Either way the engine terminated cleanly.
+        assert res.stats.elapsed < 5.0
+
+
+class TestArrivalGaps:
+    def test_processor_idles_until_arrival(self):
+        g = TaskGraph()
+        g.add_task(Task(name="later", wcet=2.0, phase=10.0, relative_deadline=5.0))
+        prob = compile_problem(g, shared_bus_platform(1))
+        res = BranchAndBound(BnBParameters()).solve(prob)
+        assert res.schedule().entry("later").start == 10.0
+        assert res.best_cost == pytest.approx(-3.0)
+
+    def test_edf_respects_arrivals(self):
+        g = TaskGraph()
+        g.add_task(Task(name="late", wcet=1.0, phase=100.0, relative_deadline=1.0))
+        g.add_task(Task(name="now", wcet=1.0, relative_deadline=1000.0))
+        prob = compile_problem(g, shared_bus_platform(1))
+        res = edf_schedule(prob)
+        # `late` has the earlier absolute deadline (101 < 1000) and is
+        # picked first under EDF even though it idles the machine; the
+        # appended `now` then waits — the greedy pathology the B&B fixes.
+        assert res.start[prob.index["late"]] == 100.0
+        bnb = BranchAndBound(BnBParameters()).solve(prob)
+        assert bnb.best_cost <= res.max_lateness + 1e-9
+
+
+class TestStateEdges:
+    def test_root_of_independent_tasks_all_ready(self):
+        g = TaskGraph()
+        for i in range(4):
+            g.add_task(Task(name=f"t{i}", wcet=1.0))
+        prob = compile_problem(g, shared_bus_platform(2))
+        assert root_state(prob).ready_tasks() == [0, 1, 2, 3]
+
+    def test_deep_chain_one_ready_at_a_time(self):
+        g = TaskGraph()
+        prev = None
+        for i in range(10):
+            g.add_task(Task(name=f"c{i}", wcet=1.0))
+            if prev:
+                g.add_edge(prev, f"c{i}")
+            prev = f"c{i}"
+        prob = compile_problem(g, shared_bus_platform(2))
+        st = root_state(prob)
+        for i in range(10):
+            assert st.ready_tasks() == [i]
+            st = st.child(i, 0)
+        assert st.is_goal
+
+
+class TestReportFormatting:
+    def test_large_and_special_values(self):
+        from repro.experiments.report import _fmt
+
+        assert _fmt(123456.0) == "1.23e+05"
+        assert _fmt(float("inf")) == "inf"
+        assert _fmt(float("nan")) == "-"
+        assert _fmt(None) == "-"
+        assert _fmt(3.14159, 2) == "3.14"
+
+    def test_stats_flags_in_summary(self):
+        from repro.core import SearchStats
+
+        s = SearchStats(time_limit_hit=True, truncated=True)
+        s.elapsed = 1.0
+        text = s.summary()
+        assert "TIMELIMIT" in text and "TRUNCATED" in text

@@ -1,0 +1,263 @@
+"""Tests for the experiment harness (runner, figures, report, registry).
+
+The figure experiments run on the tiny profile with few graphs: they
+exercise the full pipeline (generation -> solving -> aggregation ->
+rendering) without attempting the paper-scale statistics — those live in
+the benchmark suite.
+"""
+
+import math
+
+import pytest
+
+from repro.core import BnBParameters, ResourceBounds
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    Cell,
+    EDF_LABEL,
+    EXPERIMENTS,
+    default_resources,
+    fig3a,
+    format_ratios,
+    format_table,
+    get_experiment,
+    render,
+    run_by_name,
+    run_experiment,
+    series_ratio,
+    upper_bound_impact,
+)
+from repro.workload import tiny_spec
+
+FAST_RB = ResourceBounds(max_vertices=30_000, time_limit=10.0)
+
+
+@pytest.fixture(scope="module")
+def small_output():
+    cells = [Cell(x=float(m), spec=tiny_spec(), processors=m) for m in (2, 3)]
+    return run_experiment(
+        name="unit",
+        description="unit-test sweep",
+        x_label="processors",
+        cells=cells,
+        strategies={
+            "LIFO": BnBParameters.paper_lifo(resources=FAST_RB),
+            "LLB": BnBParameters.paper_llb(resources=FAST_RB),
+        },
+        num_graphs=5,
+        base_seed=0,
+    )
+
+
+class TestRunner:
+    def test_series_labels(self, small_output):
+        assert small_output.labels == (EDF_LABEL, "LIFO", "LLB")
+
+    def test_points_cover_all_x(self, small_output):
+        for s in small_output.series:
+            assert s.xs == (2.0, 3.0)
+
+    def test_runs_counted(self, small_output):
+        for s in small_output.series:
+            for p in s.points:
+                assert p.runs == 5
+
+    def test_edf_vertices_equal_task_count(self, small_output):
+        edf = small_output.series_by_label(EDF_LABEL)
+        for p in edf.points:
+            lo, hi = tiny_spec().num_tasks
+            assert lo <= p.mean_vertices <= hi
+
+    def test_optimal_lateness_never_above_edf(self, small_output):
+        edf = small_output.series_by_label(EDF_LABEL)
+        lifo = small_output.series_by_label("LIFO")
+        for x in (2.0, 3.0):
+            assert (
+                lifo.point_at(x).mean_lateness
+                <= edf.point_at(x).mean_lateness + 1e-9
+            )
+
+    def test_selection_rules_same_lateness(self, small_output):
+        lifo = small_output.series_by_label("LIFO")
+        llb = small_output.series_by_label("LLB")
+        for x in (2.0, 3.0):
+            assert lifo.point_at(x).mean_lateness == pytest.approx(
+                llb.point_at(x).mean_lateness
+            )
+
+    def test_metadata(self, small_output):
+        assert small_output.metadata["num_graphs"] == 5
+        assert small_output.metadata["base_seed"] == 0
+        assert len(small_output.metadata["cells"]) == 2
+
+    def test_unknown_series_raises(self, small_output):
+        with pytest.raises(KeyError):
+            small_output.series_by_label("nope")
+
+    def test_parallel_workers_match_sequential(self, small_output):
+        cells = [Cell(x=2.0, spec=tiny_spec(), processors=2)]
+        seq = run_experiment(
+            "p", "", "m", cells,
+            {"LIFO": BnBParameters.paper_lifo(resources=FAST_RB)},
+            num_graphs=4, workers=0,
+        )
+        par = run_experiment(
+            "p", "", "m", cells,
+            {"LIFO": BnBParameters.paper_lifo(resources=FAST_RB)},
+            num_graphs=4, workers=2,
+        )
+        a = seq.series_by_label("LIFO").point_at(2.0)
+        b = par.series_by_label("LIFO").point_at(2.0)
+        assert a.mean_vertices == pytest.approx(b.mean_vertices)
+        assert a.mean_lateness == pytest.approx(b.mean_lateness)
+
+
+class TestReport:
+    def test_format_table_mentions_everything(self, small_output):
+        text = format_table(small_output)
+        assert "searched vertices" in text
+        assert "maximum task lateness" in text
+        assert "LIFO" in text and "LLB" in text and EDF_LABEL in text
+        assert "unit-test sweep" in text
+
+    def test_format_ratios(self, small_output):
+        text = format_ratios(small_output, EDF_LABEL)
+        assert "LIFO" in text and "vertices" in text
+
+    def test_series_ratio(self, small_output):
+        r = series_ratio(small_output, "LLB", "LIFO")
+        assert r >= 1.0  # LLB never searches fewer vertices here
+        r2 = series_ratio(small_output, "LLB", "LIFO", x=2.0)
+        assert r2 > 0
+
+    def test_render_with_and_without_reference(self, small_output):
+        assert "ratios" in render(small_output, reference=EDF_LABEL)
+        assert "ratios" not in render(small_output)
+
+
+class TestRegistry:
+    def test_all_design_md_experiments_registered(self):
+        expected = {
+            "fig3a", "fig3b", "fig3c",
+            "disc-parallelism", "disc-ccr", "disc-upper-bound", "disc-memory",
+            "scaling", "anytime",
+            "abl-dominance", "abl-symmetry", "abl-child-order", "abl-lb2",
+            "abl-elimination", "abl-selection-tiebreak",
+        }
+        assert expected == set(EXPERIMENTS)
+
+    def test_get_unknown_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown experiment"):
+            get_experiment("fig9z")
+
+    def test_run_by_name(self):
+        out = run_by_name(
+            "fig3b", profile="tiny", processors=(2,), num_graphs=3,
+            resources=FAST_RB,
+        )
+        assert out.name == "fig3b"
+        assert {s.label for s in out.series} == {
+            EDF_LABEL, "BnB L=LB0", "BnB L=LB1",
+        }
+
+    def test_default_resources_profiles(self):
+        assert default_resources("paper").max_vertices > default_resources(
+            "scaled"
+        ).max_vertices
+        assert default_resources("tiny").bounded
+
+
+class TestFigureExperiments:
+    def test_fig3a_structure(self):
+        out = fig3a(profile="tiny", processors=(2,), num_graphs=3,
+                    resources=FAST_RB)
+        assert {s.label for s in out.series} == {
+            EDF_LABEL, "BnB S=LLB", "BnB S=LIFO",
+        }
+        llb = out.series_by_label("BnB S=LLB").point_at(2.0)
+        lifo = out.series_by_label("BnB S=LIFO").point_at(2.0)
+        # Same optimal lateness, LLB never cheaper.
+        assert llb.mean_lateness == pytest.approx(lifo.mean_lateness)
+        assert llb.mean_vertices >= lifo.mean_vertices - 1e-9
+
+    def test_upper_bound_impact_structure(self):
+        out = upper_bound_impact(
+            profile="tiny", processors=(2,), num_graphs=3, resources=FAST_RB,
+        )
+        edf_seeded = out.series_by_label("BnB U=EDF").point_at(2.0)
+        naive = out.series_by_label("BnB U=naive").point_at(2.0)
+        assert naive.mean_vertices >= edf_seeded.mean_vertices - 1e-9
+        # The naive run must still find the same optimum.
+        assert naive.mean_lateness == pytest.approx(edf_seeded.mean_lateness)
+
+
+class TestScalingExperiment:
+    def test_scaling_structure(self):
+        from repro.experiments import scaling_sweep
+
+        out = scaling_sweep(
+            profile="tiny", sizes=(4, 6), num_graphs=3, resources=FAST_RB,
+        )
+        assert out.name == "scaling"
+        assert {s.label for s in out.series} == {
+            EDF_LABEL, "BnB optimal", "BnB B=DF",
+        }
+        opt = out.series_by_label("BnB optimal")
+        assert opt.xs == (4.0, 6.0)
+        # EDF reference vertices track the task count exactly.
+        edf = out.series_by_label(EDF_LABEL)
+        assert edf.point_at(4.0).mean_vertices == pytest.approx(4.0)
+        assert edf.point_at(6.0).mean_vertices == pytest.approx(6.0)
+
+
+class TestAnytimeExperiment:
+    def test_anytime_structure(self):
+        from repro.experiments import anytime_convergence
+
+        out = anytime_convergence(
+            profile="tiny", processors=(2,), num_graphs=4, resources=FAST_RB,
+        )
+        assert out.name == "anytime"
+        lifo = out.series_by_label("BnB S=LIFO U=none").point_at(2.0)
+        llb = out.series_by_label("BnB S=LLB U=none").point_at(2.0)
+        # Depth-first reaches a first incumbent no later than best-first.
+        assert (
+            lifo.extras["to_first_incumbent"]
+            <= llb.extras["to_first_incumbent"] + 1e-9
+        )
+        assert "failed_runs" in out.metadata
+
+
+class TestAdaptiveReplication:
+    def test_confidence_target_drives_replication(self):
+        from repro.analysis import ConfidenceTarget
+        from repro.experiments.runner import run_experiment as run
+
+        cells = [Cell(x=2.0, spec=tiny_spec(), processors=2)]
+        target = ConfidenceTarget(
+            level=0.90, rel_error=0.50, min_runs=3, max_runs=25
+        )
+        out = run(
+            "adaptive", "", "m", cells,
+            {"LIFO": BnBParameters.paper_lifo(resources=FAST_RB)},
+            confidence=target,
+        )
+        runs = out.series_by_label("LIFO").point_at(2.0).runs
+        assert 3 <= runs <= 25
+        assert out.metadata["adaptive"] is True
+        assert out.metadata["num_graphs"][2.0] == runs
+
+    def test_tight_target_hits_max_runs(self):
+        from repro.analysis import ConfidenceTarget
+        from repro.experiments.runner import run_experiment as run
+
+        cells = [Cell(x=2.0, spec=tiny_spec(), processors=2)]
+        target = ConfidenceTarget(
+            level=0.95, rel_error=0.0001, min_runs=3, max_runs=8
+        )
+        out = run(
+            "adaptive", "", "m", cells,
+            {"LIFO": BnBParameters.paper_lifo(resources=FAST_RB)},
+            confidence=target,
+        )
+        assert out.series_by_label("LIFO").point_at(2.0).runs == 8

@@ -1,0 +1,131 @@
+"""Failure injection: every checker must catch every mutation.
+
+A validity checker is only trustworthy if it *fails* on broken inputs.
+These tests take correct artifacts (optimal schedules, consistent
+states, valid STG text) and corrupt them in targeted ways, asserting
+the corresponding checker flags each corruption.
+"""
+
+import pytest
+
+from repro.core import BnBParameters, BranchAndBound
+from repro.errors import InvalidScheduleError, SerializationError
+from repro.io import parse_stg
+from repro.model import Schedule, compile_problem, shared_bus_platform
+from repro.workload import generate_task_graph, tiny_spec
+
+
+@pytest.fixture(params=range(3))
+def optimal_schedule(request):
+    g = generate_task_graph(tiny_spec(), seed=request.param)
+    prob = compile_problem(g, shared_bus_platform(2))
+    res = BranchAndBound(BnBParameters()).solve(prob)
+    sched = res.schedule()
+    sched.validate()
+    return sched
+
+
+def rebuild_with(schedule: Schedule, **overrides) -> Schedule:
+    """Copy a schedule, overriding (processor, start) for some tasks."""
+    out = Schedule(schedule.graph, schedule.platform)
+    for e in schedule.entries:
+        proc, start = overrides.get(e.task, (e.processor, e.start))
+        out.place(e.task, proc, start)
+    return out
+
+
+class TestScheduleMutations:
+    def test_shifting_a_task_before_its_arrival_is_caught(self, optimal_schedule):
+        # Find a task with a positive arrival time and start it earlier.
+        for e in optimal_schedule.entries:
+            arrival = optimal_schedule.graph.task(e.task).arrival(1)
+            if arrival > 1.0:
+                broken = rebuild_with(
+                    optimal_schedule, **{e.task: (e.processor, arrival - 1.0)}
+                )
+                violations = broken.violations()
+                assert violations, "early start not caught"
+                return
+        pytest.skip("no task with positive arrival in this instance")
+
+    def test_swapping_processor_without_comm_is_caught(self, optimal_schedule):
+        # Move a consumer with a remote-message-free predecessor onto a
+        # different processor at the same start: the message cost is no
+        # longer covered.
+        g = optimal_schedule.graph
+        for ch in g.channels:
+            if ch.message_size <= 0:
+                continue
+            ep = optimal_schedule.entry(ch.src)
+            ec = optimal_schedule.entry(ch.dst)
+            if ep.processor == ec.processor and ec.start < ep.finish + 1.0:
+                other = 1 - ec.processor
+                broken = rebuild_with(
+                    optimal_schedule, **{ch.dst: (other, ec.start)}
+                )
+                assert broken.violations(), "missing message gap not caught"
+                return
+        pytest.skip("no tight co-located message in this instance")
+
+    def test_overlapping_two_tasks_is_caught(self, optimal_schedule):
+        line = None
+        for p in optimal_schedule.platform.processors:
+            tl = optimal_schedule.timeline(p)
+            if len(tl) >= 2:
+                line = tl
+                break
+        if line is None:
+            pytest.skip("no processor with two tasks")
+        first, second = line[0], line[1]
+        broken = rebuild_with(
+            optimal_schedule,
+            **{second.task: (second.processor, first.start + 1e-3)},
+        )
+        assert broken.violations(), "overlap not caught"
+
+    def test_validate_raises_with_all_violations(self, optimal_schedule):
+        e = optimal_schedule.entries[-1]
+        broken = rebuild_with(optimal_schedule, **{e.task: (e.processor, -50.0)})
+        with pytest.raises(InvalidScheduleError) as exc:
+            broken.validate()
+        assert exc.value.violations
+
+    def test_unmutated_schedule_stays_clean(self, optimal_schedule):
+        assert rebuild_with(optimal_schedule).violations() == []
+
+
+class TestEngineInvariants:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_stats_accounting_consistent(self, seed):
+        g = generate_task_graph(tiny_spec(), seed=seed)
+        prob = compile_problem(g, shared_bus_platform(2))
+        res = BranchAndBound(BnBParameters()).solve(prob)
+        st = res.stats
+        # Every generated vertex is the root, a goal, pruned somewhere,
+        # explored, or still sitting in the frontier at termination.
+        assert st.explored <= st.generated
+        assert st.goals_evaluated <= st.generated
+        assert st.pruned_total + st.explored + st.goals_evaluated <= (
+            st.generated + st.dropped_resource + st.peak_active + 1
+        )
+        assert st.incumbent_updates <= st.goals_evaluated
+
+
+class TestSTGMutations:
+    GOOD = "3\n0 5 0\n1 5 1 0\n2 5 1 1\n"
+
+    def test_good_parses(self):
+        assert len(parse_stg(self.GOOD)) == 3
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            lambda t: t.replace("3\n", "99\n"),          # wrong count
+            lambda t: t.replace("1 5 1 0", "1 5 1 7"),   # dangling pred
+            lambda t: t.replace("2 5 1 1", "2 5 2 1"),   # missing pred id
+            lambda t: t + "1 5 0\n",                      # duplicate id
+        ],
+    )
+    def test_mutations_rejected(self, mutation):
+        with pytest.raises(SerializationError):
+            parse_stg(mutation(self.GOOD))

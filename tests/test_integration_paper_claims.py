@@ -1,0 +1,150 @@
+"""Integration tests: the paper's qualitative claims on small ensembles.
+
+These are fast, directional versions of the benchmark experiments: they
+assert the *inequalities* the paper reports (who wins), leaving the
+magnitude measurements to ``benchmarks/``.  Ensembles are chosen large
+enough that the aggregate direction is stable across the seeded runs.
+"""
+
+import pytest
+
+from repro.core import BnBParameters, BranchAndBound, ResourceBounds
+from repro.model import compile_problem, shared_bus_platform
+from repro.scheduling import edf_schedule
+from repro.workload import generate_task_graph, scaled_spec
+
+RB = ResourceBounds(max_vertices=300_000, time_limit=20.0)
+SEEDS = range(16)
+
+
+@pytest.fixture(scope="module")
+def problems_m2():
+    spec = scaled_spec()
+    return [
+        compile_problem(generate_task_graph(spec, seed=s), shared_bus_platform(2))
+        for s in SEEDS
+    ]
+
+
+@pytest.fixture(scope="module")
+def problems_m3():
+    spec = scaled_spec()
+    return [
+        compile_problem(generate_task_graph(spec, seed=s), shared_bus_platform(3))
+        for s in SEEDS
+    ]
+
+
+def total_vertices(problems, params):
+    return sum(
+        BranchAndBound(params).solve(p).stats.generated for p in problems
+    )
+
+
+class TestContributionC1SelectionRule:
+    """LIFO outperforms LLB (Section 5.1)."""
+
+    def test_lifo_searches_fewer_vertices(self, problems_m2):
+        lifo = total_vertices(problems_m2, BnBParameters.paper_lifo(resources=RB))
+        llb = total_vertices(problems_m2, BnBParameters.paper_llb(resources=RB))
+        assert lifo < llb
+
+    def test_lifo_uses_less_memory(self, problems_m2):
+        peak_lifo = peak_llb = 0
+        for p in problems_m2:
+            peak_lifo += BranchAndBound(
+                BnBParameters.paper_lifo(resources=RB)
+            ).solve(p).stats.peak_active
+            peak_llb += BranchAndBound(
+                BnBParameters.paper_llb(resources=RB)
+            ).solve(p).stats.peak_active
+        # The Section 6 thrashing observation: LLB's active set is far
+        # larger (it wades through the shallow lb-plateau breadth-first).
+        assert peak_lifo < peak_llb
+
+    def test_both_reach_same_optimum(self, problems_m2):
+        for p in problems_m2:
+            a = BranchAndBound(BnBParameters.paper_lifo(resources=RB)).solve(p)
+            b = BranchAndBound(BnBParameters.paper_llb(resources=RB)).solve(p)
+            assert a.best_cost == pytest.approx(b.best_cost)
+
+
+class TestContributionC2LowerBound:
+    """LB1 helps most when parallelism cannot be exploited (Section 5.2)."""
+
+    def test_lb1_never_searches_more(self, problems_m2):
+        for p in problems_m2:
+            lb1 = BranchAndBound(BnBParameters.paper_lb1(resources=RB)).solve(p)
+            lb0 = BranchAndBound(BnBParameters.paper_lb0(resources=RB)).solve(p)
+            assert lb1.stats.generated <= lb0.stats.generated
+
+    def test_lb1_gap_shrinks_with_more_processors(self, problems_m2, problems_m3):
+        def ratio(problems):
+            lb0 = total_vertices(problems, BnBParameters.paper_lb0(resources=RB))
+            lb1 = total_vertices(problems, BnBParameters.paper_lb1(resources=RB))
+            return lb0 / lb1
+
+        # The adaptive term binds harder on the small system.
+        assert ratio(problems_m2) >= ratio(problems_m3) - 0.05
+
+
+class TestContributionC3Approximation:
+    """Approximate rules trade lateness for vertices (Section 5.3)."""
+
+    def test_single_task_rules_are_cheaper(self, problems_m3):
+        bfn = total_vertices(problems_m3, BnBParameters.paper_default(resources=RB))
+        df = total_vertices(problems_m3, BnBParameters.approximate_df(resources=RB))
+        bf1 = total_vertices(problems_m3, BnBParameters.approximate_bf1(resources=RB))
+        assert df < bfn
+        assert bf1 < bfn
+
+    def test_approximate_lateness_no_better_than_optimal(self, problems_m2):
+        for p in problems_m2:
+            opt = BranchAndBound(BnBParameters.paper_default(resources=RB)).solve(p)
+            df = BranchAndBound(BnBParameters.approximate_df(resources=RB)).solve(p)
+            assert df.best_cost >= opt.best_cost - 1e-9
+
+    def test_br10_saves_vertices_at_bounded_cost(self, problems_m2):
+        exact_total = near_total = 0
+        for p in problems_m2:
+            exact = BranchAndBound(BnBParameters.paper_default(resources=RB)).solve(p)
+            near = BranchAndBound(
+                BnBParameters.near_optimal(0.10, resources=RB)
+            ).solve(p)
+            exact_total += exact.stats.generated
+            near_total += near.stats.generated
+            assert near.best_cost <= exact.best_cost + 0.10 * abs(near.best_cost) + 1e-9
+        assert near_total <= exact_total
+
+
+class TestEDFBaseline:
+    """The B&B improves on greedy EDF (Figure 3, lower plots)."""
+
+    def test_optimal_beats_or_ties_edf_everywhere(self, problems_m2):
+        improved = 0
+        for p in problems_m2:
+            opt = BranchAndBound(BnBParameters.paper_default(resources=RB)).solve(p)
+            edf = edf_schedule(p)
+            assert opt.best_cost <= edf.max_lateness + 1e-9
+            if opt.best_cost < edf.max_lateness - 1e-9:
+                improved += 1
+        # On a meaningful fraction of instances the improvement is strict.
+        assert improved >= 1
+
+
+class TestSection6UpperBound:
+    """EDF-seeded upper bound beats a naive constant (Section 6)."""
+
+    def test_seeded_upper_bound_prunes_more(self, problems_m2):
+        from repro.core import ConstantUpperBound
+
+        seeded = total_vertices(
+            problems_m2, BnBParameters.paper_default(resources=RB)
+        )
+        naive = total_vertices(
+            problems_m2,
+            BnBParameters.paper_default(
+                resources=RB, upper_bound=ConstantUpperBound(1000.0)
+            ),
+        )
+        assert seeded < naive

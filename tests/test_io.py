@@ -1,0 +1,161 @@
+"""Tests for repro.io (JSON round-trips, DOT export)."""
+
+import json
+import math
+
+import pytest
+
+from repro.core import BnBParameters, ResourceBounds
+from repro.errors import SerializationError
+from repro.experiments import Cell, run_experiment
+from repro.io import (
+    experiment_from_dict,
+    experiment_to_dict,
+    graph_from_dict,
+    graph_to_dict,
+    graph_to_dot,
+    load_experiment,
+    load_graph,
+    save_experiment,
+    save_graph,
+    schedule_from_dict,
+    schedule_to_dict,
+    schedule_to_dot,
+)
+from repro.model import Schedule, Task, shared_bus_platform
+from repro.workload import generate_task_graph, tiny_spec
+
+from conftest import make_diamond
+
+
+class TestGraphRoundTrip:
+    def test_round_trip_preserves_everything(self):
+        g = generate_task_graph(tiny_spec(), seed=3)
+        g2 = graph_from_dict(graph_to_dict(g))
+        assert g2.name == g.name
+        assert g2.task_names == g.task_names
+        for name in g.task_names:
+            a, b = g.task(name), g2.task(name)
+            assert (a.wcet, a.phase, a.relative_deadline, a.period) == (
+                b.wcet, b.phase, b.relative_deadline, b.period,
+            )
+        assert [(c.src, c.dst, c.message_size) for c in g.channels] == [
+            (c.src, c.dst, c.message_size) for c in g2.channels
+        ]
+
+    def test_infinite_deadline_round_trips(self):
+        g = make_diamond()
+        g.add_task(Task(name="open", wcet=1.0))  # inf deadline, inf period
+        g2 = graph_from_dict(graph_to_dict(g))
+        assert math.isinf(g2.task("open").relative_deadline)
+        assert not g2.task("open").is_periodic
+
+    def test_file_round_trip(self, tmp_path):
+        g = make_diamond()
+        path = tmp_path / "g.json"
+        save_graph(g, path)
+        g2 = load_graph(path)
+        assert g2.task_names == g.task_names
+        # The file is genuine JSON.
+        json.loads(path.read_text())
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(SerializationError, match="format"):
+            graph_from_dict({"format": "other", "tasks": []})
+
+    def test_malformed_task_rejected(self):
+        with pytest.raises(SerializationError, match="malformed"):
+            graph_from_dict(
+                {"format": "repro/taskgraph-v1", "tasks": [{"name": "a"}]}
+            )
+
+    def test_invalid_json_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(SerializationError, match="invalid JSON"):
+            load_graph(path)
+
+
+class TestScheduleRoundTrip:
+    def test_round_trip(self):
+        g = make_diamond(msg=4.0)
+        s = Schedule(g, shared_bus_platform(2))
+        s.place("src", 0, 0.0)
+        s.place("left", 0, 2.0)
+        s.place("right", 1, 6.0)
+        s.place("sink", 0, 17.0)
+        s2 = schedule_from_dict(schedule_to_dict(s))
+        assert s2.is_complete
+        assert s2.entry("right").processor == 1
+        assert s2.entry("right").start == 6.0
+        s2.validate()
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(SerializationError):
+            schedule_from_dict({"format": "zzz"})
+
+
+class TestExperimentRoundTrip:
+    def test_round_trip(self, tmp_path):
+        rb = ResourceBounds(max_vertices=5_000)
+        out = run_experiment(
+            "rt", "round trip", "m",
+            [Cell(x=2.0, spec=tiny_spec(), processors=2)],
+            {"LIFO": BnBParameters.paper_lifo(resources=rb)},
+            num_graphs=3,
+        )
+        path = tmp_path / "exp.json"
+        save_experiment(out, path)
+        out2 = load_experiment(path)
+        assert out2.name == out.name
+        assert out2.labels == out.labels
+        a = out.series_by_label("LIFO").point_at(2.0)
+        b = out2.series_by_label("LIFO").point_at(2.0)
+        assert a.mean_vertices == b.mean_vertices
+        assert a.mean_lateness == b.mean_lateness
+        assert a.extras == b.extras
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(SerializationError):
+            experiment_from_dict({"format": "x"})
+
+    def test_infinite_ci_round_trips(self):
+        rb = ResourceBounds(max_vertices=100)
+        out = run_experiment(
+            "one", "", "m",
+            [Cell(x=2.0, spec=tiny_spec(), processors=2)],
+            {"LIFO": BnBParameters.paper_lifo(resources=rb)},
+            num_graphs=1,  # single run: CI is infinite
+        )
+        out2 = experiment_from_dict(experiment_to_dict(out))
+        p = out2.series_by_label("LIFO").point_at(2.0)
+        assert math.isinf(p.ci_vertices)
+
+
+class TestDot:
+    def test_graph_dot_mentions_tasks_and_weights(self):
+        g = make_diamond(msg=4.0)
+        dot = graph_to_dot(g)
+        assert dot.startswith("digraph")
+        for name in g.task_names:
+            assert name in dot
+        assert '"src" -> "left"' in dot
+        assert "c=2" in dot
+
+    def test_graph_dot_windows_toggle(self):
+        g = make_diamond()
+        with_w = graph_to_dot(g, include_windows=True)
+        without = graph_to_dot(g, include_windows=False)
+        assert "[0, 100]" in with_w
+        assert "[0, 100]" not in without
+
+    def test_schedule_dot_clusters_and_messages(self):
+        g = make_diamond(msg=4.0)
+        s = Schedule(g, shared_bus_platform(2))
+        s.place("src", 0, 0.0)
+        s.place("left", 0, 2.0)
+        s.place("right", 1, 6.0)
+        s.place("sink", 0, 17.0)
+        dot = schedule_to_dot(s)
+        assert "cluster_p0" in dot and "cluster_p1" in dot
+        assert "color=red" in dot  # remote message edge

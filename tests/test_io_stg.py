@@ -1,0 +1,129 @@
+"""Unit tests for repro.io.stg (Standard Task Graph format)."""
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.io import format_stg, load_stg, parse_stg, save_stg
+from repro.workload import generate_task_graph, tiny_spec
+
+from conftest import make_diamond
+
+CANONICAL = """\
+6
+0 0 0
+1 10 1 0
+2 20 1 1
+3 30 1 1
+4 5 2 2 3
+5 0 1 4
+"""
+
+
+class TestParse:
+    def test_canonical_with_dummies(self):
+        g = parse_stg(CANONICAL)
+        # Dummy entry (0) and exit (5) dropped.
+        assert sorted(g.task_names) == ["n1", "n2", "n3", "n4"]
+        assert g.task("n2").wcet == 20.0
+        assert g.has_channel("n1", "n2")
+        assert g.has_channel("n2", "n4")
+        assert g.has_channel("n3", "n4")
+        assert g.input_tasks == ["n1"]
+        assert g.output_tasks == ["n4"]
+
+    def test_dummy_collapse_preserves_precedence(self):
+        # Two roots joined through a dummy entry node.
+        text = """\
+4
+0 0 0
+1 5 1 0
+2 5 1 0
+3 0 2 1 2
+"""
+        g = parse_stg(text)
+        assert sorted(g.task_names) == ["n1", "n2"]
+        assert g.num_arcs == 0  # dummy exit dropped; no real precedence
+
+    def test_dummy_in_middle_collapsed_transitively(self):
+        text = """\
+3
+0 5 0
+1 0 1 0
+2 5 1 1
+"""
+        g = parse_stg(text)
+        assert sorted(g.task_names) == ["n0", "n2"]
+        assert g.has_channel("n0", "n2")
+
+    def test_keep_dummies(self):
+        g = parse_stg(CANONICAL, keep_dummies_as=0.5)
+        assert len(g) == 6
+        assert g.task("n0").wcet == 0.5
+
+    def test_comments_and_blank_lines_ignored(self):
+        g = parse_stg("# header\n\n2\n0 3 0\n1 4 1 0  # edge\n")
+        assert sorted(g.task_names) == ["n0", "n1"]
+
+    @pytest.mark.parametrize(
+        "text,match",
+        [
+            ("", "empty"),
+            ("abc", "task count"),
+            ("1\n0 1", "malformed"),
+            ("1\n0 1 2 0", "predecessors"),
+            ("2\n0 1 0\n0 1 0", "duplicate"),
+            ("1\n0 1 1 9", "unknown predecessor"),
+        ],
+    )
+    def test_malformed_rejected(self, text, match):
+        with pytest.raises(SerializationError, match=match):
+            parse_stg(text)
+
+    def test_wrong_count_rejected(self):
+        with pytest.raises(SerializationError, match="declares"):
+            parse_stg("5\n0 1 0\n")
+
+    def test_nonpositive_keep_dummies_rejected(self):
+        with pytest.raises(SerializationError, match="positive"):
+            parse_stg(CANONICAL, keep_dummies_as=0.0)
+
+
+class TestFormat:
+    def test_canonical_output_shape(self, diamond):
+        text = format_stg(diamond)
+        lines = text.strip().splitlines()
+        assert lines[0] == "6"  # 4 tasks + 2 dummies
+        assert lines[1] == "0 0 0"  # dummy entry
+        assert lines[-1].startswith("5 0 ")  # dummy exit
+
+    def test_round_trip_structure(self, diamond):
+        g2 = parse_stg(format_stg(diamond))
+        assert len(g2) == len(diamond)
+        # Precedence preserved under renaming (insertion order stable).
+        rename = dict(zip(g2.topological_order(), diamond.topological_order()))
+        for ch in g2.channels:
+            assert diamond.has_channel(rename[ch.src], rename[ch.dst])
+
+    def test_round_trip_wcets(self, diamond):
+        g2 = parse_stg(format_stg(diamond))
+        assert sorted(t.wcet for t in g2) == sorted(t.wcet for t in diamond)
+
+    def test_without_dummies(self, diamond):
+        text = format_stg(diamond, with_dummies=False)
+        assert text.strip().splitlines()[0] == "4"
+        g2 = parse_stg(text)
+        assert len(g2) == 4
+
+    def test_fractional_wcets_preserved(self):
+        g = generate_task_graph(tiny_spec(), seed=1, assign_windows=False)
+        g2 = parse_stg(format_stg(g))
+        assert sorted(round(t.wcet, 6) for t in g2) == sorted(
+            round(t.wcet, 6) for t in g
+        )
+
+    def test_file_round_trip(self, tmp_path, diamond):
+        path = tmp_path / "g.stg"
+        save_stg(diamond, path)
+        g2 = load_stg(path)
+        assert g2.name == "g"
+        assert len(g2) == 4

@@ -1,0 +1,61 @@
+"""Unit tests for repro.model.channel."""
+
+import math
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model import Channel
+
+
+class TestChannelConstruction:
+    def test_defaults(self):
+        ch = Channel(src="a", dst="b")
+        assert ch.message_size == 0.0
+        assert ch.arrival == 0.0
+        assert math.isinf(ch.relative_deadline)
+        assert ch.key == ("a", "b")
+
+    def test_self_loop_rejected(self):
+        # The precedence order is irreflexive.
+        with pytest.raises(ModelError, match="irreflexive"):
+            Channel(src="a", dst="a")
+
+    def test_empty_endpoint_rejected(self):
+        with pytest.raises(ModelError):
+            Channel(src="", dst="b")
+        with pytest.raises(ModelError):
+            Channel(src="a", dst="")
+
+    @pytest.mark.parametrize("size", [-1.0, math.inf])
+    def test_bad_message_size_rejected(self, size):
+        with pytest.raises(ModelError, match="message size"):
+            Channel(src="a", dst="b", message_size=size)
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ModelError, match="arrival"):
+            Channel(src="a", dst="b", arrival=-1.0)
+
+    def test_nonpositive_deadline_rejected(self):
+        with pytest.raises(ModelError, match="deadline"):
+            Channel(src="a", dst="b", relative_deadline=0.0)
+
+    def test_zero_size_is_pure_precedence(self):
+        ch = Channel(src="a", dst="b", message_size=0.0)
+        assert ch.nominal_cost(7.0) == 0.0
+
+
+class TestNominalCost:
+    def test_cost_is_size_times_delay(self):
+        # Section 2.1: cost = message length * nominal delay.
+        ch = Channel(src="a", dst="b", message_size=12.0)
+        assert ch.nominal_cost(1.0) == 12.0
+        assert ch.nominal_cost(2.5) == 30.0
+
+    def test_channels_are_immutable(self):
+        ch = Channel(src="a", dst="b")
+        with pytest.raises(AttributeError):
+            ch.message_size = 5.0
+
+    def test_str(self):
+        assert "a -> b" in str(Channel(src="a", dst="b", message_size=3.0))

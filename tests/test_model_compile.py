@@ -1,0 +1,164 @@
+"""Unit tests for repro.model.compile."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model import (
+    Ring,
+    Platform,
+    Task,
+    TaskGraph,
+    compile_problem,
+    shared_bus_platform,
+)
+
+from conftest import make_chain, make_diamond
+
+
+class TestCompilation:
+    def test_index_order_matches_insertion(self, diamond):
+        prob = compile_problem(diamond, shared_bus_platform(2))
+        assert prob.names == ("src", "left", "right", "sink")
+        assert prob.index["right"] == 2
+        assert prob.n == 4
+        assert prob.m == 2
+
+    def test_arrays(self, diamond):
+        prob = compile_problem(diamond, shared_bus_platform(2))
+        assert prob.wcet == (2.0, 5.0, 7.0, 3.0)
+        assert prob.deadline == (100.0,) * 4
+        assert prob.arrival == (0.0,) * 4
+
+    def test_adjacency(self, diamond):
+        prob = compile_problem(diamond, shared_bus_platform(2))
+        sink = prob.index["sink"]
+        preds = dict(prob.pred_edges[sink])
+        assert preds == {prob.index["left"]: 4.0, prob.index["right"]: 4.0}
+        src = prob.index["src"]
+        succs = dict(prob.succ_edges[src])
+        assert set(succs) == {prob.index["left"], prob.index["right"]}
+
+    def test_pred_mask(self, diamond):
+        prob = compile_problem(diamond, shared_bus_platform(2))
+        sink = prob.index["sink"]
+        expected = (1 << prob.index["left"]) | (1 << prob.index["right"])
+        assert prob.pred_mask[sink] == expected
+        assert prob.pred_mask[prob.index["src"]] == 0
+
+    def test_topo_and_inputs(self, diamond):
+        prob = compile_problem(diamond, shared_bus_platform(2))
+        assert prob.topo[0] == prob.index["src"]
+        assert prob.topo[-1] == prob.index["sink"]
+        assert prob.inputs == (prob.index["src"],)
+        assert prob.all_mask == 0b1111
+
+    def test_uniform_delay_detected_for_bus(self, diamond):
+        prob = compile_problem(diamond, shared_bus_platform(3))
+        assert prob.uniform_delay == 1.0
+
+    def test_nonuniform_delay_for_ring(self, diamond):
+        plat = Platform(num_processors=4, interconnect=Ring(4))
+        prob = compile_problem(diamond, plat)
+        assert prob.uniform_delay is None
+        assert prob.delay[0][2] == 2.0
+
+    def test_single_processor_uniform_delay_zero(self, diamond):
+        prob = compile_problem(diamond, shared_bus_platform(1))
+        assert prob.uniform_delay == 0.0
+
+    def test_context_switch_folded_into_wcet(self, diamond):
+        plat = Platform(num_processors=2, context_switch=0.5)
+        prob = compile_problem(diamond, plat)
+        assert prob.wcet[0] == 2.5
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ModelError, match="empty"):
+            compile_problem(TaskGraph(), shared_bus_platform(2))
+
+    def test_oversized_graph_rejected(self):
+        g = TaskGraph()
+        for i in range(63):
+            g.add_task(Task(name=f"t{i}", wcet=1.0))
+        with pytest.raises(ModelError, match="62"):
+            compile_problem(g, shared_bus_platform(2))
+
+
+class TestEarliestStart:
+    def test_respects_arrival(self):
+        g = TaskGraph()
+        g.add_task(Task(name="a", wcet=1.0, phase=7.0))
+        prob = compile_problem(g, shared_bus_platform(2))
+        s = prob.earliest_start(0, 0, [-1], [0.0], avail=0.0)
+        assert s == 7.0
+
+    def test_respects_processor_availability(self, diamond):
+        prob = compile_problem(diamond, shared_bus_platform(2))
+        src = prob.index["src"]
+        s = prob.earliest_start(src, 0, [-1] * 4, [0.0] * 4, avail=9.0)
+        assert s == 9.0
+
+    def test_same_processor_predecessor_no_comm(self, diamond):
+        prob = compile_problem(diamond, shared_bus_platform(2))
+        left = prob.index["left"]
+        src = prob.index["src"]
+        proc_of = [-1] * 4
+        finish = [0.0] * 4
+        proc_of[src] = 0
+        finish[src] = 2.0
+        assert prob.earliest_start(left, 0, proc_of, finish, 0.0) == 2.0
+
+    def test_cross_processor_predecessor_pays_message(self, diamond):
+        prob = compile_problem(diamond, shared_bus_platform(2))
+        left = prob.index["left"]
+        src = prob.index["src"]
+        proc_of = [-1] * 4
+        finish = [0.0] * 4
+        proc_of[src] = 0
+        finish[src] = 2.0
+        # msg size 4 at delay 1.
+        assert prob.earliest_start(left, 1, proc_of, finish, 0.0) == 6.0
+
+    def test_nonuniform_path_uses_delay_matrix(self, diamond):
+        plat = Platform(num_processors=3, interconnect=Ring(3, delay_per_hop=2.0))
+        prob = compile_problem(diamond, plat)
+        left = prob.index["left"]
+        src = prob.index["src"]
+        proc_of = [-1] * 4
+        finish = [0.0] * 4
+        proc_of[src] = 0
+        finish[src] = 2.0
+        # ring hop 0->1 = 1 hop * 2.0 delay * size 4 = 8.
+        assert prob.earliest_start(left, 1, proc_of, finish, 0.0) == 10.0
+
+    def test_communication_cost_helper(self, diamond):
+        prob = compile_problem(diamond, shared_bus_platform(2))
+        assert prob.communication_cost(0, 1, 5.0) == 5.0
+        assert prob.communication_cost(0, 0, 5.0) == 0.0
+
+
+class TestConversions:
+    def test_make_schedule_roundtrip(self, diamond):
+        prob = compile_problem(diamond, shared_bus_platform(2))
+        proc_of = [0, 0, 1, 0]
+        start = [0.0, 2.0, 6.0, 17.0]
+        sched = prob.make_schedule(proc_of, start)
+        assert sched.is_complete
+        sched.validate()
+
+    def test_make_schedule_partial(self, diamond):
+        prob = compile_problem(diamond, shared_bus_platform(2))
+        sched = prob.make_schedule([0, -1, -1, -1], [0.0] * 4)
+        assert len(sched) == 1
+
+    def test_lateness_of_masked(self, diamond):
+        prob = compile_problem(diamond, shared_bus_platform(2))
+        finish = [90.0, 95.0, 120.0, 130.0]
+        # Only src and left counted.
+        mask = 0b0011
+        assert prob.lateness_of(finish, mask) == -5.0
+        assert prob.lateness_of(finish, 0b1111) == 30.0
+
+    def test_chain_compiles(self):
+        prob = compile_problem(make_chain(5), shared_bus_platform(2))
+        assert prob.n == 5
+        assert [len(p) for p in prob.pred_edges] == [0, 1, 1, 1, 1]

@@ -1,0 +1,112 @@
+"""Unit tests for repro.model.interconnect."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model import FullyConnected, Mesh2D, Ring, SharedBus, ZeroCost
+from repro.model.interconnect import square_mesh
+
+
+class TestSharedBus:
+    def test_paper_platform_delay(self):
+        # Section 4: one time unit per transmitted data item.
+        bus = SharedBus(3)
+        assert bus.nominal_delay(0, 1) == 1.0
+        assert bus.nominal_delay(2, 1) == 1.0
+
+    def test_local_communication_is_free(self):
+        bus = SharedBus(3)
+        for p in range(3):
+            assert bus.nominal_delay(p, p) == 0.0
+
+    def test_message_cost(self):
+        bus = SharedBus(2, delay_per_item=2.0)
+        assert bus.message_cost(0, 1, 10.0) == 20.0
+        assert bus.message_cost(1, 1, 10.0) == 0.0
+
+    def test_delay_matrix(self):
+        bus = SharedBus(2)
+        assert bus.delay_matrix() == [[0.0, 1.0], [1.0, 0.0]]
+
+    def test_out_of_range_processor_rejected(self):
+        bus = SharedBus(2)
+        with pytest.raises(ModelError, match="out of range"):
+            bus.nominal_delay(0, 2)
+        with pytest.raises(ModelError, match="out of range"):
+            bus.nominal_delay(-1, 0)
+
+    def test_zero_processors_rejected(self):
+        with pytest.raises(ModelError):
+            SharedBus(0)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ModelError):
+            SharedBus(2, delay_per_item=-1.0)
+
+
+class TestFullyConnected:
+    def test_uniform_offdiagonal(self):
+        net = FullyConnected(4, delay_per_item=0.5)
+        assert net.nominal_delay(0, 3) == 0.5
+        assert net.nominal_delay(3, 0) == 0.5
+        assert net.nominal_delay(1, 1) == 0.0
+
+
+class TestRing:
+    def test_shortest_way_around(self):
+        ring = Ring(6)
+        assert ring.hops(0, 1) == 1
+        assert ring.hops(0, 3) == 3
+        assert ring.hops(0, 5) == 1  # wraps
+        assert ring.hops(1, 4) == 3
+
+    def test_delay_scales_with_hops(self):
+        ring = Ring(6, delay_per_hop=2.0)
+        assert ring.nominal_delay(0, 5) == 2.0
+        assert ring.nominal_delay(0, 3) == 6.0
+        assert ring.nominal_delay(2, 2) == 0.0
+
+    def test_symmetry(self):
+        ring = Ring(5)
+        for a in range(5):
+            for b in range(5):
+                assert ring.nominal_delay(a, b) == ring.nominal_delay(b, a)
+
+
+class TestMesh2D:
+    def test_coordinates_row_major(self):
+        mesh = Mesh2D(rows=2, cols=3)
+        assert mesh.num_processors == 6
+        assert mesh.coordinates(0) == (0, 0)
+        assert mesh.coordinates(2) == (2, 0)
+        assert mesh.coordinates(3) == (0, 1)
+
+    def test_manhattan_hops(self):
+        mesh = Mesh2D(rows=2, cols=3)
+        assert mesh.hops(0, 5) == 3  # (0,0) -> (2,1)
+        assert mesh.hops(1, 4) == 1
+        assert mesh.hops(4, 4) == 0
+
+    def test_delay(self):
+        mesh = Mesh2D(rows=2, cols=2, delay_per_hop=3.0)
+        assert mesh.nominal_delay(0, 3) == 6.0
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(ModelError):
+            Mesh2D(rows=0, cols=3)
+
+    def test_square_mesh_factory(self):
+        mesh = square_mesh(6)
+        assert mesh.rows * mesh.cols == 6
+        assert mesh.rows == 2
+        mesh9 = square_mesh(9)
+        assert (mesh9.rows, mesh9.cols) == (3, 3)
+        mesh7 = square_mesh(7)  # prime: degenerates to a row
+        assert mesh7.rows * mesh7.cols == 7
+
+
+class TestZeroCost:
+    def test_always_free(self):
+        net = ZeroCost(3)
+        assert net.nominal_delay(0, 2) == 0.0
+        assert net.message_cost(0, 1, 1000.0) == 0.0

@@ -1,0 +1,51 @@
+"""Unit tests for repro.model.platform."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model import Platform, Ring, SharedBus, shared_bus_platform
+
+
+class TestPlatform:
+    def test_default_interconnect_is_shared_bus(self):
+        p = Platform(num_processors=3)
+        assert isinstance(p.interconnect, SharedBus)
+        assert p.interconnect.num_processors == 3
+
+    def test_processors_iterable(self):
+        p = Platform(num_processors=4)
+        assert list(p.processors) == [0, 1, 2, 3]
+
+    def test_zero_processors_rejected(self):
+        with pytest.raises(ModelError):
+            Platform(num_processors=0)
+
+    def test_mismatched_interconnect_rejected(self):
+        with pytest.raises(ModelError, match="sized for"):
+            Platform(num_processors=3, interconnect=SharedBus(2))
+
+    def test_negative_context_switch_rejected(self):
+        with pytest.raises(ModelError, match="context switch"):
+            Platform(num_processors=2, context_switch=-1.0)
+
+    def test_communication_cost_delegates(self):
+        p = Platform(num_processors=3, interconnect=Ring(3, delay_per_hop=2.0))
+        assert p.communication_cost(0, 1, 5.0) == 10.0
+        assert p.communication_cost(1, 1, 5.0) == 0.0
+
+    def test_effective_wcet_adds_context_switch(self):
+        p = Platform(num_processors=2, context_switch=0.5)
+        assert p.effective_wcet(10.0) == 10.5
+        assert Platform(num_processors=2).effective_wcet(10.0) == 10.0
+
+
+class TestSharedBusPlatform:
+    def test_factory_matches_paper(self):
+        p = shared_bus_platform(4)
+        assert p.num_processors == 4
+        assert isinstance(p.interconnect, SharedBus)
+        assert p.interconnect.delay_per_item == 1.0
+
+    def test_factory_custom_delay(self):
+        p = shared_bus_platform(2, delay_per_item=3.0)
+        assert p.communication_cost(0, 1, 2.0) == 6.0

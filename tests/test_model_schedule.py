@@ -1,0 +1,188 @@
+"""Unit tests for repro.model.schedule."""
+
+import math
+
+import pytest
+
+from repro.errors import InvalidScheduleError, ModelError, UnknownTaskError
+from repro.model import Schedule, Task, TaskGraph, shared_bus_platform
+
+from conftest import make_diamond, make_independent
+
+
+@pytest.fixture
+def diamond_sched():
+    g = make_diamond(msg=4.0)
+    return Schedule(g, shared_bus_platform(2))
+
+
+class TestPlacement:
+    def test_place_computes_finish(self, diamond_sched):
+        e = diamond_sched.place("src", 0, 0.0)
+        assert e.finish == 2.0
+        assert e.duration == 2.0
+        assert len(diamond_sched) == 1
+        assert "src" in diamond_sched
+
+    def test_place_unknown_task_rejected(self, diamond_sched):
+        with pytest.raises(UnknownTaskError):
+            diamond_sched.place("zz", 0, 0.0)
+
+    def test_double_place_rejected(self, diamond_sched):
+        diamond_sched.place("src", 0, 0.0)
+        with pytest.raises(ModelError, match="already scheduled"):
+            diamond_sched.place("src", 1, 5.0)
+
+    def test_place_bad_processor_rejected(self, diamond_sched):
+        with pytest.raises(ModelError, match="out of range"):
+            diamond_sched.place("src", 2, 0.0)
+
+    def test_remove(self, diamond_sched):
+        diamond_sched.place("src", 0, 0.0)
+        diamond_sched.remove("src")
+        assert "src" not in diamond_sched
+        with pytest.raises(UnknownTaskError):
+            diamond_sched.remove("src")
+
+    def test_context_switch_included_in_finish(self):
+        from repro.model import Platform
+
+        g = make_diamond()
+        sched = Schedule(g, Platform(num_processors=2, context_switch=0.5))
+        e = sched.place("src", 0, 0.0)
+        assert e.finish == 2.5
+
+    def test_copy_independent(self, diamond_sched):
+        diamond_sched.place("src", 0, 0.0)
+        c = diamond_sched.copy()
+        c.place("left", 0, 10.0)
+        assert "left" in c and "left" not in diamond_sched
+
+
+def complete_diamond(msg: float = 4.0) -> Schedule:
+    """A hand-built valid schedule for the diamond on two processors."""
+    g = make_diamond(msg=msg)
+    s = Schedule(g, shared_bus_platform(2))
+    s.place("src", 0, 0.0)  # [0, 2]
+    s.place("left", 0, 2.0)  # same proc, no comm: [2, 7]
+    s.place("right", 1, 2.0 + msg)  # crosses the bus: [6, 13]
+    s.place("sink", 0, 13.0 + msg)  # waits for right + message: [17, 20]
+    return s
+
+
+class TestQueriesAndMetrics:
+    def test_timeline_sorted(self):
+        s = complete_diamond()
+        line = s.timeline(0)
+        assert [e.task for e in line] == ["src", "left", "sink"]
+        assert s.timeline(1)[0].task == "right"
+
+    def test_processor_finish(self):
+        s = complete_diamond()
+        assert s.processor_finish(0) == 20.0
+        assert s.processor_finish(1) == 13.0
+
+    def test_makespan(self):
+        assert complete_diamond().makespan() == 20.0
+
+    def test_empty_schedule_metrics(self):
+        g = make_diamond()
+        s = Schedule(g, shared_bus_platform(2))
+        assert s.makespan() == 0.0
+        assert s.max_lateness() == -math.inf
+        assert not s.is_complete
+
+    def test_lateness_per_task(self):
+        s = complete_diamond()
+        # All deadlines are 100 in the fixture.
+        assert s.lateness("sink") == 20.0 - 100.0
+        assert s.max_lateness() == pytest.approx(-80.0)
+
+    def test_is_complete(self):
+        s = complete_diamond()
+        assert s.is_complete
+        s.remove("sink")
+        assert not s.is_complete
+
+    def test_messages(self):
+        s = complete_diamond(msg=4.0)
+        msgs = {(m.src, m.dst): m for m in s.messages()}
+        assert len(msgs) == 4
+        local = msgs[("src", "left")]
+        assert local.is_local and local.transfer_time == 0.0
+        remote = msgs[("src", "right")]
+        assert not remote.is_local
+        assert remote.departure == 2.0
+        assert remote.arrival == 6.0
+
+    def test_entries_ordering(self):
+        s = complete_diamond()
+        starts = [e.start for e in s.entries]
+        assert starts == sorted(starts)
+
+
+class TestValidation:
+    def test_valid_schedule_passes(self):
+        s = complete_diamond()
+        s.validate()
+        s.validate(require_deadlines=True)
+        assert s.is_feasible()
+
+    def test_arrival_violation(self):
+        g = TaskGraph()
+        g.add_task(Task(name="a", wcet=1.0, phase=5.0))
+        s = Schedule(g, shared_bus_platform(1))
+        s.place("a", 0, 0.0)
+        v = s.violations()
+        assert any("arrival" in x for x in v)
+        with pytest.raises(InvalidScheduleError, match="arrival"):
+            s.validate()
+
+    def test_precedence_violation_missing_pred(self):
+        g = make_diamond()
+        s = Schedule(g, shared_bus_platform(2))
+        s.place("sink", 0, 50.0)
+        assert any("predecessor" in x for x in s.violations())
+
+    def test_precedence_violation_too_early(self):
+        g = make_diamond(msg=4.0)
+        s = Schedule(g, shared_bus_platform(2))
+        s.place("src", 0, 0.0)
+        # Starts before src finish + message across the bus.
+        s.place("right", 1, 3.0)
+        assert any("communication" in x for x in s.violations())
+
+    def test_same_processor_needs_no_message_gap(self):
+        g = make_diamond(msg=4.0)
+        s = Schedule(g, shared_bus_platform(2))
+        s.place("src", 0, 0.0)
+        s.place("left", 0, 2.0)  # immediately after src, no comm
+        assert s.violations() == []
+
+    def test_overlap_violation(self):
+        g = make_independent(2)
+        s = Schedule(g, shared_bus_platform(1))
+        s.place("i0", 0, 0.0)  # [0, 4]
+        s.place("i1", 0, 2.0)  # overlaps
+        assert any("overlaps" in x for x in s.violations())
+
+    def test_touching_intervals_do_not_overlap(self):
+        g = make_independent(2)
+        s = Schedule(g, shared_bus_platform(1))
+        s.place("i0", 0, 0.0)  # [0, 4]
+        s.place("i1", 0, 4.0)  # starts exactly at the finish
+        assert s.violations() == []
+
+    def test_deadline_violation_only_with_flag(self):
+        g = TaskGraph()
+        g.add_task(Task(name="a", wcet=10.0, relative_deadline=10.0))
+        s = Schedule(g, shared_bus_platform(1))
+        s.place("a", 0, 5.0)  # finishes at 15 > deadline 10
+        assert s.violations() == []  # consistent
+        assert any("deadline" in x for x in s.violations(require_deadlines=True))
+        assert not s.is_feasible()
+
+    def test_as_table_renders(self):
+        s = complete_diamond()
+        text = s.as_table()
+        assert "p0" in text and "p1" in text and "L_max" in text

@@ -1,0 +1,143 @@
+"""Unit tests for repro.model.task."""
+
+import math
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model import APERIODIC, Job, Task
+
+
+class TestTaskConstruction:
+    def test_minimal_task(self):
+        t = Task(name="a", wcet=5.0)
+        assert t.name == "a"
+        assert t.wcet == 5.0
+        assert t.phase == 0.0
+        assert math.isinf(t.relative_deadline)
+        assert not t.is_periodic
+
+    def test_full_task(self):
+        t = Task(name="a", wcet=2.0, phase=1.0, relative_deadline=10.0, period=20.0)
+        assert t.is_periodic
+        assert t.window_length == 10.0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError, match="name"):
+            Task(name="", wcet=1.0)
+
+    @pytest.mark.parametrize("wcet", [0.0, -1.0, math.inf])
+    def test_bad_wcet_rejected(self, wcet):
+        with pytest.raises(ModelError, match="wcet"):
+            Task(name="a", wcet=wcet)
+
+    def test_negative_phase_rejected(self):
+        with pytest.raises(ModelError, match="phase"):
+            Task(name="a", wcet=1.0, phase=-0.5)
+
+    def test_nonpositive_deadline_rejected(self):
+        with pytest.raises(ModelError, match="deadline"):
+            Task(name="a", wcet=1.0, relative_deadline=0.0)
+
+    def test_nonpositive_period_rejected(self):
+        with pytest.raises(ModelError, match="period"):
+            Task(name="a", wcet=1.0, period=-3.0)
+
+    def test_deadline_beyond_period_rejected(self):
+        # The paper assumes d_i <= T_i for periodic tasks.
+        with pytest.raises(ModelError, match="d_i <= T_i"):
+            Task(name="a", wcet=1.0, relative_deadline=30.0, period=20.0)
+
+    def test_wcet_beyond_window_rejected(self):
+        with pytest.raises(ModelError, match="window"):
+            Task(name="a", wcet=5.0, relative_deadline=4.0)
+
+    def test_tasks_are_immutable(self):
+        t = Task(name="a", wcet=1.0)
+        with pytest.raises(AttributeError):
+            t.wcet = 2.0
+
+
+class TestInvocationArithmetic:
+    def test_first_invocation_arrival_is_phase(self):
+        t = Task(name="a", wcet=1.0, phase=3.0, relative_deadline=5.0, period=10.0)
+        assert t.arrival(1) == 3.0
+        assert t.absolute_deadline(1) == 8.0
+
+    def test_kth_invocation(self):
+        t = Task(name="a", wcet=1.0, phase=3.0, relative_deadline=5.0, period=10.0)
+        # a_i^k = phi + T(k-1)
+        assert t.arrival(4) == 3.0 + 10.0 * 3
+        assert t.absolute_deadline(4) == t.arrival(4) + 5.0
+
+    def test_invocation_zero_rejected(self):
+        t = Task(name="a", wcet=1.0)
+        with pytest.raises(ModelError, match=">= 1"):
+            t.arrival(0)
+
+    def test_oneshot_second_invocation_rejected(self):
+        t = Task(name="a", wcet=1.0)
+        with pytest.raises(ModelError, match="one-shot"):
+            t.arrival(2)
+
+    def test_job_materialization(self):
+        t = Task(name="a", wcet=2.0, phase=1.0, relative_deadline=4.0, period=10.0)
+        j = t.job(2)
+        assert isinstance(j, Job)
+        assert j.arrival == 11.0
+        assert j.deadline == 15.0
+        assert j.name == "a#2"
+        assert j.wcet == 2.0
+
+    def test_oneshot_job_name_has_no_suffix(self):
+        t = Task(name="a", wcet=1.0)
+        assert t.job(1).name == "a"
+
+    def test_job_lateness(self):
+        j = Task(name="a", wcet=1.0, relative_deadline=10.0).job(1)
+        assert j.lateness(8.0) == -2.0
+        assert j.lateness(12.0) == 2.0
+
+
+class TestJobsUntil:
+    def test_oneshot_yields_single_job(self):
+        t = Task(name="a", wcet=1.0)
+        jobs = list(t.jobs_until(100.0))
+        assert len(jobs) == 1
+        assert jobs[0].index == 1
+
+    def test_periodic_yields_per_period(self):
+        t = Task(name="a", wcet=1.0, relative_deadline=10.0, period=10.0)
+        jobs = list(t.jobs_until(30.0))
+        assert [j.arrival for j in jobs] == [0.0, 10.0, 20.0]
+
+    def test_horizon_is_exclusive(self):
+        t = Task(name="a", wcet=1.0, relative_deadline=10.0, period=10.0)
+        assert len(list(t.jobs_until(20.0))) == 2
+
+    def test_phase_beyond_horizon_yields_nothing(self):
+        t = Task(name="a", wcet=1.0, phase=50.0)
+        assert list(t.jobs_until(10.0)) == []
+
+    def test_period_defaults_to_aperiodic_constant(self):
+        assert Task(name="a", wcet=1.0).period == APERIODIC
+
+
+class TestWithWindow:
+    def test_with_window_stamps_phase_and_deadline(self):
+        t = Task(name="a", wcet=2.0)
+        t2 = t.with_window(5.0, 12.0)
+        assert t2.phase == 5.0
+        assert t2.relative_deadline == 7.0
+        assert t2.arrival(1) == 5.0
+        assert t2.absolute_deadline(1) == 12.0
+        # Original unchanged.
+        assert t.phase == 0.0
+
+    def test_with_window_too_small_rejected(self):
+        t = Task(name="a", wcet=5.0)
+        with pytest.raises(ModelError, match="shorter"):
+            t.with_window(0.0, 4.0)
+
+    def test_str_contains_name(self):
+        assert "a" in str(Task(name="a", wcet=1.0))

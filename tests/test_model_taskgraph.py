@@ -1,0 +1,279 @@
+"""Unit tests for repro.model.taskgraph."""
+
+import pytest
+
+from repro.errors import CycleError, ModelError, UnknownChannelError, UnknownTaskError
+from repro.model import Channel, Task, TaskGraph
+
+from conftest import make_chain, make_diamond, make_forkjoin, make_independent
+
+
+def simple_graph() -> TaskGraph:
+    g = TaskGraph(name="g")
+    for name, c in [("a", 1.0), ("b", 2.0), ("c", 3.0), ("d", 4.0)]:
+        g.add_task(Task(name=name, wcet=c))
+    g.add_edge("a", "b", message_size=1.0)
+    g.add_edge("a", "c", message_size=2.0)
+    g.add_edge("b", "d", message_size=3.0)
+    g.add_edge("c", "d", message_size=4.0)
+    return g
+
+
+class TestConstruction:
+    def test_add_and_lookup(self):
+        g = simple_graph()
+        assert len(g) == 4
+        assert g.num_arcs == 4
+        assert g.task("a").wcet == 1.0
+        assert g.channel("a", "b").message_size == 1.0
+        assert "a" in g
+        assert "zz" not in g
+
+    def test_duplicate_task_rejected(self):
+        g = TaskGraph()
+        g.add_task(Task(name="a", wcet=1.0))
+        with pytest.raises(ModelError, match="duplicate task"):
+            g.add_task(Task(name="a", wcet=2.0))
+
+    def test_duplicate_channel_rejected(self):
+        g = simple_graph()
+        with pytest.raises(ModelError, match="duplicate channel"):
+            g.add_edge("a", "b")
+
+    def test_channel_to_unknown_task_rejected(self):
+        g = simple_graph()
+        with pytest.raises(UnknownTaskError):
+            g.add_edge("a", "zz")
+        with pytest.raises(UnknownTaskError):
+            g.add_edge("zz", "a")
+
+    def test_unknown_lookups_raise(self):
+        g = simple_graph()
+        with pytest.raises(UnknownTaskError):
+            g.task("zz")
+        with pytest.raises(UnknownChannelError):
+            g.channel("a", "d")
+        with pytest.raises(UnknownTaskError):
+            g.successors("zz")
+
+    def test_cycle_rejected_immediately(self):
+        g = simple_graph()
+        with pytest.raises(CycleError) as exc:
+            g.add_edge("d", "a")
+        # The reported cycle walks a -> ... -> d -> a.
+        assert exc.value.cycle[0] == "a"
+        assert exc.value.cycle[-1] == "a"
+        # Graph unchanged by the failed insertion.
+        assert g.num_arcs == 4
+        g.validate()
+
+    def test_two_node_cycle_rejected(self):
+        g = TaskGraph()
+        g.add_task(Task(name="a", wcet=1.0))
+        g.add_task(Task(name="b", wcet=1.0))
+        g.add_edge("a", "b")
+        with pytest.raises(CycleError):
+            g.add_edge("b", "a")
+
+    def test_copy_is_independent(self):
+        g = simple_graph()
+        h = g.copy()
+        h.add_task(Task(name="e", wcet=1.0))
+        assert "e" in h and "e" not in g
+
+
+class TestAdjacency:
+    def test_direct_neighbours(self):
+        g = simple_graph()
+        assert g.successors("a") == ["b", "c"]
+        assert g.predecessors("d") == ["b", "c"]
+        assert g.in_degree("a") == 0
+        assert g.out_degree("a") == 2
+
+    def test_inputs_outputs(self):
+        g = simple_graph()
+        assert g.input_tasks == ["a"]
+        assert g.output_tasks == ["d"]
+        indep = make_independent(3)
+        assert len(indep.input_tasks) == 3
+        assert len(indep.output_tasks) == 3
+
+    def test_precedes_is_transitive(self):
+        g = simple_graph()
+        assert g.precedes("a", "d")
+        assert g.precedes("a", "b")
+        assert not g.precedes("d", "a")
+        assert not g.precedes("b", "c")
+        assert not g.precedes("a", "a")  # irreflexive
+
+    def test_ancestors_descendants(self):
+        g = simple_graph()
+        assert g.ancestors("d") == {"a", "b", "c"}
+        assert g.descendants("a") == {"b", "c", "d"}
+        assert g.ancestors("a") == set()
+
+
+class TestOrders:
+    def test_topological_order_valid(self):
+        g = simple_graph()
+        order = g.topological_order()
+        pos = {n: i for i, n in enumerate(order)}
+        for ch in g.channels:
+            assert pos[ch.src] < pos[ch.dst]
+
+    def test_depth_first_order_is_topological(self):
+        for g in [simple_graph(), make_diamond(), make_forkjoin(4), make_chain(6)]:
+            order = g.depth_first_order()
+            assert sorted(order) == sorted(g.task_names)
+            pos = {n: i for i, n in enumerate(order)}
+            for ch in g.channels:
+                assert pos[ch.src] < pos[ch.dst]
+
+    def test_depth_first_order_descends_chains(self):
+        # On two independent chains the DF order emits one full chain
+        # before starting the other.
+        g = TaskGraph()
+        for name in ["a0", "a1", "a2", "b0", "b1", "b2"]:
+            g.add_task(Task(name=name, wcet=1.0))
+        g.add_edge("a0", "a1")
+        g.add_edge("a1", "a2")
+        g.add_edge("b0", "b1")
+        g.add_edge("b1", "b2")
+        assert g.depth_first_order() == ["a0", "a1", "a2", "b0", "b1", "b2"]
+
+    def test_level_order_is_topological_and_breadth_first(self):
+        g = make_forkjoin(3)
+        order = g.level_order()
+        pos = {n: i for i, n in enumerate(order)}
+        for ch in g.channels:
+            assert pos[ch.src] < pos[ch.dst]
+        # All middle tasks precede the sink and follow the source.
+        assert order[0] == "src"
+        assert order[-1] == "sink"
+
+    def test_level_order_ties_broken_by_bottom_level(self):
+        # Two parallel tasks at the same depth: the more critical one
+        # (larger computation bottom level) comes first.
+        g = make_diamond()
+        order = g.level_order()
+        assert order.index("right") < order.index("left")  # 7 > 5
+
+
+class TestLevels:
+    def test_hop_levels(self):
+        g = make_diamond()
+        assert g.top_level_hops() == {"src": 0, "left": 1, "right": 1, "sink": 2}
+        assert g.bottom_level_hops() == {"src": 2, "left": 1, "right": 1, "sink": 0}
+
+    def test_weighted_levels_no_comm(self):
+        g = make_diamond()
+        top = g.top_level(include_comm=False)
+        assert top["src"] == 2.0
+        assert top["left"] == 7.0
+        assert top["right"] == 9.0
+        assert top["sink"] == 12.0
+        bot = g.bottom_level(include_comm=False)
+        assert bot["sink"] == 3.0
+        assert bot["src"] == 2.0 + 7.0 + 3.0
+
+    def test_weighted_levels_with_comm(self):
+        g = make_diamond(msg=4.0)
+        top = g.top_level(include_comm=True, delay=1.0)
+        assert top["sink"] == 2.0 + 4.0 + 7.0 + 4.0 + 3.0
+        # Doubling the nominal delay doubles the message terms.
+        top2 = g.top_level(include_comm=True, delay=2.0)
+        assert top2["sink"] == 2.0 + 8.0 + 7.0 + 8.0 + 3.0
+
+    def test_critical_path(self):
+        g = make_diamond()
+        assert g.critical_path(include_comm=False) == ["src", "right", "sink"]
+        assert g.critical_path_length(include_comm=False) == 12.0
+
+    def test_critical_path_on_chain_is_whole_chain(self):
+        g = make_chain(5)
+        assert g.critical_path() == [f"c{i}" for i in range(5)]
+
+
+class TestMetrics:
+    def test_depth_and_widths(self):
+        g = make_forkjoin(3)
+        assert g.depth == 3
+        assert g.level_widths() == [1, 3, 1]
+        assert g.width == 3
+
+    def test_parallelism(self):
+        g = make_independent(4)
+        # No precedence: critical path is the longest single task.
+        assert g.parallelism() == pytest.approx(
+            sum(4.0 + i for i in range(4)) / 7.0
+        )
+
+    def test_total_workload_and_volume(self):
+        g = make_diamond(msg=4.0)
+        assert g.total_workload == 17.0
+        assert g.total_message_volume == 16.0
+
+    def test_ccr(self):
+        g = make_diamond(msg=4.0)
+        # mean msg cost 4, mean exec 17/4.
+        assert g.communication_to_computation_ratio() == pytest.approx(
+            4.0 / (17.0 / 4.0)
+        )
+
+    def test_empty_graph_metrics(self):
+        g = TaskGraph()
+        assert g.depth == 0
+        assert g.width == 0
+        assert g.critical_path() == []
+        assert g.critical_path_length() == 0.0
+
+
+class TestPaths:
+    def test_paths_between(self):
+        g = make_diamond()
+        paths = g.paths_between("src", "sink")
+        assert sorted(map(tuple, paths)) == [
+            ("src", "left", "sink"),
+            ("src", "right", "sink"),
+        ]
+
+    def test_paths_between_no_path(self):
+        g = make_independent(2)
+        assert g.paths_between("i0", "i1") == []
+
+    def test_paths_limit(self):
+        g = make_diamond()
+        with pytest.raises(ModelError, match="paths"):
+            g.paths_between("src", "sink", limit=1)
+
+
+class TestMutation:
+    def test_replace_task(self):
+        g = simple_graph()
+        g.replace_task(Task(name="a", wcet=99.0))
+        assert g.task("a").wcet == 99.0
+        assert g.num_arcs == 4
+
+    def test_replace_unknown_rejected(self):
+        g = simple_graph()
+        with pytest.raises(UnknownTaskError):
+            g.replace_task(Task(name="zz", wcet=1.0))
+
+    def test_with_tasks_returns_new_graph(self):
+        g = simple_graph()
+        h = g.with_tasks({"a": Task(name="a", wcet=50.0)})
+        assert h.task("a").wcet == 50.0
+        assert g.task("a").wcet == 1.0
+        assert h.task_names == g.task_names
+
+    def test_with_tasks_unknown_rejected(self):
+        g = simple_graph()
+        with pytest.raises(UnknownTaskError):
+            g.with_tasks({"zz": Task(name="zz", wcet=1.0)})
+
+    def test_caches_invalidated_on_mutation(self):
+        g = simple_graph()
+        assert g.depth == 3
+        g.add_task(Task(name="e", wcet=1.0))
+        g.add_edge("d", "e")
+        assert g.depth == 4

@@ -1,0 +1,106 @@
+"""Unit tests for repro.model.unroll."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model import Channel, Task, TaskGraph, hyperperiod, unroll
+
+
+def periodic_pipeline() -> TaskGraph:
+    g = TaskGraph(name="pipe")
+    g.add_task(Task(name="p", wcet=1.0, relative_deadline=5.0, period=10.0))
+    g.add_task(Task(name="q", wcet=2.0, relative_deadline=8.0, period=10.0))
+    g.add_channel(Channel(src="p", dst="q", message_size=3.0))
+    return g
+
+
+class TestHyperperiod:
+    def test_single_period(self):
+        assert hyperperiod(periodic_pipeline()) == 10.0
+
+    def test_lcm_of_distinct_periods(self):
+        g = TaskGraph()
+        g.add_task(Task(name="a", wcet=1.0, relative_deadline=4.0, period=4.0))
+        g.add_task(Task(name="b", wcet=1.0, relative_deadline=6.0, period=6.0))
+        assert hyperperiod(g) == 12.0
+
+    def test_oneshot_graph_has_zero_hyperperiod(self):
+        g = TaskGraph()
+        g.add_task(Task(name="a", wcet=1.0))
+        assert hyperperiod(g) == 0.0
+
+    def test_float_periods_on_grid(self):
+        g = TaskGraph()
+        g.add_task(Task(name="a", wcet=0.1, relative_deadline=0.5, period=0.5))
+        g.add_task(Task(name="b", wcet=0.1, relative_deadline=0.75, period=0.75))
+        assert hyperperiod(g) == pytest.approx(1.5)
+
+
+class TestUnroll:
+    def test_oneshot_graph_passthrough(self):
+        g = TaskGraph()
+        g.add_task(Task(name="a", wcet=1.0))
+        u = unroll(g)
+        assert u.task_names == ["a"]
+
+    def test_same_rate_pipeline_connects_indexwise(self):
+        u = unroll(periodic_pipeline(), horizon=20.0)
+        assert set(u.task_names) == {"p#1", "p#2", "q#1", "q#2"}
+        assert u.has_channel("p#1", "q#1")
+        assert u.has_channel("p#2", "q#2")
+        assert not u.has_channel("p#1", "q#2")
+        assert u.channel("p#1", "q#1").message_size == 3.0
+
+    def test_invocation_chain_added(self):
+        u = unroll(periodic_pipeline(), horizon=20.0)
+        assert u.has_channel("p#1", "p#2")
+        assert u.channel("p#1", "p#2").message_size == 0.0
+
+    def test_invocation_chain_optional(self):
+        u = unroll(periodic_pipeline(), horizon=20.0, chain_invocations=False)
+        assert not u.has_channel("p#1", "p#2")
+
+    def test_job_windows_shifted_by_period(self):
+        u = unroll(periodic_pipeline(), horizon=20.0)
+        p2 = u.task("p#2")
+        assert p2.arrival(1) == 10.0
+        assert p2.absolute_deadline(1) == 15.0
+        assert not p2.is_periodic
+
+    def test_rate_transition_fast_producer_slow_consumer(self):
+        g = TaskGraph()
+        g.add_task(Task(name="f", wcet=1.0, relative_deadline=5.0, period=5.0))
+        g.add_task(Task(name="s", wcet=1.0, relative_deadline=10.0, period=10.0))
+        g.add_channel(Channel(src="f", dst="s", message_size=1.0))
+        u = unroll(g, horizon=20.0)
+        # f has 4 jobs, s has 2.  s#2 (arrival 10) reads the freshest
+        # producer job arrived by t=10: f#3.
+        assert u.has_channel("f#1", "s#1")
+        assert u.has_channel("f#3", "s#2")
+        assert not u.has_channel("f#4", "s#2")
+
+    def test_default_horizon_is_hyperperiod(self):
+        u = unroll(periodic_pipeline())
+        assert set(u.task_names) == {"p", "q"} or set(u.task_names) == {
+            "p#1",
+            "q#1",
+        }
+
+    def test_unrolled_graph_is_acyclic_and_valid(self):
+        u = unroll(periodic_pipeline(), horizon=30.0)
+        u.validate()
+        assert len(u) == 6
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(ModelError, match="horizon"):
+            unroll(periodic_pipeline(), horizon=-1.0)
+
+    def test_mixed_periodic_and_oneshot(self):
+        g = periodic_pipeline()
+        g.add_task(Task(name="init", wcet=1.0))
+        g.add_channel(Channel(src="init", dst="p", message_size=0.0))
+        u = unroll(g, horizon=20.0)
+        assert "init" in u
+        # The one-shot feeds the first invocation (and via chaining,
+        # transitively all).
+        assert u.has_channel("init", "p#1")

@@ -1,0 +1,72 @@
+"""Unit tests for repro.scheduling.edf (Section 4.4 baseline)."""
+
+import pytest
+
+from repro.model import Task, TaskGraph, compile_problem, shared_bus_platform
+from repro.scheduling import edf_schedule
+
+from conftest import make_diamond, make_forkjoin, make_independent
+
+
+class TestEDFOrdering:
+    def test_picks_earliest_absolute_deadline(self):
+        g = TaskGraph()
+        g.add_task(Task(name="late", wcet=2.0, relative_deadline=50.0))
+        g.add_task(Task(name="soon", wcet=2.0, relative_deadline=10.0))
+        prob = compile_problem(g, shared_bus_platform(1))
+        res = edf_schedule(prob)
+        assert res.order[0] == prob.index["soon"]
+
+    def test_respects_precedence(self, diamond_problem):
+        res = edf_schedule(diamond_problem)
+        order = list(res.order)
+        src = diamond_problem.index["src"]
+        sink = diamond_problem.index["sink"]
+        assert order[0] == src
+        assert order[-1] == sink
+
+    def test_deadline_tie_broken_by_arrival_then_index(self):
+        g = TaskGraph()
+        g.add_task(Task(name="a", wcet=1.0, phase=5.0, relative_deadline=10.0))
+        g.add_task(Task(name="b", wcet=1.0, phase=0.0, relative_deadline=15.0))
+        # Both have absolute deadline 15.
+        prob = compile_problem(g, shared_bus_platform(1))
+        res = edf_schedule(prob)
+        assert res.order[0] == prob.index["b"]
+
+
+class TestEDFPlacement:
+    def test_spreads_over_processors(self):
+        prob = compile_problem(make_independent(3), shared_bus_platform(3))
+        res = edf_schedule(prob)
+        # Three independent tasks on three processors all start at 0.
+        assert sorted(res.proc_of) == [0, 1, 2]
+        assert res.start == (0.0, 0.0, 0.0)
+
+    def test_schedule_is_consistent(self):
+        for factory in (make_diamond, make_forkjoin, make_independent):
+            prob = compile_problem(factory(), shared_bus_platform(2))
+            res = edf_schedule(prob)
+            sched = res.to_schedule()
+            assert sched.is_complete
+            sched.validate()
+
+    def test_cost_matches_schedule(self, diamond_problem):
+        res = edf_schedule(diamond_problem)
+        assert res.max_lateness == pytest.approx(
+            res.to_schedule().max_lateness()
+        )
+
+    def test_deterministic(self, diamond_problem):
+        a = edf_schedule(diamond_problem)
+        b = edf_schedule(diamond_problem)
+        assert a.proc_of == b.proc_of
+        assert a.start == b.start
+
+    def test_single_processor_serializes(self, diamond_problem):
+        prob = compile_problem(make_diamond(), shared_bus_platform(1))
+        res = edf_schedule(prob)
+        assert set(res.proc_of) == {0}
+        # Total busy time = sum of wcets, no idling before the last finish
+        # on a single processor with zero arrivals.
+        assert max(res.finish) == pytest.approx(17.0)

@@ -1,0 +1,109 @@
+"""Unit tests for repro.scheduling.heuristics."""
+
+import random
+
+import pytest
+
+from repro.model import compile_problem, shared_bus_platform
+from repro.scheduling import (
+    HEURISTICS,
+    best_heuristic_schedule,
+    depth_first_schedule,
+    hlfet_schedule,
+    least_laxity_schedule,
+    level_order_schedule,
+    random_order_schedule,
+)
+from repro.workload import generate_task_graph, scaled_spec
+
+from conftest import make_diamond, make_forkjoin
+
+
+@pytest.fixture(params=sorted(HEURISTICS))
+def heuristic(request):
+    return HEURISTICS[request.param]
+
+
+@pytest.fixture
+def problems():
+    plat = shared_bus_platform(2)
+    graphs = [make_diamond(), make_forkjoin(3)] + [
+        generate_task_graph(scaled_spec(), seed=s) for s in range(3)
+    ]
+    return [compile_problem(g, plat) for g in graphs]
+
+
+class TestAllHeuristics:
+    def test_produce_consistent_complete_schedules(self, heuristic, problems):
+        for prob in problems:
+            res = heuristic(prob)
+            sched = res.to_schedule()
+            assert sched.is_complete
+            assert sched.violations() == []
+
+    def test_cost_matches_materialized_schedule(self, heuristic, problems):
+        for prob in problems:
+            res = heuristic(prob)
+            assert res.max_lateness == pytest.approx(
+                res.to_schedule().max_lateness()
+            )
+
+    def test_order_is_topological(self, heuristic, problems):
+        for prob in problems:
+            res = heuristic(prob)
+            seen = set()
+            for t in res.order:
+                for j, _ in prob.pred_edges[t]:
+                    assert j in seen
+                seen.add(t)
+
+    def test_deterministic(self, heuristic, problems):
+        prob = problems[0]
+        assert heuristic(prob).proc_of == heuristic(prob).proc_of
+
+
+class TestSpecificHeuristics:
+    def test_hlfet_schedules_critical_branch_first(self):
+        prob = compile_problem(make_diamond(), shared_bus_platform(2))
+        res = hlfet_schedule(prob)
+        order = list(res.order)
+        # "right" (bottom level 10) before "left" (bottom level 8).
+        assert order.index(prob.index["right"]) < order.index(prob.index["left"])
+
+    def test_depth_first_uses_df_order(self):
+        prob = compile_problem(make_diamond(), shared_bus_platform(2))
+        res = depth_first_schedule(prob)
+        df = [prob.index[n] for n in prob.graph.depth_first_order()]
+        assert list(res.order) == df
+
+    def test_level_order_uses_level_order(self):
+        prob = compile_problem(make_forkjoin(3), shared_bus_platform(2))
+        res = level_order_schedule(prob)
+        lv = [prob.index[n] for n in prob.graph.level_order()]
+        assert list(res.order) == lv
+
+    def test_random_order_seeded(self):
+        prob = compile_problem(make_forkjoin(4), shared_bus_platform(2))
+        a = random_order_schedule(prob, random.Random(7))
+        b = random_order_schedule(prob, random.Random(7))
+        c = random_order_schedule(prob, random.Random(8))
+        assert a.order == b.order
+        assert a.order != c.order or a.proc_of != c.proc_of
+
+    def test_least_laxity_runs(self):
+        prob = compile_problem(make_forkjoin(3), shared_bus_platform(2))
+        res = least_laxity_schedule(prob)
+        assert res.to_schedule().violations() == []
+
+
+class TestPortfolio:
+    def test_best_heuristic_is_min_over_registry(self, problems):
+        for prob in problems:
+            best = best_heuristic_schedule(prob)
+            costs = [h(prob).max_lateness for h in HEURISTICS.values()]
+            assert best.max_lateness == pytest.approx(min(costs))
+
+    def test_registry_names(self):
+        assert "edf" in HEURISTICS
+        assert "hlfet" in HEURISTICS
+        assert len(HEURISTICS) >= 5

@@ -1,0 +1,139 @@
+"""Unit tests for repro.scheduling.listsched (the Section 4.3 operation)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model import compile_problem, shared_bus_platform
+from repro.scheduling import (
+    SchedulingState,
+    best_processor,
+    schedule_in_order,
+)
+
+from conftest import make_chain, make_diamond, make_independent
+
+
+@pytest.fixture
+def diamond_prob():
+    return compile_problem(make_diamond(msg=4.0), shared_bus_platform(2))
+
+
+class TestSchedulingState:
+    def test_initial_ready_set_is_inputs(self, diamond_prob):
+        st = SchedulingState(diamond_prob)
+        assert st.ready_tasks() == [diamond_prob.index["src"]]
+        assert not st.is_complete
+
+    def test_place_updates_ready_set(self, diamond_prob):
+        st = SchedulingState(diamond_prob)
+        st.place(diamond_prob.index["src"], 0)
+        ready = set(st.ready_tasks())
+        assert ready == {diamond_prob.index["left"], diamond_prob.index["right"]}
+
+    def test_place_not_ready_rejected(self, diamond_prob):
+        st = SchedulingState(diamond_prob)
+        with pytest.raises(ModelError, match="not ready"):
+            st.place(diamond_prob.index["sink"], 0)
+
+    def test_double_place_rejected(self, diamond_prob):
+        st = SchedulingState(diamond_prob)
+        st.place(diamond_prob.index["src"], 0)
+        with pytest.raises(ModelError, match="not ready"):
+            st.place(diamond_prob.index["src"], 1)
+
+    def test_append_only_no_backfill(self):
+        """A later task on the same processor never starts before the
+        previous one finishes, even if a gap exists — the source of the
+        operation's non-commutativity."""
+        prob = compile_problem(make_independent(2), shared_bus_platform(1))
+        st = SchedulingState(prob)
+        # i1 (wcet 5) placed first, then i0 (wcet 4) must wait.
+        st.place(1, 0)
+        assert st.start[1] == 0.0
+        st.place(0, 0)
+        assert st.start[0] == 5.0
+
+    def test_communication_respected(self, diamond_prob):
+        st = SchedulingState(diamond_prob)
+        st.place(diamond_prob.index["src"], 0)
+        left = diamond_prob.index["left"]
+        assert st.earliest_start(left, 0) == 2.0  # local
+        assert st.earliest_start(left, 1) == 6.0  # +message 4
+
+    def test_max_lateness_tracks_placed(self, diamond_prob):
+        st = SchedulingState(diamond_prob)
+        assert st.max_lateness() == float("-inf")
+        st.place(diamond_prob.index["src"], 0)
+        assert st.max_lateness() == 2.0 - 100.0
+
+    def test_to_schedule_valid(self, diamond_prob):
+        st = SchedulingState(diamond_prob)
+        for t in [0, 1, 2, 3]:
+            st.place(t, best_processor(st, t)[0])
+        sched = st.to_schedule()
+        assert sched.is_complete
+        sched.validate()
+
+
+class TestBestProcessor:
+    def test_prefers_earliest_start(self, diamond_prob):
+        st = SchedulingState(diamond_prob)
+        st.place(diamond_prob.index["src"], 0)
+        left = diamond_prob.index["left"]
+        proc, start = best_processor(st, left)
+        assert (proc, start) == (0, 2.0)
+
+    def test_ties_broken_to_lowest_index(self, diamond_prob):
+        st = SchedulingState(diamond_prob)
+        proc, start = best_processor(st, diamond_prob.index["src"])
+        assert (proc, start) == (0, 0.0)
+
+    def test_moves_to_free_processor_under_contention(self):
+        prob = compile_problem(make_independent(2), shared_bus_platform(2))
+        st = SchedulingState(prob)
+        st.place(0, 0)
+        proc, start = best_processor(st, 1)
+        assert (proc, start) == (1, 0.0)
+
+
+class TestScheduleInOrder:
+    def test_chain_in_order(self):
+        prob = compile_problem(make_chain(4, wcet=10.0, msg=5.0), shared_bus_platform(2))
+        res = schedule_in_order(prob, [0, 1, 2, 3])
+        # Best processor co-locates the chain: no communication.
+        assert res.finish[3] == 40.0
+        assert res.to_schedule().violations() == []
+
+    def test_non_topological_order_rejected(self, diamond_prob):
+        with pytest.raises(ModelError, match="not topological"):
+            schedule_in_order(diamond_prob, [3, 0, 1, 2])
+
+    def test_non_permutation_rejected(self, diamond_prob):
+        with pytest.raises(ModelError, match="permutation"):
+            schedule_in_order(diamond_prob, [0, 1, 2])
+        with pytest.raises(ModelError, match="permutation"):
+            schedule_in_order(diamond_prob, [0, 0, 1, 2])
+
+    def test_order_changes_result(self):
+        """Non-commutativity: two topological orders, different costs."""
+        prob = compile_problem(make_independent(2), shared_bus_platform(1))
+        r01 = schedule_in_order(prob, [0, 1])
+        r10 = schedule_in_order(prob, [1, 0])
+        assert r01.finish != r10.finish
+
+    def test_result_fields(self, diamond_prob):
+        res = schedule_in_order(diamond_prob, [0, 1, 2, 3])
+        assert res.order == (0, 1, 2, 3)
+        assert len(res.proc_of) == 4
+        assert res.max_lateness == max(
+            f - d for f, d in zip(res.finish, diamond_prob.deadline)
+        )
+        assert res.is_feasible  # generous deadlines
+
+    def test_custom_processor_rule(self, diamond_prob):
+        # Force everything onto processor 1.
+        res = schedule_in_order(
+            diamond_prob, [0, 1, 2, 3], processor_rule=lambda st, t: (1, 0.0)
+        )
+        assert set(res.proc_of) == {1}
+        assert res.to_schedule().violations() == []

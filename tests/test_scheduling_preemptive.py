@@ -1,0 +1,131 @@
+"""Unit tests for repro.scheduling.preemptive (Baker et al. [12])."""
+
+import pytest
+
+from repro.core import BnBParameters, BranchAndBound
+from repro.errors import ModelError
+from repro.model import Task, TaskGraph, compile_problem, shared_bus_platform
+from repro.scheduling.preemptive import preemptive_edf
+from repro.workload import generate_task_graph, tiny_spec
+
+from conftest import make_chain, make_diamond
+
+
+def staggered_jobs() -> TaskGraph:
+    """Classic preemption scenario: an urgent job arrives mid-execution."""
+    g = TaskGraph(name="stagger")
+    g.add_task(Task(name="long", wcet=10.0, phase=0.0, relative_deadline=20.0))
+    g.add_task(Task(name="urgent", wcet=2.0, phase=3.0, relative_deadline=4.0))
+    return g
+
+
+class TestBasics:
+    def test_single_task(self):
+        g = TaskGraph()
+        g.add_task(Task(name="a", wcet=5.0, relative_deadline=8.0))
+        res = preemptive_edf(g)
+        assert res.max_lateness == pytest.approx(-3.0)
+        assert res.preemptions == 0
+        assert [s.task for s in res.slices] == ["a"]
+        res.validate(g)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ModelError, match="empty"):
+            preemptive_edf(TaskGraph())
+
+    def test_chain_runs_in_order_without_preemption(self):
+        g = make_chain(4)
+        res = preemptive_edf(g)
+        res.validate(g)
+        assert res.preemptions == 0
+        order = [s.task for s in res.slices]
+        assert order == ["c0", "c1", "c2", "c3"]
+
+    def test_urgent_arrival_preempts(self):
+        g = staggered_jobs()
+        res = preemptive_edf(g)
+        res.validate(g)
+        assert res.preemptions == 1
+        # long runs [0,3], urgent [3,5], long resumes [5,12].
+        assert [(s.task, s.start, s.end) for s in res.slices] == [
+            ("long", 0.0, 3.0),
+            ("urgent", 3.0, 5.0),
+            ("long", 5.0, 12.0),
+        ]
+        assert res.finish["urgent"] == 5.0
+
+    def test_urgent_lateness_value(self):
+        res = preemptive_edf(staggered_jobs())
+        assert res.max_lateness == pytest.approx(-2.0)
+
+    def test_work_conservation(self):
+        g = make_diamond()
+        res = preemptive_edf(g)
+        res.validate(g)
+        total = sum(s.length for s in res.slices)
+        assert total == pytest.approx(g.total_workload)
+        # One machine, no idling needed with zero phases: makespan = work.
+        assert res.slices[-1].end == pytest.approx(g.total_workload)
+
+
+class TestPrecedence:
+    def test_precedence_respected(self):
+        g = make_diamond()
+        res = preemptive_edf(g)
+        res.validate(g)
+        sink_start = min(s.start for s in res.slices_of("sink"))
+        assert sink_start >= max(res.finish["left"], res.finish["right"]) - 1e-9
+
+    def test_modified_deadlines_pull_predecessors_forward(self):
+        # A predecessor with a loose deadline feeding an urgent successor
+        # must be prioritized over an unrelated medium-deadline task.
+        g = TaskGraph()
+        g.add_task(Task(name="pred", wcet=2.0, relative_deadline=100.0))
+        g.add_task(Task(name="succ", wcet=2.0, relative_deadline=5.0))
+        g.add_task(Task(name="other", wcet=2.0, relative_deadline=50.0))
+        g.add_edge("pred", "succ")
+        res = preemptive_edf(g)
+        res.validate(g)
+        assert res.finish["succ"] == pytest.approx(4.0)
+        assert res.max_lateness == pytest.approx(-1.0)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_graphs_valid(self, seed):
+        g = generate_task_graph(tiny_spec(), seed=seed)
+        res = preemptive_edf(g)
+        res.validate(g)
+
+
+class TestRelaxationProperty:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_lower_bounds_nonpreemptive_single_machine(self, seed):
+        """Preemption is a relaxation: its optimum cannot exceed the
+        non-preemptive single-processor optimum found by the B&B."""
+        g = generate_task_graph(tiny_spec(), seed=seed)
+        pre = preemptive_edf(g)
+        prob = compile_problem(g, shared_bus_platform(1))
+        nonpre = BranchAndBound(BnBParameters()).solve(prob)
+        assert pre.max_lateness <= nonpre.best_cost + 1e-9
+
+    def test_equal_when_no_preemption_needed(self):
+        g = make_chain(4)
+        pre = preemptive_edf(g)
+        prob = compile_problem(g, shared_bus_platform(1))
+        nonpre = BranchAndBound(BnBParameters()).solve(prob)
+        assert pre.max_lateness == pytest.approx(nonpre.best_cost)
+
+    def test_preemption_strictly_helps_when_it_matters(self):
+        # Tight deadline on the long job: non-preemptively one of the two
+        # must suffer (run long first and the urgent job waits; run
+        # urgent first and the long job misses), while preemption
+        # interleaves them.
+        g = TaskGraph()
+        g.add_task(Task(name="long", wcet=10.0, phase=0.0, relative_deadline=13.0))
+        g.add_task(Task(name="urgent", wcet=2.0, phase=3.0, relative_deadline=4.0))
+        pre = preemptive_edf(g)
+        pre.validate(g)
+        prob = compile_problem(g, shared_bus_platform(1))
+        nonpre = BranchAndBound(BnBParameters()).solve(prob)
+        assert pre.max_lateness == pytest.approx(-1.0)
+        assert nonpre.best_cost == pytest.approx(2.0)
+        assert pre.max_lateness < nonpre.best_cost - 1e-9

@@ -1,0 +1,122 @@
+"""Unit tests for repro.workload.generator."""
+
+import random
+
+import pytest
+
+from repro.workload import WorkloadSpec, generate_batch, generate_task_graph
+from repro.workload.spec import PAPER_SPEC
+
+
+class TestStructure:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_paper_spec_structural_invariants(self, seed):
+        g = generate_task_graph(PAPER_SPEC, seed=seed, assign_windows=False)
+        g.validate()
+        n_lo, n_hi = PAPER_SPEC.num_tasks
+        d_lo, d_hi = PAPER_SPEC.depth
+        assert n_lo <= len(g) <= n_hi
+        assert d_lo <= g.depth <= d_hi
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_every_noninput_has_pred_every_nonoutput_has_succ(self, seed):
+        g = generate_task_graph(PAPER_SPEC, seed=seed, assign_windows=False)
+        for name in g.task_names:
+            if name not in g.input_tasks:
+                assert g.in_degree(name) >= 1
+            if name not in g.output_tasks:
+                assert g.out_degree(name) >= 1
+
+    def test_wcets_within_jitter_window(self):
+        lo, hi = PAPER_SPEC.wcet_bounds
+        for seed in range(5):
+            g = generate_task_graph(PAPER_SPEC, seed=seed, assign_windows=False)
+            for t in g:
+                assert lo <= t.wcet <= hi
+
+    def test_message_sizes_within_jitter_window(self):
+        lo, hi = PAPER_SPEC.message_bounds
+        for seed in range(5):
+            g = generate_task_graph(PAPER_SPEC, seed=seed, assign_windows=False)
+            for ch in g.channels:
+                assert lo <= ch.message_size <= hi
+
+    def test_ccr_zero_gives_empty_messages(self):
+        spec = PAPER_SPEC.evolve(ccr=0.0)
+        g = generate_task_graph(spec, seed=1, assign_windows=False)
+        assert all(ch.message_size == 0.0 for ch in g.channels)
+
+    def test_realized_ccr_tracks_requested(self):
+        # With many arcs the realized CCR should land near the request.
+        spec = WorkloadSpec(
+            num_tasks=(30, 30), depth=(6, 6), ccr=1.0, message_jitter=0.2,
+            wcet_jitter=0.2,
+        )
+        g = generate_task_graph(spec, seed=3, assign_windows=False)
+        assert g.communication_to_computation_ratio() == pytest.approx(1.0, rel=0.25)
+
+    def test_degenerate_single_task(self):
+        spec = WorkloadSpec(num_tasks=1, depth=1)
+        g = generate_task_graph(spec, seed=0, assign_windows=False)
+        assert len(g) == 1
+        assert g.num_arcs == 0
+
+    def test_chain_spec(self):
+        spec = WorkloadSpec(num_tasks=5, depth=5)
+        g = generate_task_graph(spec, seed=0, assign_windows=False)
+        assert g.depth == 5
+        assert g.width == 1
+
+
+class TestDeterminism:
+    def test_same_seed_same_graph(self):
+        a = generate_task_graph(PAPER_SPEC, seed=42)
+        b = generate_task_graph(PAPER_SPEC, seed=42)
+        assert a.task_names == b.task_names
+        assert [(t.wcet, t.phase, t.relative_deadline) for t in a] == [
+            (t.wcet, t.phase, t.relative_deadline) for t in b
+        ]
+        assert [(c.src, c.dst, c.message_size) for c in a.channels] == [
+            (c.src, c.dst, c.message_size) for c in b.channels
+        ]
+
+    def test_different_seeds_differ(self):
+        a = generate_task_graph(PAPER_SPEC, seed=1)
+        b = generate_task_graph(PAPER_SPEC, seed=2)
+        assert [(t.wcet) for t in a] != [(t.wcet) for t in b]
+
+    def test_rng_instance_accepted(self):
+        rng = random.Random(5)
+        g = generate_task_graph(PAPER_SPEC, seed=rng)
+        assert len(g) >= 12
+
+    def test_name_embeds_seed(self):
+        g = generate_task_graph(PAPER_SPEC, seed=9)
+        assert "9" in g.name
+        g2 = generate_task_graph(PAPER_SPEC, seed=9, name="custom")
+        assert g2.name == "custom"
+
+
+class TestWindows:
+    def test_windows_assigned_by_default(self):
+        g = generate_task_graph(PAPER_SPEC, seed=0)
+        for t in g:
+            assert t.relative_deadline != float("inf")
+            assert t.wcet <= t.relative_deadline
+
+    def test_windows_skippable(self):
+        g = generate_task_graph(PAPER_SPEC, seed=0, assign_windows=False)
+        assert all(t.relative_deadline == float("inf") for t in g)
+
+
+class TestBatch:
+    def test_batch_count_and_seeds(self):
+        batch = generate_batch(PAPER_SPEC, count=4, base_seed=10)
+        assert len(batch) == 4
+        names = [g.name for g in batch]
+        assert len(set(names)) == 4
+
+    def test_batch_matches_individual(self):
+        batch = generate_batch(PAPER_SPEC, count=2, base_seed=3)
+        solo = generate_task_graph(PAPER_SPEC, seed=4)
+        assert [t.wcet for t in batch[1]] == [t.wcet for t in solo]

@@ -1,0 +1,87 @@
+"""Unit tests for repro.workload.spec."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.workload import PAPER_SPEC, IntRange, WorkloadSpec
+
+
+class TestIntRange:
+    def test_contains_and_clamp(self):
+        r = IntRange(2, 5)
+        assert 2 in r and 5 in r and 6 not in r
+        assert r.clamp(1) == 2
+        assert r.clamp(9) == 5
+        assert r.clamp(3) == 3
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(SpecificationError):
+            IntRange(5, 2)
+
+    def test_sample_within(self):
+        import random
+
+        r = IntRange(1, 3)
+        rng = random.Random(0)
+        assert all(r.sample(rng) in r for _ in range(50))
+
+
+class TestPaperSpec:
+    def test_section_41_defaults(self):
+        s = PAPER_SPEC
+        assert s.num_tasks == (12, 16)
+        assert s.depth == (8, 12)
+        assert s.fan == (1, 3)
+        assert s.mean_wcet == 20.0
+        assert s.wcet_jitter == 0.99
+        assert s.ccr == 1.0
+        assert s.laxity_ratio == 1.5
+
+    def test_wcet_bounds(self):
+        lo, hi = PAPER_SPEC.wcet_bounds
+        assert lo == pytest.approx(0.2)
+        assert hi == pytest.approx(39.8)
+
+    def test_mean_message_size_realizes_ccr(self):
+        # CCR 1.0 at delay 1 => mean message size = mean wcet.
+        assert PAPER_SPEC.mean_message_size == 20.0
+        assert PAPER_SPEC.evolve(ccr=0.5).mean_message_size == 10.0
+        assert PAPER_SPEC.evolve(nominal_delay=2.0).mean_message_size == 10.0
+
+
+class TestValidation:
+    def test_int_promoted_to_range(self):
+        s = WorkloadSpec(num_tasks=10, depth=5)
+        assert s.num_tasks == (10, 10)
+        assert s.depth == (5, 5)
+
+    def test_depth_beyond_tasks_rejected(self):
+        with pytest.raises(SpecificationError, match="depth"):
+            WorkloadSpec(num_tasks=(4, 6), depth=(8, 10))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_tasks": (0, 3)},
+            {"depth": (0, 2)},
+            {"fan": (0, 3)},
+            {"mean_wcet": 0.0},
+            {"wcet_jitter": 1.0},
+            {"wcet_jitter": -0.1},
+            {"message_jitter": 1.5},
+            {"ccr": -1.0},
+            {"laxity_ratio": 0.0},
+            {"nominal_delay": 0.0},
+            {"window_mode": "weird"},
+        ],
+    )
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(SpecificationError):
+            WorkloadSpec(**kwargs)
+
+    def test_evolve_changes_one_field(self):
+        s = PAPER_SPEC.evolve(ccr=2.0)
+        assert s.ccr == 2.0
+        assert s.num_tasks == PAPER_SPEC.num_tasks
+        # Original untouched.
+        assert PAPER_SPEC.ccr == 1.0

@@ -1,0 +1,73 @@
+"""Unit tests for repro.workload.suites."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.workload import (
+    ccr_suite,
+    paper_spec,
+    parallelism_suite,
+    scaled_spec,
+    spec_for_profile,
+    tiny_spec,
+)
+from repro.workload.generator import generate_task_graph
+
+
+class TestProfiles:
+    def test_paper_profile_is_section_41(self):
+        s = paper_spec()
+        assert s.num_tasks == (12, 16)
+        assert s.depth == (8, 12)
+
+    def test_scaled_preserves_timing_knobs(self):
+        s = scaled_spec()
+        p = paper_spec()
+        assert s.mean_wcet == p.mean_wcet
+        assert s.ccr == p.ccr
+        assert s.laxity_ratio == p.laxity_ratio
+        assert s.num_tasks[1] < p.num_tasks[0]
+
+    def test_tiny_smaller_than_scaled(self):
+        assert tiny_spec().num_tasks[1] <= scaled_spec().num_tasks[1]
+
+    def test_spec_for_profile_lookup(self):
+        assert spec_for_profile("paper").name == "paper"
+        assert spec_for_profile("scaled").name == "scaled"
+        assert spec_for_profile("tiny").name == "tiny"
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SpecificationError, match="unknown profile"):
+            spec_for_profile("huge")
+
+    def test_profile_overrides(self):
+        s = spec_for_profile("scaled", ccr=2.0)
+        assert s.ccr == 2.0
+
+
+class TestSuites:
+    def test_ccr_suite_values(self):
+        suite = ccr_suite("scaled", ccrs=(0.1, 1.0))
+        assert [s.ccr for s in suite] == [0.1, 1.0]
+        assert all("ccr" in s.name for s in suite)
+
+    def test_parallelism_suite_spans_shapes(self):
+        suite = parallelism_suite("scaled")
+        assert len(suite) == 3
+        depths = [s.depth for s in suite]
+        # Deep shape has larger depth bounds than wide shape.
+        assert depths[0][1] > depths[-1][1]
+
+    def test_parallelism_suite_generates_valid_graphs(self):
+        for spec in parallelism_suite("scaled"):
+            g = generate_task_graph(spec, seed=0)
+            g.validate()
+
+    def test_wide_shape_is_wider(self):
+        suite = parallelism_suite("scaled")
+        deep_widths = []
+        wide_widths = []
+        for seed in range(6):
+            deep_widths.append(generate_task_graph(suite[0], seed=seed).width)
+            wide_widths.append(generate_task_graph(suite[-1], seed=seed).width)
+        assert sum(wide_widths) > sum(deep_widths)
