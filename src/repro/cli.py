@@ -15,6 +15,9 @@ Subcommands
     Run any registered experiment (fig3a/fig3b/fig3c, the Section 6
     discussion sweeps, scaling, or an ablation) and print the plot
     tables.
+``report``
+    Render a JSONL search trace (written by ``solve --trace-jsonl``):
+    event inventory, anytime profile, phase table, final stats.
 ``list``
     List registered experiments.
 """
@@ -37,6 +40,15 @@ from .experiments.report import render
 from .experiments.runner import EDF_LABEL
 from .analysis.gantt import render_gantt
 from .core.trace import TraceRecorder
+from .obs import (
+    JsonlSink,
+    MetricsRegistry,
+    Observability,
+    PhaseProfiler,
+    ProgressReporter,
+    load_trace,
+    render_trace_report,
+)
 from .io.dot import graph_to_dot
 from .io.json_io import save_experiment, save_graph, load_graph
 from .io.stg import load_stg, save_stg
@@ -47,6 +59,13 @@ from .workload.generator import generate_task_graph
 from .workload.suites import spec_for_profile
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -100,6 +119,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-csv", default=None,
         help="write the search's explore log to this CSV file",
     )
+    slv.add_argument(
+        "--trace-jsonl", default=None,
+        help="stream structured search events to this JSON-lines file",
+    )
+    slv.add_argument(
+        "--trace-sample", type=_positive_int, default=1, metavar="N",
+        help="record every Nth high-frequency event in the JSONL trace "
+        "(explore/prune/goal; default 1 = all)",
+    )
+    slv.add_argument(
+        "--profile", action="store_true",
+        help="time the engine's inner-loop phases and print the breakdown",
+    )
+    slv.add_argument(
+        "--metrics-out", default=None,
+        help="write a metrics snapshot (.json => JSON, else Prometheus "
+        "textfile format)",
+    )
+    slv.add_argument(
+        "--progress", action="store_true",
+        help="emit heartbeat progress lines to stderr during the solve",
+    )
 
     cnv = sub.add_parser("convert", help="convert between graph formats")
     cnv.add_argument("input", help="input graph (.json or .stg)")
@@ -112,6 +153,15 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--seed", type=int, default=0)
     exp.add_argument("--workers", type=int, default=0)
     exp.add_argument("--output", "-o", default=None, help="save JSON results")
+    exp.add_argument(
+        "--metrics", action="store_true",
+        help="collect per-solve metrics snapshots into the report",
+    )
+
+    rep = sub.add_parser(
+        "report", help="render a JSONL search trace written by solve"
+    )
+    rep.add_argument("trace", help="path to a .jsonl trace file")
 
     sub.add_parser("list", help="list registered experiments")
     return parser
@@ -177,9 +227,22 @@ def _cmd_solve(args) -> int:
         resources=ResourceBounds(**rb_kwargs),
     )
     trace = TraceRecorder() if args.trace_csv else None
-    result = BranchAndBound(params, trace=trace).solve_graph(
-        graph, shared_bus_platform(args.processors)
+    obs = Observability(
+        sink=(
+            JsonlSink(args.trace_jsonl, sample_every=args.trace_sample)
+            if args.trace_jsonl
+            else None
+        ),
+        profiler=PhaseProfiler() if args.profile else None,
+        metrics=MetricsRegistry() if args.metrics_out else None,
+        progress=ProgressReporter() if args.progress else None,
     )
+    try:
+        result = BranchAndBound(params, trace=trace, obs=obs).solve_graph(
+            graph, shared_bus_platform(args.processors)
+        )
+    finally:
+        obs.close()
     print(f"parameters: {params.describe()}")
     print(result.summary())
     schedule = result.schedule() if result.found_solution else None
@@ -190,10 +253,20 @@ def _cmd_solve(args) -> int:
     if args.bus and schedule is not None:
         print(simulate_bus(schedule).summary())
     if args.trace_csv and trace is not None:
-        with open(args.trace_csv, "w") as fh:
-            fh.write(trace.to_csv())
+        trace.write_csv(args.trace_csv)
         print(f"wrote {args.trace_csv}")
+    if args.trace_jsonl:
+        print(f"wrote {args.trace_jsonl}")
+    if args.metrics_out and obs.metrics is not None:
+        obs.metrics.write(args.metrics_out)
+        print(f"wrote {args.metrics_out}")
     return 0 if result.found_solution else 1
+
+
+def _cmd_report(args) -> int:
+    report = load_trace(args.trace)
+    print(render_trace_report(report))
+    return 0
 
 
 def _cmd_experiment(args) -> int:
@@ -202,6 +275,8 @@ def _cmd_experiment(args) -> int:
         kwargs["num_graphs"] = args.graphs
     if args.workers:
         kwargs["workers"] = args.workers
+    if args.metrics:
+        kwargs["collect_metrics"] = True
     output = run_by_name(args.name, **kwargs)
     reference = EDF_LABEL if any(
         s.label == EDF_LABEL for s in output.series
@@ -231,6 +306,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_convert(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
+        if args.command == "report":
+            return _cmd_report(args)
         if args.command == "list":
             return _cmd_list()
     except ReproError as exc:

@@ -16,11 +16,21 @@ below the initial bound was ever found), the best vertex holds the
 optimal solution — or a guaranteed/approximate one, depending on the
 parametrization, which the returned :class:`BnBResult` spells out in its
 :class:`SolveStatus`.
+
+Observability
+-------------
+The loop exposes hook points for the :mod:`repro.obs` subsystem via an
+:class:`~repro.obs.Observability` bundle: a structured event sink
+(start/explore/incumbent/goal/prune/resource/summary), a per-phase
+profiler, a metrics registry and a progress heartbeat.  Every hook is
+guarded by an ``is not None`` check on a local, so a solve with
+observability off runs the same loop it always did.
 """
 
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from enum import Enum
 
@@ -29,6 +39,13 @@ from ..model.compile import CompiledProblem, compile_problem
 from ..model.platform import Platform
 from ..model.schedule import Schedule
 from ..model.taskgraph import TaskGraph
+from ..obs import Observability
+from ..obs.metrics import (
+    DEFAULT_GAP_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    MetricsRegistry,
+)
+from ..obs.profile import PhaseBreakdown
 from .elimination import pruning_threshold
 from .params import BnBParameters
 from .state import root_state
@@ -40,6 +57,9 @@ __all__ = ["SolveStatus", "BnBResult", "BranchAndBound", "solve"]
 
 #: How often (in explored vertices) the wall clock is consulted.
 _TIME_CHECK_MASK = 0xFF
+
+#: How often (in explored vertices) the progress reporter is consulted.
+_PROGRESS_CHECK_MASK = 0x3F
 
 
 class SolveStatus(Enum):
@@ -86,7 +106,10 @@ class BnBResult:
     incumbent_source: str
     #: Cost delivered by the upper-bound provider U.
     initial_upper_bound: float
-    stats: SearchStats = None  # type: ignore[assignment]
+    #: Counters and timing for the run (always set by the engine).
+    stats: SearchStats
+    #: Per-phase timing, present when a profiler was attached.
+    profile: PhaseBreakdown | None = None
 
     @property
     def found_solution(self) -> bool:
@@ -105,28 +128,81 @@ class BnBResult:
 
     def summary(self) -> str:
         cost = "-" if not self.found_solution else f"{self.best_cost:g}"
-        return (
+        base = (
             f"{self.status.value}: L_max={cost} "
             f"(U={self.initial_upper_bound:g}, from {self.incumbent_source}); "
             f"{self.stats.summary()}"
         )
+        if self.profile is not None:
+            return f"{base}\n{self.profile.summary()}"
+        return base
+
+
+def _json_num(value: float) -> float | None:
+    """JSON has no inf/nan; summaries carry None instead."""
+    return None if (math.isinf(value) or math.isnan(value)) else value
+
+
+def _final_metrics(
+    metrics: MetricsRegistry, stats: SearchStats, incumbent_cost: float
+) -> None:
+    """Fold one run's :class:`SearchStats` into the standard counters.
+
+    Counters accumulate across solves sharing a registry (Prometheus
+    counter semantics); gauges reflect the most recent run.
+    """
+    c = metrics.counter
+    c("bnb_generated_vertices_total",
+      "Vertices created by branching (the paper's cost measure)",
+      ).inc(stats.generated)
+    c("bnb_explored_vertices_total",
+      "Vertices selected from the active set and branched").inc(stats.explored)
+    c("bnb_pruned_children_total",
+      "Children discarded by the elimination rule E").inc(stats.pruned_children)
+    c("bnb_pruned_active_total",
+      "Active vertices swept when the incumbent improved").inc(
+          stats.pruned_active)
+    c("bnb_pruned_dominated_total",
+      "Children discarded by the dominance rule D").inc(stats.pruned_dominated)
+    c("bnb_pruned_infeasible_total",
+      "Children discarded by the characteristic function F").inc(
+          stats.pruned_infeasible)
+    c("bnb_dropped_resource_total",
+      "Vertices dropped by MAXSZAS / MAXSZDB overflow").inc(
+          stats.dropped_resource)
+    c("bnb_goals_evaluated_total",
+      "Complete schedules compared to the incumbent").inc(stats.goals_evaluated)
+    c("bnb_incumbent_updates_total",
+      "Times the incumbent improved").inc(stats.incumbent_updates)
+    c("bnb_solves_total", "Branch-and-bound runs recorded").inc()
+    g = metrics.gauge
+    g("bnb_peak_active_set_size",
+      "Largest active-set size of the last run").set(stats.peak_active)
+    g("bnb_elapsed_seconds", "Wall-clock of the last run").set(stats.elapsed)
+    if not math.isinf(incumbent_cost):
+        g("bnb_incumbent_cost",
+          "Best maximum lateness found").set(incumbent_cost)
 
 
 class BranchAndBound:
     """Reusable solver bound to one parametrization.
 
     Pass a :class:`~repro.core.trace.TraceRecorder` to log the search's
-    explore/incumbent events (anytime convergence profile); tracing is
-    off by default and costs nothing when off.
+    explore/incumbent events (anytime convergence profile), and/or an
+    :class:`~repro.obs.Observability` bundle for streamed event traces,
+    phase profiling, metrics and progress heartbeats; both are off by
+    default and cost nothing when off.
     """
 
     def __init__(
         self,
         params: BnBParameters | None = None,
         trace: TraceRecorder | None = None,
+        obs: Observability | None = None,
     ) -> None:
         self.params = params or BnBParameters()
         self.trace = trace
+        self.obs = obs
 
     # ------------------------------------------------------------------
 
@@ -142,172 +218,431 @@ class BranchAndBound:
         elim = params.elimination
         charf = params.characteristic
         stats = SearchStats()
-        stats.start_clock()
 
-        # Step 1-2: root vertex cost from the upper bound U; the initial
-        # solution (if U supplies one) is the incumbent to beat.
-        incumbent_cost, initial_solution = params.upper_bound.initial(problem)
-        initial_upper_bound = incumbent_cost
-        if initial_solution is not None:
-            best_proc: tuple[int, ...] | None = initial_solution.proc_of
-            best_start: tuple[float, ...] | None = initial_solution.start
-        else:
-            best_proc = None
-            best_start = None
-        incumbent_source = "initial-upper-bound"
-        threshold = pruning_threshold(incumbent_cost, params.inaccuracy)
+        # Observability components, hoisted to locals for the hot loop.
+        obs = self.obs
+        sink = obs.sink if obs is not None else None
+        profiler = obs.profiler if obs is not None else None
+        metrics = obs.metrics if obs is not None else None
+        progress = obs.progress if obs is not None else None
         trace = self.trace
-        if trace is not None:
-            trace.on_start(incumbent_cost)
+        telem = (
+            trace is not None
+            or sink is not None
+            or metrics is not None
+            or progress is not None
+        )
 
-        prepared = params.branching.prepare(problem)
-        frontier = params.selection.make_frontier()
-        dominance = params.dominance.fresh()
-        stop_on_bound = params.selection.stop_on_bound
-        child_order = params.child_order
-        break_symmetry = params.break_symmetry
+        if profiler is not None:
+            _pc = time.perf_counter
+            ptot = profiler.totals
+            pcnt = profiler.counts
+            mark = _pc()
 
-        root = Vertex(root_state(problem), bound.evaluate(root_state(problem)), 0)
-        stats.generated = 1
-        seq = 1
-        if not elim.should_prune(root.lower_bound, threshold):
-            frontier.push(root)
-            stats.peak_active = 1
+            def lap(phase: str, _pc=_pc) -> None:
+                # Contiguous timestamps: each span ends where the next
+                # begins, so phase totals tile the wall clock.
+                nonlocal mark
+                now = _pc()
+                ptot[phase] = ptot.get(phase, 0.0) + (now - mark)
+                pcnt[phase] = pcnt.get(phase, 0) + 1
+                mark = now
+        else:
+            lap = None
 
-        target_reached = False
-        early_stop = charf.early_stop_cost
+        if metrics is not None:
+            m_active = metrics.gauge(
+                "bnb_active_set_size", "Active-set size at last explore"
+            )
+            h_gap = metrics.histogram(
+                "bnb_lower_bound_gap",
+                "Incumbent cost minus selected vertex's lower bound",
+                buckets=DEFAULT_GAP_BUCKETS,
+            )
+            h_active = metrics.histogram(
+                "bnb_active_set_size_distribution",
+                "Active-set size observed at each explored vertex",
+                buckets=DEFAULT_SIZE_BUCKETS,
+            )
 
-        # Step 3-10: the main loop.
-        while True:
-            vertex = frontier.pop()
-            if vertex is None:
-                break
-
-            # Step 5: stop condition for S.  Under best-first selection a
-            # popped vertex at/above the threshold ends the whole search;
-            # under LIFO/FIFO it is merely skipped (it was pushed before
-            # the incumbent improved).
-            if elim.should_prune(vertex.lower_bound, threshold):
-                if stop_on_bound:
-                    break
-                stats.pruned_active += 1
-                continue
-
-            stats.explored += 1
+        stats.start_clock()
+        try:
+            # Step 1-2: root vertex cost from the upper bound U; the
+            # initial solution (if U supplies one) is the incumbent to beat.
+            incumbent_cost, initial_solution = params.upper_bound.initial(
+                problem
+            )
+            initial_upper_bound = incumbent_cost
+            if initial_solution is not None:
+                best_proc: tuple[int, ...] | None = initial_solution.proc_of
+                best_start: tuple[float, ...] | None = initial_solution.start
+            else:
+                best_proc = None
+                best_start = None
+            incumbent_source = "initial-upper-bound"
+            threshold = pruning_threshold(incumbent_cost, params.inaccuracy)
             if trace is not None:
-                trace.on_explore(
-                    stats.explored,
-                    stats.generated,
-                    vertex.level,
-                    vertex.lower_bound,
-                    len(frontier),
+                trace.on_start(incumbent_cost)
+            if progress is not None:
+                progress.start()
+            if sink is not None and sink.accepts("start"):
+                sink.emit(
+                    "start",
+                    {
+                        "n": problem.n,
+                        "m": problem.m,
+                        "initial_bound": _json_num(incumbent_cost),
+                        "params": params.describe(),
+                    },
                 )
-            if stats.explored & _TIME_CHECK_MASK == 0 and not math.isinf(
-                rb.time_limit
-            ):
-                if stats.time_since_start() >= rb.time_limit:
-                    stats.time_limit_hit = True
+
+            prepared = params.branching.prepare(problem)
+            frontier = params.selection.make_frontier()
+            dominance = params.dominance.fresh()
+            stop_on_bound = params.selection.stop_on_bound
+            child_order = params.child_order
+            break_symmetry = params.break_symmetry
+
+            root = Vertex(
+                root_state(problem), bound.evaluate(root_state(problem)), 0
+            )
+            stats.generated = 1
+            seq = 1
+            if not elim.should_prune(root.lower_bound, threshold):
+                frontier.push(root)
+                stats.peak_active = 1
+
+            target_reached = False
+            early_stop = charf.early_stop_cost
+            if lap is not None:
+                lap("setup")
+
+            # Step 3-10: the main loop.
+            while True:
+                vertex = frontier.pop()
+                if vertex is None:
+                    if lap is not None:
+                        lap("select")
+                    break
+
+                # Step 5: stop condition for S.  Under best-first selection
+                # a popped vertex at/above the threshold ends the whole
+                # search; under LIFO/FIFO it is merely skipped (it was
+                # pushed before the incumbent improved).
+                if elim.should_prune(vertex.lower_bound, threshold):
+                    if stop_on_bound:
+                        if lap is not None:
+                            lap("select")
+                        break
+                    stats.pruned_active += 1
+                    if sink is not None and sink.accepts("prune"):
+                        sink.emit(
+                            "prune",
+                            {"cause": "stale-active",
+                             "lb": vertex.lower_bound},
+                        )
+                    if lap is not None:
+                        lap("select")
+                    continue
+
+                stats.explored += 1
+                if lap is not None:
+                    lap("select")
+
+                if telem:
+                    active_size = len(frontier)
+                    if trace is not None:
+                        trace.on_explore(
+                            stats.explored,
+                            stats.generated,
+                            vertex.level,
+                            vertex.lower_bound,
+                            active_size,
+                        )
+                    if sink is not None and sink.accepts("explore"):
+                        sink.emit(
+                            "explore",
+                            {
+                                "step": stats.explored,
+                                "generated": stats.generated,
+                                "level": vertex.level,
+                                "lb": vertex.lower_bound,
+                                "active": active_size,
+                            },
+                        )
+                    if metrics is not None:
+                        m_active.set(active_size)
+                        h_active.observe(active_size)
+                        if not math.isinf(incumbent_cost):
+                            h_gap.observe(
+                                incumbent_cost - vertex.lower_bound
+                            )
+                    if (
+                        progress is not None
+                        and stats.explored & _PROGRESS_CHECK_MASK == 0
+                    ):
+                        progress.maybe_emit(
+                            explored=stats.explored,
+                            generated=stats.generated,
+                            active=active_size,
+                            incumbent=incumbent_cost,
+                            max_vertices=rb.max_vertices,
+                            time_limit=rb.time_limit,
+                        )
+                    if lap is not None:
+                        lap("telemetry")
+
+                if stats.explored & _TIME_CHECK_MASK == 0 and not math.isinf(
+                    rb.time_limit
+                ):
+                    if stats.time_since_start() >= rb.time_limit:
+                        stats.time_limit_hit = True
+                        if sink is not None and sink.accepts("resource"):
+                            sink.emit(
+                                "resource",
+                                {"kind": "TIMELIMIT",
+                                 "detail": f"{rb.time_limit}s"},
+                            )
+                        if rb.fail_on_exhaustion:
+                            raise ResourceLimitExceeded(
+                                "TIMELIMIT", f"{rb.time_limit}s"
+                            )
+                        if lap is not None:
+                            lap("select")
+                        break
+
+                # Step 6-7: branch and bound the children.
+                placements = prepared.placements(vertex.state, break_symmetry)
+                if lap is not None:
+                    lap("branch")
+                children: list[Vertex] = []
+                best_goal_cost = math.inf
+                best_goal_state = None
+                for task, proc in placements:
+                    child_state = vertex.state.child(task, proc)
+                    stats.generated += 1
+                    if lap is not None:
+                        lap("branch")
+                    child_lb = bound.evaluate(child_state)
+                    if lap is not None:
+                        lap("bound")
+                    if child_state.is_goal:
+                        # Goal vertices never enter the active set: track
+                        # the cheapest one in DB (Figure 2, steps 1-5).
+                        stats.goals_evaluated += 1
+                        if child_lb < best_goal_cost:
+                            best_goal_cost = child_lb
+                            best_goal_state = child_state
+                        if sink is not None and sink.accepts("goal"):
+                            sink.emit(
+                                "goal",
+                                {"generated": stats.generated,
+                                 "cost": _json_num(child_lb)},
+                            )
+                        if lap is not None:
+                            lap("goal-eval")
+                        continue
+                    if not charf.admits(child_state, child_lb):
+                        stats.pruned_infeasible += 1
+                        if sink is not None and sink.accepts("prune"):
+                            sink.emit(
+                                "prune",
+                                {"cause": "infeasible",
+                                 "lb": _json_num(child_lb)},
+                            )
+                        if lap is not None:
+                            lap("filter")
+                        continue
+                    if lap is not None:
+                        lap("filter")
+                    if dominance.is_dominated(child_state):
+                        stats.pruned_dominated += 1
+                        if sink is not None and sink.accepts("prune"):
+                            sink.emit(
+                                "prune",
+                                {"cause": "dominated",
+                                 "lb": _json_num(child_lb)},
+                            )
+                        if lap is not None:
+                            lap("dominance")
+                        continue
+                    if lap is not None:
+                        lap("dominance")
+                    children.append(Vertex(child_state, child_lb, seq))
+                    seq += 1
+
+                # Figure 2 steps 1-5: incumbent update from the cheapest
+                # goal.
+                if (
+                    best_goal_state is not None
+                    and best_goal_cost < incumbent_cost
+                ):
+                    incumbent_cost = best_goal_cost
+                    best_proc = best_goal_state.proc_of
+                    best_start = best_goal_state.start
+                    incumbent_source = "search"
+                    stats.incumbent_updates += 1
+                    if trace is not None:
+                        trace.on_incumbent(stats.generated, incumbent_cost)
+                    if sink is not None and sink.accepts("incumbent"):
+                        sink.emit(
+                            "incumbent",
+                            {
+                                "generated": stats.generated,
+                                "explored": stats.explored,
+                                "cost": _json_num(incumbent_cost),
+                                "elapsed": round(stats.time_since_start(), 6),
+                            },
+                        )
+                    threshold = pruning_threshold(
+                        incumbent_cost, params.inaccuracy
+                    )
+                    # Figure 2 step 6, AS half: sweep the active set.
+                    if elim.prunes_active_set():
+                        swept = frontier.prune_above(threshold)
+                        stats.pruned_active += swept
+                        if (
+                            sink is not None
+                            and swept
+                            and sink.accepts("prune")
+                        ):
+                            sink.emit(
+                                "prune",
+                                {"cause": "active-sweep", "count": swept},
+                            )
+                    if early_stop is not None and incumbent_cost <= early_stop:
+                        target_reached = True
+                        if lap is not None:
+                            lap("goal-eval")
+                        break
+                if lap is not None:
+                    lap("goal-eval")
+
+                # Figure 2 step 6, DB half: eliminate children.
+                kept = []
+                for child in children:
+                    if elim.should_prune(child.lower_bound, threshold):
+                        stats.pruned_children += 1
+                        if sink is not None and sink.accepts("prune"):
+                            sink.emit(
+                                "prune",
+                                {"cause": "bound",
+                                 "lb": _json_num(child.lower_bound)},
+                            )
+                    else:
+                        kept.append(child)
+
+                # RB: MAXSZDB caps the child set (keep the best bounds).
+                if len(kept) > rb.max_children:
+                    if rb.fail_on_exhaustion:
+                        if sink is not None and sink.accepts("resource"):
+                            sink.emit(
+                                "resource",
+                                {"kind": "MAXSZDB",
+                                 "detail": f"{len(kept)} children"},
+                            )
+                        raise ResourceLimitExceeded(
+                            "MAXSZDB", f"{len(kept)} children"
+                        )
+                    kept.sort(key=lambda v: v.lower_bound)
+                    dropped_db = len(kept) - int(rb.max_children)
+                    stats.dropped_resource += dropped_db
+                    stats.truncated = True
+                    del kept[int(rb.max_children):]
+                    if sink is not None and sink.accepts("resource"):
+                        sink.emit(
+                            "resource",
+                            {"kind": "MAXSZDB", "dropped": dropped_db},
+                        )
+
+                # Step 9: move the survivors into AS.
+                if child_order == "best-last":
+                    kept.sort(key=lambda v: -v.lower_bound)
+                elif child_order == "best-first":
+                    kept.sort(key=lambda v: v.lower_bound)
+                for child in kept:
+                    frontier.push(child)
+
+                active = len(frontier)
+                if active > stats.peak_active:
+                    stats.peak_active = active
+
+                # RB: MAXSZAS disposes of the worst active vertices.
+                if active > rb.max_active:
+                    if rb.fail_on_exhaustion:
+                        if sink is not None and sink.accepts("resource"):
+                            sink.emit(
+                                "resource",
+                                {"kind": "MAXSZAS",
+                                 "detail": f"{active} active"},
+                            )
+                        raise ResourceLimitExceeded(
+                            "MAXSZAS", f"{active} active"
+                        )
+                    dropped = frontier.drop_worst(active - int(rb.max_active))
+                    stats.dropped_resource += dropped
+                    stats.truncated = True
+                    if sink is not None and sink.accepts("resource"):
+                        sink.emit(
+                            "resource",
+                            {"kind": "MAXSZAS", "dropped": dropped},
+                        )
+
+                # RB extension: generated-vertex cap.
+                if stats.generated >= rb.max_vertices:
+                    if sink is not None and sink.accepts("resource"):
+                        sink.emit(
+                            "resource",
+                            {"kind": "MAXVERT",
+                             "detail": f"{stats.generated} generated"},
+                        )
                     if rb.fail_on_exhaustion:
                         raise ResourceLimitExceeded(
-                            "TIMELIMIT", f"{rb.time_limit}s"
+                            "MAXVERT", f"{stats.generated} generated"
                         )
+                    stats.truncated = True
+                    if lap is not None:
+                        lap("eliminate")
                     break
+                if lap is not None:
+                    lap("eliminate")
+        finally:
+            # Always populate stats.elapsed, even when a resource bound
+            # raises mid-solve (stop_clock is idempotent, so the normal
+            # path is unaffected).
+            stats.stop_clock()
 
-            # Step 6-7: branch and bound the children.
-            placements = prepared.placements(vertex.state, break_symmetry)
-            children: list[Vertex] = []
-            best_goal_cost = math.inf
-            best_goal_state = None
-            for task, proc in placements:
-                child_state = vertex.state.child(task, proc)
-                child_lb = bound.evaluate(child_state)
-                stats.generated += 1
-                if child_state.is_goal:
-                    # Goal vertices never enter the active set: track the
-                    # cheapest one in DB (Figure 2, steps 1-5).
-                    stats.goals_evaluated += 1
-                    if child_lb < best_goal_cost:
-                        best_goal_cost = child_lb
-                        best_goal_state = child_state
-                    continue
-                if not charf.admits(child_state, child_lb):
-                    stats.pruned_infeasible += 1
-                    continue
-                if dominance.is_dominated(child_state):
-                    stats.pruned_dominated += 1
-                    continue
-                children.append(Vertex(child_state, child_lb, seq))
-                seq += 1
-
-            # Figure 2 steps 1-5: incumbent update from the cheapest goal.
-            if best_goal_state is not None and best_goal_cost < incumbent_cost:
-                incumbent_cost = best_goal_cost
-                best_proc = best_goal_state.proc_of
-                best_start = best_goal_state.start
-                incumbent_source = "search"
-                stats.incumbent_updates += 1
-                if trace is not None:
-                    trace.on_incumbent(stats.generated, incumbent_cost)
-                threshold = pruning_threshold(incumbent_cost, params.inaccuracy)
-                # Figure 2 step 6, AS half: sweep the active set.
-                if elim.prunes_active_set():
-                    stats.pruned_active += frontier.prune_above(threshold)
-                if early_stop is not None and incumbent_cost <= early_stop:
-                    target_reached = True
-                    break
-
-            # Figure 2 step 6, DB half: eliminate children.
-            kept = []
-            for child in children:
-                if elim.should_prune(child.lower_bound, threshold):
-                    stats.pruned_children += 1
-                else:
-                    kept.append(child)
-
-            # RB: MAXSZDB caps the child set (keep the best bounds).
-            if len(kept) > rb.max_children:
-                if rb.fail_on_exhaustion:
-                    raise ResourceLimitExceeded(
-                        "MAXSZDB", f"{len(kept)} children"
-                    )
-                kept.sort(key=lambda v: v.lower_bound)
-                stats.dropped_resource += len(kept) - int(rb.max_children)
-                stats.truncated = True
-                del kept[int(rb.max_children):]
-
-            # Step 9: move the survivors into AS.
-            if child_order == "best-last":
-                kept.sort(key=lambda v: -v.lower_bound)
-            elif child_order == "best-first":
-                kept.sort(key=lambda v: v.lower_bound)
-            for child in kept:
-                frontier.push(child)
-
-            active = len(frontier)
-            if active > stats.peak_active:
-                stats.peak_active = active
-
-            # RB: MAXSZAS disposes of the worst active vertices.
-            if active > rb.max_active:
-                if rb.fail_on_exhaustion:
-                    raise ResourceLimitExceeded("MAXSZAS", f"{active} active")
-                dropped = frontier.drop_worst(active - int(rb.max_active))
-                stats.dropped_resource += dropped
-                stats.truncated = True
-
-            # RB extension: generated-vertex cap.
-            if stats.generated >= rb.max_vertices:
-                if rb.fail_on_exhaustion:
-                    raise ResourceLimitExceeded(
-                        "MAXVERT", f"{stats.generated} generated"
-                    )
-                stats.truncated = True
-                break
-
-        stats.stop_clock()
         status = self._status(
             params, stats, target_reached, best_proc is not None
         )
+        if lap is not None:
+            lap("finalize")
+
+        if metrics is not None:
+            _final_metrics(metrics, stats, incumbent_cost)
+        if sink is not None and sink.accepts("summary"):
+            sink.emit(
+                "summary",
+                {
+                    "status": status.value,
+                    "best_cost": (
+                        _json_num(incumbent_cost)
+                        if best_proc is not None
+                        else None
+                    ),
+                    "initial_upper_bound": _json_num(initial_upper_bound),
+                    "incumbent_source": incumbent_source,
+                    "stats": stats.as_dict(),
+                    "profile": (
+                        dict(profiler.totals) if profiler is not None else None
+                    ),
+                },
+            )
+        if progress is not None:
+            progress.finish(f"{status.value}; {stats.summary()}")
+        if lap is not None:
+            lap("telemetry")
+
         return BnBResult(
             problem=problem,
             params=params,
@@ -318,6 +653,7 @@ class BranchAndBound:
             incumbent_source=incumbent_source,
             initial_upper_bound=initial_upper_bound,
             stats=stats,
+            profile=profiler.freeze() if profiler is not None else None,
         )
 
     # ------------------------------------------------------------------

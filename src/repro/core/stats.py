@@ -48,14 +48,21 @@ class SearchStats:
     time_limit_hit: bool = False
     truncated: bool = False
     _t0: float = field(default=0.0, repr=False)
+    _stopped: bool = field(default=False, repr=False)
 
     # ------------------------------------------------------------------
 
     def start_clock(self) -> None:
         self._t0 = time.perf_counter()
+        self._stopped = False
 
     def stop_clock(self) -> None:
-        self.elapsed = time.perf_counter() - self._t0
+        """Record ``elapsed``; idempotent so the engine can call it both
+        on the normal path and in a ``finally:`` (exception mid-solve)
+        without the second call inflating the measurement."""
+        if not self._stopped:
+            self.elapsed = time.perf_counter() - self._t0
+            self._stopped = True
 
     def time_since_start(self) -> float:
         return time.perf_counter() - self._t0
@@ -72,6 +79,24 @@ class SearchStats:
     @property
     def vertices_per_second(self) -> float:
         return self.generated / self.elapsed if self.elapsed > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot (trace summary events, metrics exports)."""
+        return {
+            "generated": self.generated,
+            "explored": self.explored,
+            "pruned_children": self.pruned_children,
+            "pruned_active": self.pruned_active,
+            "pruned_dominated": self.pruned_dominated,
+            "pruned_infeasible": self.pruned_infeasible,
+            "dropped_resource": self.dropped_resource,
+            "goals_evaluated": self.goals_evaluated,
+            "incumbent_updates": self.incumbent_updates,
+            "peak_active": self.peak_active,
+            "elapsed": self.elapsed,
+            "time_limit_hit": self.time_limit_hit,
+            "truncated": self.truncated,
+        }
 
     def summary(self) -> str:
         flags = []

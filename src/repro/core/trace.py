@@ -14,7 +14,11 @@ dive-then-prune behaviour from LLB's breadth-first wade even when both
 eventually explore similar vertex counts.
 
 Recording costs one append per explored vertex; leave the recorder off
-(the default) for benchmark runs.
+(the default) for benchmark runs.  The recorder keeps events in memory
+(bounded by ``max_explore_events``); for long solves prefer streaming
+events to disk with a :class:`repro.obs.JsonlSink` attached via
+:class:`repro.obs.Observability`, which samples and buffers instead of
+accumulating.
 """
 
 from __future__ import annotations
@@ -111,15 +115,32 @@ class TraceRecorder:
             return 0.0
         return sum(e.active_size for e in self.explored) / len(self.explored)
 
-    def to_csv(self) -> str:
-        """Explore log as CSV (step,generated,level,lower_bound,active)."""
-        out = io.StringIO()
-        out.write("step,generated,level,lower_bound,active_size\n")
+    def write_csv(self, path_or_file) -> int:
+        """Stream the explore log as CSV to a path or open text file.
+
+        Writes row by row, so a million-event trace never materializes a
+        second copy of itself in memory (unlike :meth:`to_csv`).  Returns
+        the number of data rows written.
+        """
+        if hasattr(path_or_file, "write"):
+            return self._write_csv(path_or_file)
+        with open(path_or_file, "w") as fh:
+            return self._write_csv(fh)
+
+    def _write_csv(self, fh) -> int:
+        fh.write("step,generated,level,lower_bound,active_size\n")
         for e in self.explored:
-            out.write(
+            fh.write(
                 f"{e.step},{e.generated},{e.level},{e.lower_bound},"
                 f"{e.active_size}\n"
             )
+        return len(self.explored)
+
+    def to_csv(self) -> str:
+        """Explore log as one CSV string (small traces; prefer
+        :meth:`write_csv` for anything large)."""
+        out = io.StringIO()
+        self._write_csv(out)
         return out.getvalue()
 
     def __len__(self) -> int:

@@ -48,6 +48,7 @@ def _run(
     num_graphs: int,
     base_seed: int,
     workers: int = 0,
+    collect_metrics: bool = False,
 ) -> ExperimentOutput:
     spec = spec_for_profile(profile)
     cells = [Cell(x=float(m), spec=spec, processors=m) for m in processors]
@@ -61,6 +62,7 @@ def _run(
         base_seed=base_seed,
         include_edf=False,
         workers=workers,
+        collect_metrics=collect_metrics,
     )
 
 
@@ -71,6 +73,7 @@ def dominance_ablation(
     base_seed: int = 0,
     resources: ResourceBounds | None = None,
     workers: int = 0,
+    collect_metrics: bool = False,
 ) -> ExperimentOutput:
     rb = resources or default_resources(profile)
     return _run(
@@ -87,6 +90,7 @@ def dominance_ablation(
         num_graphs,
         base_seed,
         workers,
+        collect_metrics,
     )
 
 
@@ -97,6 +101,7 @@ def symmetry_ablation(
     base_seed: int = 0,
     resources: ResourceBounds | None = None,
     workers: int = 0,
+    collect_metrics: bool = False,
 ) -> ExperimentOutput:
     rb = resources or default_resources(profile)
     return _run(
@@ -113,6 +118,7 @@ def symmetry_ablation(
         num_graphs,
         base_seed,
         workers,
+        collect_metrics,
     )
 
 
@@ -123,6 +129,7 @@ def child_order_ablation(
     base_seed: int = 0,
     resources: ResourceBounds | None = None,
     workers: int = 0,
+    collect_metrics: bool = False,
 ) -> ExperimentOutput:
     rb = resources or default_resources(profile)
     return _run(
@@ -139,6 +146,7 @@ def child_order_ablation(
         num_graphs,
         base_seed,
         workers,
+        collect_metrics,
     )
 
 
@@ -149,6 +157,7 @@ def bound_extension_ablation(
     base_seed: int = 0,
     resources: ResourceBounds | None = None,
     workers: int = 0,
+    collect_metrics: bool = False,
 ) -> ExperimentOutput:
     rb = resources or default_resources(profile)
     return _run(
@@ -163,6 +172,7 @@ def bound_extension_ablation(
         num_graphs,
         base_seed,
         workers,
+        collect_metrics,
     )
 
 
@@ -173,6 +183,7 @@ def selection_tiebreak_ablation(
     base_seed: int = 0,
     resources: ResourceBounds | None = None,
     workers: int = 0,
+    collect_metrics: bool = False,
 ) -> ExperimentOutput:
     """LLB vs depth-biased LLB-D vs LIFO.
 
@@ -198,6 +209,7 @@ def selection_tiebreak_ablation(
         num_graphs,
         base_seed,
         workers,
+        collect_metrics,
     )
 
 
@@ -208,6 +220,7 @@ def elimination_ablation(
     base_seed: int = 0,
     resources: ResourceBounds | None = None,
     workers: int = 0,
+    collect_metrics: bool = False,
 ) -> ExperimentOutput:
     """U/DBAS vs exhaustive enumeration.  Tiny workloads only."""
     rb = resources or default_resources(profile)
@@ -225,4 +238,5 @@ def elimination_ablation(
         num_graphs,
         base_seed,
         workers,
+        collect_metrics,
     )

@@ -54,7 +54,10 @@ def anytime_convergence(
     base_seed: int = 0,
     resources: ResourceBounds | None = None,
     tolerance: float = 0.05,
-    workers: int = 0,  # accepted for registry uniformity; runs sequentially
+    # Accepted for registry uniformity: runs sequentially, and its
+    # per-run telemetry already lands in each point's extras.
+    workers: int = 0,
+    collect_metrics: bool = False,
 ) -> ExperimentOutput:
     """LIFO vs LLB convergence speed with no initial upper bound."""
     rb = resources or default_resources(profile)

@@ -40,6 +40,7 @@ def parallelism_sweep(
     base_seed: int = 0,
     resources: ResourceBounds | None = None,
     workers: int = 0,
+    collect_metrics: bool = False,
 ) -> ExperimentOutput:
     """LB0 vs LB1 across graph shapes of increasing parallelism.
 
@@ -64,6 +65,7 @@ def parallelism_sweep(
         num_graphs=num_graphs,
         base_seed=base_seed,
         workers=workers,
+        collect_metrics=collect_metrics,
     )
 
 
@@ -75,6 +77,7 @@ def ccr_sweep(
     base_seed: int = 0,
     resources: ResourceBounds | None = None,
     workers: int = 0,
+    collect_metrics: bool = False,
 ) -> ExperimentOutput:
     """Optimal B&B across communication-to-computation ratios.
 
@@ -96,6 +99,7 @@ def ccr_sweep(
         num_graphs=num_graphs,
         base_seed=base_seed,
         workers=workers,
+        collect_metrics=collect_metrics,
     )
 
 
@@ -107,6 +111,7 @@ def upper_bound_impact(
     base_seed: int = 0,
     resources: ResourceBounds | None = None,
     workers: int = 0,
+    collect_metrics: bool = False,
 ) -> ExperimentOutput:
     """EDF-seeded vs naive-constant initial upper bound.
 
@@ -141,6 +146,7 @@ def upper_bound_impact(
         base_seed=base_seed,
         include_edf=False,
         workers=workers,
+        collect_metrics=collect_metrics,
     )
 
 
@@ -151,6 +157,7 @@ def memory_behaviour(
     base_seed: int = 0,
     resources: ResourceBounds | None = None,
     workers: int = 0,
+    collect_metrics: bool = False,
 ) -> ExperimentOutput:
     """Peak active-set size under LLB vs LIFO (thrashing proxy).
 
@@ -173,4 +180,5 @@ def memory_behaviour(
         base_seed=base_seed,
         include_edf=False,
         workers=workers,
+        collect_metrics=collect_metrics,
     )

@@ -42,6 +42,7 @@ def fig3a(
     base_seed: int = 0,
     resources: ResourceBounds | None = None,
     workers: int = 0,
+    collect_metrics: bool = False,
 ) -> ExperimentOutput:
     """Figure 3(a): vertex selection rule S in {LLB, LIFO}.
 
@@ -65,6 +66,7 @@ def fig3a(
         num_graphs=num_graphs,
         base_seed=base_seed,
         workers=workers,
+        collect_metrics=collect_metrics,
     )
 
 
@@ -75,6 +77,7 @@ def fig3b(
     base_seed: int = 0,
     resources: ResourceBounds | None = None,
     workers: int = 0,
+    collect_metrics: bool = False,
 ) -> ExperimentOutput:
     """Figure 3(b): lower-bound function L in {LB0, LB1} (S = LIFO).
 
@@ -97,6 +100,7 @@ def fig3b(
         num_graphs=num_graphs,
         base_seed=base_seed,
         workers=workers,
+        collect_metrics=collect_metrics,
     )
 
 
@@ -107,6 +111,7 @@ def fig3c(
     base_seed: int = 0,
     resources: ResourceBounds | None = None,
     workers: int = 0,
+    collect_metrics: bool = False,
 ) -> ExperimentOutput:
     """Figure 3(c): approximation strategies (S = LIFO, L = LB1).
 
@@ -133,4 +138,5 @@ def fig3c(
         num_graphs=num_graphs,
         base_seed=base_seed,
         workers=workers,
+        collect_metrics=collect_metrics,
     )

@@ -11,10 +11,15 @@ from __future__ import annotations
 
 import math
 
-from ..analysis.aggregate import Series
 from .runner import ExperimentOutput
 
-__all__ = ["format_table", "format_ratios", "series_ratio", "render"]
+__all__ = [
+    "format_table",
+    "format_ratios",
+    "format_metrics",
+    "series_ratio",
+    "render",
+]
 
 
 def _fmt(value: float, digits: int = 1) -> str:
@@ -117,11 +122,24 @@ def format_ratios(output: ExperimentOutput, reference: str) -> str:
     return "\n".join(lines)
 
 
+def format_metrics(output: ExperimentOutput) -> str:
+    """Aggregated per-strategy counter totals (``collect_metrics`` runs)."""
+    metrics = output.metadata.get("metrics") or {}
+    lines = ["-- metrics (summed counters across runs)"]
+    for label, entry in metrics.items():
+        lines.append(f"   {label} ({entry.get('runs', 0)} runs):")
+        for name, value in sorted(entry.get("counters", {}).items()):
+            lines.append(f"     {name} = {_fmt(value, 0)}")
+    return "\n".join(lines)
+
+
 def render(output: ExperimentOutput, reference: str | None = None) -> str:
-    """Full report: tables plus optional ratio block."""
+    """Full report: tables plus optional ratio and metrics blocks."""
     text = format_table(output)
     if reference is not None and any(
         s.label == reference for s in output.series
     ):
         text += "\n" + format_ratios(output, reference)
+    if output.metadata.get("metrics"):
+        text += "\n" + format_metrics(output)
     return text

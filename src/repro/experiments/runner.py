@@ -16,6 +16,12 @@ the vertex axis of Figure 3.
 Replications are embarrassingly parallel; pass ``workers > 1`` to fan
 cells out over a process pool.
 
+Pass ``collect_metrics=True`` to attach a fresh
+:class:`~repro.obs.MetricsRegistry` to every solve; per-run counter
+snapshots are summed per strategy into the output's
+``metadata["metrics"]`` (rendered by
+:func:`~repro.experiments.report.format_metrics`).
+
 Two replication modes:
 
 * fixed — exactly ``num_graphs`` random graphs per cell (the default;
@@ -40,6 +46,7 @@ from ..core.params import BnBParameters
 from ..core.resources import ResourceBounds
 from ..model.compile import compile_problem
 from ..model.platform import shared_bus_platform
+from ..obs import MetricsRegistry, Observability
 from ..scheduling.edf import edf_schedule
 from ..workload.generator import generate_task_graph
 from ..workload.spec import WorkloadSpec
@@ -105,17 +112,28 @@ def _solve_cell(args):
     """One (cell, seed) replication: every strategy on one random graph.
 
     Module-level so process pools can pickle it.  Returns
-    ``(x, {label: (vertices, lateness, peak_active, elapsed, truncated)})``.
+    ``(x, {label: (vertices, lateness, peak_active, elapsed, truncated,
+    metrics_snapshot_or_None)})``; the snapshot is a
+    :meth:`~repro.obs.MetricsRegistry.snapshot` dict when
+    ``collect_metrics`` is set.
     """
-    cell, seed, strategy_items, include_edf = args
+    cell, seed, strategy_items, include_edf, collect_metrics = args
     graph = generate_task_graph(cell.spec, seed=seed)
     problem = compile_problem(graph, shared_bus_platform(cell.processors))
-    out: dict[str, tuple[float, float, float, float, bool]] = {}
+    out: dict[str, tuple] = {}
     if include_edf:
         edf = edf_schedule(problem)
-        out[EDF_LABEL] = (float(problem.n), edf.max_lateness, 0.0, 0.0, False)
+        out[EDF_LABEL] = (
+            float(problem.n), edf.max_lateness, 0.0, 0.0, False, None
+        )
     for label, params in strategy_items:
-        result = BranchAndBound(params).solve(problem)
+        if collect_metrics:
+            registry = MetricsRegistry()
+            solver = BranchAndBound(params, obs=Observability(metrics=registry))
+        else:
+            registry = None
+            solver = BranchAndBound(params)
+        result = solver.solve(problem)
         lateness = (
             result.best_cost if result.found_solution else math.nan
         )
@@ -125,6 +143,7 @@ def _solve_cell(args):
             float(result.stats.peak_active),
             result.stats.elapsed,
             result.stats.truncated or result.stats.time_limit_hit,
+            registry.snapshot() if registry is not None else None,
         )
     return cell.x, out
 
@@ -140,20 +159,37 @@ def run_experiment(
     include_edf: bool = True,
     workers: int = 0,
     confidence: ConfidenceTarget | None = None,
+    collect_metrics: bool = False,
 ) -> ExperimentOutput:
-    """Run the full grid and aggregate into series."""
+    """Run the full grid and aggregate into series.
+
+    With ``collect_metrics`` each solve carries a fresh
+    :class:`~repro.obs.MetricsRegistry`; the per-run counter snapshots
+    are summed per strategy into ``metadata["metrics"]`` of the output.
+    """
     labels = ([EDF_LABEL] if include_edf else []) + list(strategies)
     acc: dict[tuple[str, float], PointAccumulator] = {}
     truncated_runs = 0
+    metric_totals: dict[str, dict[str, float]] = {}
+    metric_runs: dict[str, int] = {}
 
     def ingest(x: float, per_label) -> None:
         nonlocal truncated_runs
-        for label, (verts, lat, peak, elapsed, truncated) in per_label.items():
+        for label, row in per_label.items():
+            verts, lat, peak, elapsed, truncated, snapshot = row
             cell_acc = acc.setdefault((label, x), PointAccumulator())
             if not math.isnan(lat):
                 cell_acc.add(verts, lat, peak_active=peak, elapsed=elapsed)
             if truncated:
                 truncated_runs += 1
+            if snapshot is not None:
+                totals = metric_totals.setdefault(label, {})
+                metric_runs[label] = metric_runs.get(label, 0) + 1
+                for metric, data in snapshot.items():
+                    if data.get("type") == "counter":
+                        totals[metric] = (
+                            totals.get(metric, 0.0) + data["value"]
+                        )
 
     runs_per_cell: dict[float, int] = {}
     if confidence is not None:
@@ -162,7 +198,8 @@ def run_experiment(
             k = 0
             while k < confidence.max_runs:
                 x, per_label = _solve_cell(
-                    (cell, base_seed + k, tuple(strategies.items()), include_edf)
+                    (cell, base_seed + k, tuple(strategies.items()),
+                     include_edf, collect_metrics)
                 )
                 ingest(x, per_label)
                 k += 1
@@ -175,7 +212,8 @@ def run_experiment(
             runs_per_cell[cell.x] = k
     else:
         jobs = [
-            (cell, base_seed + k, tuple(strategies.items()), include_edf)
+            (cell, base_seed + k, tuple(strategies.items()), include_edf,
+             collect_metrics)
             for cell in cells
             for k in range(num_graphs)
         ]
@@ -197,20 +235,27 @@ def run_experiment(
                 points.append(cell_acc.freeze(x))
         series.append(Series(label=label, points=tuple(points)))
 
+    metadata = {
+        "num_graphs": (
+            num_graphs if confidence is None else runs_per_cell
+        ),
+        "base_seed": base_seed,
+        "truncated_runs": truncated_runs,
+        "adaptive": confidence is not None,
+        "cells": [
+            (c.x, c.spec.name, c.processors) for c in cells
+        ],
+    }
+    if collect_metrics:
+        metadata["metrics"] = {
+            label: {"runs": metric_runs.get(label, 0), "counters": totals}
+            for label, totals in sorted(metric_totals.items())
+        }
+
     return ExperimentOutput(
         name=name,
         description=description,
         x_label=x_label,
         series=tuple(series),
-        metadata={
-            "num_graphs": (
-                num_graphs if confidence is None else runs_per_cell
-            ),
-            "base_seed": base_seed,
-            "truncated_runs": truncated_runs,
-            "adaptive": confidence is not None,
-            "cells": [
-                (c.x, c.spec.name, c.processors) for c in cells
-            ],
-        },
+        metadata=metadata,
     )

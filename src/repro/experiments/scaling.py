@@ -27,6 +27,7 @@ def scaling_sweep(
     base_seed: int = 0,
     resources: ResourceBounds | None = None,
     workers: int = 0,
+    collect_metrics: bool = False,
 ) -> ExperimentOutput:
     """Optimal B&B effort vs. task count at fixed shape and platform."""
     rb = resources or default_resources(profile)
@@ -53,4 +54,5 @@ def scaling_sweep(
         num_graphs=num_graphs,
         base_seed=base_seed,
         workers=workers,
+        collect_metrics=collect_metrics,
     )

@@ -1,0 +1,170 @@
+"""Phase profiler for the branch-and-bound inner loop.
+
+Lively et al. attribute most B&B runtime differences to *where* time is
+spent — bounding vs. branching vs. pruning — so the engine can attribute
+its wall clock to named phases:
+
+``setup``
+    upper-bound computation, branching preparation, root evaluation;
+``select``
+    frontier pops, stop-condition checks, resource/time checks;
+``branch``
+    placement enumeration and child-state creation;
+``bound``
+    lower-bound evaluation of children;
+``filter``
+    the characteristic function F;
+``dominance``
+    the dominance rule D;
+``goal-eval``
+    incumbent comparison/update and active-set sweeps;
+``eliminate``
+    child elimination, ordering, pushes, resource caps;
+``telemetry``
+    event-sink / metrics / progress emission (so observability's own
+    cost is visible, not smeared over the real phases);
+``finalize``
+    status classification and result assembly.
+
+The engine takes contiguous ``perf_counter`` timestamps at phase
+boundaries, so the phase totals tile the solve's wall clock: their sum
+is within a few percent of ``SearchStats.elapsed`` (the residual is the
+timestamping itself).  Profiling is *off by default* and costs exactly
+one ``is not None`` check per hook when off.
+
+Use::
+
+    prof = PhaseProfiler()
+    result = BranchAndBound(params, obs=Observability(profiler=prof)).solve(p)
+    print(result.profile.as_table())     # also folded into result.summary()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["PHASES", "PhaseProfiler", "PhaseBreakdown"]
+
+#: Canonical phase order (reports follow it; unknown phases append).
+PHASES = (
+    "setup",
+    "select",
+    "branch",
+    "bound",
+    "filter",
+    "dominance",
+    "goal-eval",
+    "eliminate",
+    "telemetry",
+    "finalize",
+)
+
+
+class PhaseProfiler:
+    """Accumulates seconds per phase; one instance per solve.
+
+    The engine calls :meth:`add` with pre-computed deltas — the profiler
+    itself never reads the clock, keeping the hot path free of extra
+    indirection.  ``totals`` may be read at any time (e.g. from another
+    thread driving a live display).
+    """
+
+    __slots__ = ("totals", "counts")
+
+    def __init__(self) -> None:
+        self.totals: dict[str, float] = {p: 0.0 for p in PHASES}
+        self.counts: dict[str, int] = {p: 0 for p in PHASES}
+
+    def add(self, phase: str, seconds: float) -> None:
+        """Attribute ``seconds`` to ``phase`` (creates unknown phases)."""
+        try:
+            self.totals[phase] += seconds
+            self.counts[phase] += 1
+        except KeyError:
+            self.totals[phase] = seconds
+            self.counts[phase] = 1
+
+    def reset(self) -> None:
+        for p in self.totals:
+            self.totals[p] = 0.0
+            self.counts[p] = 0
+
+    @property
+    def total(self) -> float:
+        return sum(self.totals.values())
+
+    def freeze(self) -> PhaseBreakdown:
+        """Immutable snapshot for embedding in a :class:`BnBResult`."""
+        order = [p for p in PHASES if p in self.totals]
+        order += [p for p in self.totals if p not in PHASES]
+        return PhaseBreakdown(
+            phases=tuple(
+                (p, self.totals[p], self.counts[p])
+                for p in order
+            )
+        )
+
+
+@dataclass(frozen=True)
+class PhaseBreakdown:
+    """Per-phase ``(name, seconds, hits)`` timing snapshot of one solve."""
+
+    phases: tuple[tuple[str, float, int], ...]
+
+    @property
+    def total(self) -> float:
+        return sum(s for _, s, _ in self.phases)
+
+    def seconds(self, phase: str) -> float:
+        for name, s, _ in self.phases:
+            if name == phase:
+                return s
+        return 0.0
+
+    def fraction_of(self, elapsed: float) -> float:
+        """Share of ``elapsed`` wall clock the phase totals account for."""
+        return self.total / elapsed if elapsed > 0 else 0.0
+
+    def to_dict(self) -> dict[str, float]:
+        return {name: s for name, s, _ in self.phases}
+
+    def __iter__(self) -> Iterator[tuple[str, float, int]]:
+        return iter(self.phases)
+
+    def summary(self) -> str:
+        """One-line breakdown, hottest phases first, for result summaries."""
+        total = self.total
+        if total <= 0:
+            return "profile: (no time recorded)"
+        parts = [
+            f"{name}={s:.3f}s/{100 * s / total:.0f}%"
+            for name, s, _ in sorted(
+                self.phases, key=lambda r: -r[1]
+            )
+            if s >= 0.0005 or s / total >= 0.01
+        ]
+        return "profile: " + " ".join(parts) if parts else "profile: ~0s"
+
+    def as_table(self, elapsed: float | None = None) -> str:
+        """Multi-line phase table (used by ``repro report``)."""
+        total = self.total
+        denom = elapsed if elapsed and elapsed > 0 else total
+        # Breakdowns reconstructed from traces carry no hit counts.
+        with_hits = any(h for _, _, h in self.phases)
+        header = ("phase", "seconds", "share") + (("hits",) if with_hits else ())
+        rows = [header]
+        for name, s, hits in sorted(self.phases, key=lambda r: -r[1]):
+            share = f"{100 * s / denom:5.1f}%" if denom > 0 else "-"
+            row = (name, f"{s:.4f}", share)
+            rows.append(row + ((str(hits),) if with_hits else ()))
+        total_row = ("total", f"{total:.4f}",
+                     f"{100 * total / denom:5.1f}%" if denom > 0 else "-")
+        rows.append(total_row + (("",) if with_hits else ()))
+        widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+        lines = []
+        for i, row in enumerate(rows):
+            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+            if i == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        return "\n".join(lines)

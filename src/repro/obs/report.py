@@ -1,0 +1,194 @@
+"""Offline analysis of JSONL trace files (the ``repro report`` command).
+
+:func:`load_trace` parses a file written by
+:class:`~repro.obs.events.JsonlSink` into a :class:`TraceReport`;
+:func:`render_trace_report` turns it into the text the CLI prints:
+event inventory, the anytime (incumbent-convergence) profile, the
+per-phase time table when the run was profiled, and the final search
+statistics.  Parsing is line-tolerant — blank and malformed lines are
+counted and skipped, so a trace truncated by a crash still reports.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import IO, Any
+
+from .profile import PhaseBreakdown
+
+__all__ = ["TraceReport", "load_trace", "render_trace_report"]
+
+
+@dataclass
+class TraceReport:
+    """Everything ``repro report`` needs from one JSONL trace."""
+
+    path: str
+    #: Events per kind (post-sampling — what is actually in the file).
+    counts: dict[str, int] = field(default_factory=dict)
+    #: The ``start`` event payload, if present.
+    start: dict[str, Any] | None = None
+    #: The final ``summary`` event payload, if present.
+    summary: dict[str, Any] | None = None
+    #: (generated, cost) incumbent improvements, in file order.
+    incumbents: list[tuple[int, float]] = field(default_factory=list)
+    #: (t, generated, level, lower_bound, active) sampled explore events.
+    explores: list[tuple[float, int, int, float, int]] = field(
+        default_factory=list
+    )
+    #: Resource events (TIMELIMIT / MAXSZAS / MAXSZDB / MAXVERT).
+    resources: list[dict[str, Any]] = field(default_factory=list)
+    #: Lines that failed to parse as JSON objects.
+    malformed_lines: int = 0
+
+    @property
+    def total_events(self) -> int:
+        return sum(self.counts.values())
+
+    def anytime_profile(self) -> list[tuple[int, float]]:
+        """(generated, best cost) steps, starting at the initial bound."""
+        profile: list[tuple[int, float]] = []
+        if self.start is not None and self.start.get("initial_bound") is not None:
+            profile.append((0, float(self.start["initial_bound"])))
+        profile.extend(self.incumbents)
+        return profile
+
+    def phase_breakdown(self) -> PhaseBreakdown | None:
+        if self.summary is None or not self.summary.get("profile"):
+            return None
+        prof = self.summary["profile"]
+        return PhaseBreakdown(
+            phases=tuple((name, float(s), 0) for name, s in prof.items())
+        )
+
+
+def load_trace(path_or_file: str | IO[str]) -> TraceReport:
+    """Parse a JSONL trace file into a :class:`TraceReport`."""
+    if hasattr(path_or_file, "read"):
+        return _parse(path_or_file, getattr(path_or_file, "name", "<stream>"))
+    with open(path_or_file) as fh:
+        return _parse(fh, str(path_or_file))
+
+
+def _parse(fh: IO[str], path: str) -> TraceReport:
+    report = TraceReport(path=path)
+    for line in fh:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+            kind = record["ev"]
+        except (ValueError, KeyError, TypeError):
+            report.malformed_lines += 1
+            continue
+        report.counts[kind] = report.counts.get(kind, 0) + 1
+        if kind == "start":
+            report.start = record
+        elif kind == "summary":
+            report.summary = record
+        elif kind == "incumbent":
+            report.incumbents.append(
+                (int(record.get("generated", 0)), float(record["cost"]))
+            )
+        elif kind == "explore":
+            report.explores.append(
+                (
+                    float(record.get("t", 0.0)),
+                    int(record.get("generated", 0)),
+                    int(record.get("level", 0)),
+                    float(record.get("lb", 0.0)),
+                    int(record.get("active", 0)),
+                )
+            )
+        elif kind == "resource":
+            report.resources.append(record)
+    return report
+
+
+def _simple_table(rows: list[tuple[str, ...]]) -> str:
+    widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
+    lines = []
+    for i, row in enumerate(rows):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def render_trace_report(report: TraceReport, max_profile_rows: int = 20) -> str:
+    """Human-readable rendering of one trace (anytime + phases + stats)."""
+    out: list[str] = [f"trace: {report.path}"]
+
+    if report.start is not None:
+        bits = []
+        if report.start.get("n") is not None:
+            bits.append(f"{report.start['n']} tasks")
+        if report.start.get("m") is not None:
+            bits.append(f"{report.start['m']} processors")
+        if report.start.get("initial_bound") is not None:
+            bits.append(f"U={report.start['initial_bound']:g}")
+        if bits:
+            out.append("run: " + ", ".join(bits))
+        if report.start.get("params"):
+            out.append(f"parameters: {report.start['params']}")
+
+    kinds = ", ".join(
+        f"{k}={report.counts[k]}" for k in sorted(report.counts)
+    )
+    out.append(f"events: {report.total_events} ({kinds})")
+    if report.malformed_lines:
+        out.append(f"warning: skipped {report.malformed_lines} malformed lines")
+
+    profile = report.anytime_profile()
+    if profile:
+        out.append("")
+        out.append("anytime profile (incumbent cost by generated vertices):")
+        rows = [("generated", "cost")]
+        shown = profile
+        if len(shown) > max_profile_rows:
+            head = shown[: max_profile_rows - 1]
+            rows_src = head + [shown[-1]]
+            omitted = len(shown) - len(rows_src)
+        else:
+            rows_src = shown
+            omitted = 0
+        rows += [(f"{g:,}", f"{c:g}") for g, c in rows_src]
+        out.append(_simple_table(rows))
+        if omitted:
+            out.append(f"(… {omitted} intermediate improvements omitted)")
+
+    breakdown = report.phase_breakdown()
+    if breakdown is not None:
+        elapsed = None
+        if report.summary is not None:
+            elapsed = (report.summary.get("stats") or {}).get("elapsed")
+        out.append("")
+        out.append("phase profile:")
+        out.append(breakdown.as_table(elapsed))
+
+    if report.resources:
+        out.append("")
+        out.append("resource events:")
+        for rec in report.resources:
+            kind = rec.get("kind", "?")
+            detail = rec.get("detail", "")
+            out.append(f"  {kind} {detail}".rstrip())
+
+    if report.summary is not None:
+        out.append("")
+        status = report.summary.get("status", "?")
+        cost = report.summary.get("best_cost")
+        cost_s = "-" if cost is None else f"{cost:g}"
+        out.append(f"result: {status} L_max={cost_s}")
+        stats = report.summary.get("stats") or {}
+        if stats:
+            pairs = " ".join(
+                f"{k}={stats[k]}" for k in sorted(stats) if k != "elapsed"
+            )
+            if stats.get("elapsed") is not None:
+                pairs += f" elapsed={stats['elapsed']:.3f}s"
+            out.append(f"stats: {pairs}")
+
+    return "\n".join(out)

@@ -23,7 +23,7 @@ greedy heuristics (the B&B keeps its own immutable state in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable
 
 from ..errors import ModelError
 from ..model.compile import CompiledProblem

@@ -17,7 +17,7 @@ degenerate range.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from ..errors import SpecificationError
 
