@@ -1,0 +1,31 @@
+"""Hot-path benchmark suite: fused-vs-reference regression tracking."""
+
+from .harness import (
+    BASELINE_PATH,
+    BENCH_INSTANCES,
+    QUICK_INSTANCES,
+    BenchInstance,
+    bench_params,
+    load_baseline,
+    check_against_golden,
+    golden_from_report,
+    load_golden,
+    run_instance,
+    run_suite,
+    write_json,
+)
+
+__all__ = [
+    "BASELINE_PATH",
+    "BENCH_INSTANCES",
+    "QUICK_INSTANCES",
+    "BenchInstance",
+    "bench_params",
+    "load_baseline",
+    "check_against_golden",
+    "golden_from_report",
+    "load_golden",
+    "run_instance",
+    "run_suite",
+    "write_json",
+]

@@ -1,0 +1,389 @@
+"""Regression-tracked hot-path benchmark suite (``repro bench``).
+
+The suite exists to keep the fused expansion path honest: every
+instance is solved twice — once on the reference per-child loop
+(``fused=False``, the unoptimized oracle) and once on the fused path
+(``fused=True``) — and the run *fails* unless the generated/explored
+vertex counts and best costs are identical.  Only then are throughput
+numbers (vertices/second, seconds/solve) reported, together with a
+phase split from one profiled fused run.
+
+Two kinds of cells coexist:
+
+* *Exhaustive* cells run to completion; any truncation is an error.
+* *Capped* cells (``max_vertices`` set) bound a combinatorial search to
+  a fixed work budget with ``fail_on_exhaustion=False``.  Both engines
+  truncate at exactly the same point — the cap cuts the identical
+  search order at the identical vertex — so counts still match to the
+  vertex and vertices/second over the fixed budget is a fair
+  throughput metric.
+
+Vertex counts are machine-independent (pure-Python float arithmetic is
+deterministic), so they are additionally pinned in a committed golden
+file (``benchmarks/golden_counts.json``): CI runs ``repro bench --quick
+--check`` and fails on any drift, catching accidental search-order
+changes long before anyone inspects a plot.  Wall-clock numbers are
+reported but never gated — they vary with hardware.
+
+A second committed artifact, ``benchmarks/baseline_pre_pr.json``, pins
+the throughput of the engine *before* the hot-path overhaul (the
+reference loop as it existed at the pre-PR commit, measured on the same
+instances).  When present, the report annotates each row with
+``speedup_vs_pre_pr`` and the summary carries per-preset geometric
+means; these ratios are only meaningful on hardware comparable to the
+baseline's (the file records its measurement environment).
+
+The committed ``BENCH_PR2.json`` at the repository root is the
+reference report for the PR 2 hot-path overhaul; regenerate it with::
+
+    repro bench --out BENCH_PR2.json
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import math
+import os
+import platform as _platform
+import sys
+import time
+from dataclasses import dataclass
+
+from ..core.engine import BranchAndBound
+from ..core.params import BnBParameters
+from ..core.resources import ResourceBounds
+from ..errors import ReproError
+from ..model.compile import CompiledProblem, compile_problem
+from ..model.platform import shared_bus_platform
+from ..obs import Observability, PhaseProfiler
+from ..workload.generator import generate_task_graph
+from ..workload.suites import spec_for_profile
+
+__all__ = [
+    "BenchInstance",
+    "BENCH_INSTANCES",
+    "QUICK_INSTANCES",
+    "BASELINE_PATH",
+    "bench_params",
+    "load_baseline",
+    "run_instance",
+    "run_suite",
+    "check_against_golden",
+    "golden_from_report",
+]
+
+#: Per-solve safety cap for exhaustive cells; they are sized to finish
+#: well under it, so their counts are never truncated.
+_RESOURCES = ResourceBounds(max_vertices=2_000_000, time_limit=300.0)
+
+#: Default location of the committed pre-PR throughput baseline.
+BASELINE_PATH = os.path.join("benchmarks", "baseline_pre_pr.json")
+
+_PRESETS = {
+    "lifo-lb1": BnBParameters.paper_default,
+    "llb-lb1": BnBParameters.paper_llb,
+    "lifo-lb0": BnBParameters.paper_lb0,
+}
+
+
+def bench_params(
+    preset: str, max_vertices: int | None = None
+) -> BnBParameters:
+    """Resolve a preset name to parameters with the bench resource cap.
+
+    ``max_vertices`` switches to a capped fixed-work-budget cell: the
+    search truncates quietly at the cap instead of failing.
+    """
+    try:
+        factory = _PRESETS[preset]
+    except KeyError:
+        raise ReproError(
+            f"unknown bench preset {preset!r}; choose from {sorted(_PRESETS)}"
+        ) from None
+    if max_vertices is None:
+        return factory(resources=_RESOURCES)
+    return factory(resources=ResourceBounds(
+        max_vertices=max_vertices,
+        time_limit=300.0,
+        fail_on_exhaustion=False,
+    ))
+
+
+@dataclass(frozen=True)
+class BenchInstance:
+    """One fixed-seed benchmark cell: a workload draw and a preset.
+
+    ``num_tasks``/``depth`` override the profile's generator spec (the
+    "large" cells draw bigger graphs than any stock profile).
+    ``max_vertices`` makes the cell a capped fixed-work-budget one.
+    """
+
+    name: str
+    profile: str
+    seed: int
+    processors: int
+    preset: str
+    num_tasks: tuple[int, int] | None = None
+    depth: tuple[int, int] | None = None
+    max_vertices: int | None = None
+
+    def spec_changes(self) -> dict:
+        changes: dict = {}
+        if self.num_tasks is not None:
+            changes["num_tasks"] = self.num_tasks
+        if self.depth is not None:
+            changes["depth"] = self.depth
+        if changes:
+            changes["name"] = f"{self.profile}-bench"
+        return changes
+
+    def problem(self) -> CompiledProblem:
+        spec = spec_for_profile(self.profile, **self.spec_changes())
+        graph = generate_task_graph(spec, self.seed)
+        return compile_problem(graph, shared_bus_platform(self.processors))
+
+    def params(self) -> BnBParameters:
+        return bench_params(self.preset, self.max_vertices)
+
+
+_LARGE24 = {"num_tasks": (24, 26), "depth": (9, 12)}
+_LARGE26 = {"num_tasks": (26, 28), "depth": (10, 13)}
+
+#: The full suite.  Seeds are fixed forever — the golden counts depend
+#: on them — and chosen so the cells span the engine's operating range:
+#: m = 2..6 processors, 13..26 tasks, exhaustive and capped searches,
+#: across the three parameter presets.
+BENCH_INSTANCES: tuple[BenchInstance, ...] = (
+    # LLB/LB1 — the paper's best-first configuration (headline group).
+    BenchInstance("paper-s9-m3-llb-lb1", "paper", 9, 3, "llb-lb1"),
+    BenchInstance("paper-s1-m4-llb-lb1", "paper", 1, 4, "llb-lb1"),
+    BenchInstance("paper-s9-m6-llb-lb1", "paper", 9, 6, "llb-lb1",
+                  max_vertices=120_000),
+    BenchInstance("scaled-s11-m3-llb-lb1", "scaled", 11, 3, "llb-lb1"),
+    BenchInstance("large24-s1-m4-llb-lb1", "paper", 1, 4, "llb-lb1",
+                  max_vertices=120_000, **_LARGE24),
+    BenchInstance("large24-s1-m6-llb-lb1", "paper", 1, 6, "llb-lb1",
+                  max_vertices=120_000, **_LARGE24),
+    BenchInstance("large26-s2-m2-llb-lb1", "paper", 2, 2, "llb-lb1",
+                  max_vertices=120_000, **_LARGE26),
+    # LIFO/LB1 — the paper's depth-first default.
+    BenchInstance("scaled-s0-m2-lifo-lb1", "scaled", 0, 2, "lifo-lb1"),
+    BenchInstance("scaled-s11-m3-lifo-lb1", "scaled", 11, 3, "lifo-lb1"),
+    BenchInstance("paper-s13-m2-lifo-lb1", "paper", 13, 2, "lifo-lb1"),
+    # LIFO/LB0 — the cheap-bound configuration.
+    BenchInstance("scaled-s0-m2-lifo-lb0", "scaled", 0, 2, "lifo-lb0"),
+)
+
+#: CI smoke subset (``--quick``): one instance per preset, small cells.
+QUICK_INSTANCES: tuple[BenchInstance, ...] = (
+    BENCH_INSTANCES[0],
+    BENCH_INSTANCES[7],
+    BENCH_INSTANCES[10],
+)
+
+
+def load_baseline(path: str = BASELINE_PATH) -> dict | None:
+    """Read the committed pre-PR throughput baseline (None if absent)."""
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except OSError:
+        return None
+    return data if isinstance(data, dict) else None
+
+
+def _timed_solve(params: BnBParameters, problem: CompiledProblem,
+                 fused: bool, repeats: int):
+    """Best-of-``repeats`` wall clock for one configuration.
+
+    The cyclic collector is paused during each timed solve (and run
+    between them): full collections scan every live frontier entry at
+    unpredictable points, and that noise would otherwise swamp the
+    per-vertex costs this suite tracks.
+    """
+    best = math.inf
+    result = None
+    for _ in range(repeats):
+        solver = BranchAndBound(params, fused=fused)
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            t0 = time.perf_counter()
+            result = solver.solve(problem)
+            dt = time.perf_counter() - t0
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        gc.collect()
+        if dt < best:
+            best = dt
+    return result, best
+
+
+def run_instance(inst: BenchInstance, repeats: int = 3) -> dict:
+    """Benchmark one instance; raises :class:`ReproError` on divergence."""
+    problem = inst.problem()
+    params = inst.params()
+
+    ref, ref_s = _timed_solve(params, problem, fused=False, repeats=repeats)
+    opt, opt_s = _timed_solve(params, problem, fused=True, repeats=repeats)
+
+    oracle = (ref.stats.generated, ref.stats.explored, ref.best_cost,
+              ref.proc_of, ref.start)
+    fused = (opt.stats.generated, opt.stats.explored, opt.best_cost,
+             opt.proc_of, opt.start)
+    if oracle != fused:
+        raise ReproError(
+            f"bench {inst.name}: fused path diverged from the reference "
+            f"oracle: {oracle[:3]} != {fused[:3]}"
+        )
+    if ref.stats.time_limit_hit:
+        raise ReproError(
+            f"bench {inst.name}: reference run hit the time limit; "
+            "wall-clock truncation is not search-order deterministic"
+        )
+    if ref.stats.truncated and inst.max_vertices is None:
+        raise ReproError(
+            f"bench {inst.name}: reference run hit a resource cap; "
+            "instance is too large to serve as an exhaustive oracle"
+        )
+
+    prof = PhaseProfiler()
+    BranchAndBound(
+        params, obs=Observability(profiler=prof), fused=True
+    ).solve(problem)
+    phase_split = {
+        name: round(seconds, 6)
+        for name, seconds in prof.totals.items()
+        if seconds > 0.0
+    }
+
+    gen = opt.stats.generated
+    return {
+        "name": inst.name,
+        "profile": inst.profile,
+        "seed": inst.seed,
+        "processors": inst.processors,
+        "preset": inst.preset,
+        "tasks": problem.n,
+        "capped": inst.max_vertices,
+        "generated": gen,
+        "explored": opt.stats.explored,
+        "best_cost": opt.best_cost,
+        "ref_seconds": round(ref_s, 6),
+        "opt_seconds": round(opt_s, 6),
+        "speedup": round(ref_s / opt_s, 3) if opt_s > 0 else None,
+        "ref_vertices_per_sec": round(gen / ref_s) if ref_s > 0 else None,
+        "opt_vertices_per_sec": round(gen / opt_s) if opt_s > 0 else None,
+        "phase_split": phase_split,
+    }
+
+
+def _geomean(values: list[float]) -> float | None:
+    if not values:
+        return None
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def run_suite(
+    quick: bool = False,
+    repeats: int = 3,
+    baseline: dict | None = None,
+) -> dict:
+    """Run the (full or quick) suite; returns the JSON-ready report.
+
+    ``baseline`` (see :func:`load_baseline`) annotates each row with the
+    pre-PR engine's vertices/second and the resulting speedup.
+    """
+    instances = QUICK_INSTANCES if quick else BENCH_INSTANCES
+    rows = [run_instance(inst, repeats=repeats) for inst in instances]
+    base_rows = (baseline or {}).get("instances", {})
+    for row in rows:
+        base = base_rows.get(row["name"])
+        if base and base.get("vertices_per_sec") and row["opt_vertices_per_sec"]:
+            row["pre_pr_vertices_per_sec"] = base["vertices_per_sec"]
+            row["speedup_vs_pre_pr"] = round(
+                row["opt_vertices_per_sec"] / base["vertices_per_sec"], 3
+            )
+    total_gen = sum(r["generated"] for r in rows)
+    total_ref = sum(r["ref_seconds"] for r in rows)
+    total_opt = sum(r["opt_seconds"] for r in rows)
+    summary = {
+        "instances": len(rows),
+        "total_generated": total_gen,
+        "ref_seconds": round(total_ref, 6),
+        "opt_seconds": round(total_opt, 6),
+        "overall_speedup": (
+            round(total_ref / total_opt, 3) if total_opt > 0 else None
+        ),
+    }
+    by_preset: dict[str, list[float]] = {}
+    for row in rows:
+        ratio = row.get("speedup_vs_pre_pr")
+        if ratio:
+            by_preset.setdefault(row["preset"], []).append(ratio)
+    if by_preset:
+        summary["speedup_vs_pre_pr_geomean"] = {
+            preset: round(_geomean(vals), 3)
+            for preset, vals in sorted(by_preset.items())
+        }
+    report = {
+        "schema": "repro-bench-pr2/1",
+        "quick": quick,
+        "repeats": repeats,
+        "python": sys.version.split()[0],
+        "machine": _platform.machine(),
+        "instances": rows,
+        "summary": summary,
+    }
+    if baseline is not None:
+        report["baseline"] = {
+            k: baseline.get(k)
+            for k in ("commit", "measured_with", "python", "machine")
+        }
+    return report
+
+
+def golden_from_report(report: dict) -> dict:
+    """Extract the machine-independent counts worth pinning."""
+    return {
+        "schema": "repro-bench-golden/1",
+        "instances": {
+            r["name"]: {
+                "generated": r["generated"],
+                "explored": r["explored"],
+                "best_cost": r["best_cost"],
+            }
+            for r in report["instances"]
+        },
+    }
+
+
+def check_against_golden(report: dict, golden: dict) -> list[str]:
+    """Compare a report to pinned counts; returns drift descriptions."""
+    problems: list[str] = []
+    pinned = golden.get("instances", {})
+    for row in report["instances"]:
+        expect = pinned.get(row["name"])
+        if expect is None:
+            problems.append(f"{row['name']}: no golden entry")
+            continue
+        for key in ("generated", "explored", "best_cost"):
+            if expect[key] != row[key]:
+                problems.append(
+                    f"{row['name']}: {key} drifted "
+                    f"(golden {expect[key]!r}, got {row[key]!r})"
+                )
+    return problems
+
+
+def load_golden(path: str) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def write_json(data: dict, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=False)
+        fh.write("\n")

@@ -18,6 +18,10 @@ Subcommands
 ``report``
     Render a JSONL search trace (written by ``solve --trace-jsonl``):
     event inventory, anytime profile, phase table, final stats.
+``bench``
+    Run the regression-tracked hot-path benchmark suite: fused vs
+    reference engine on fixed-seed instances, with golden vertex-count
+    checking and a JSON throughput report.
 ``list``
     List registered experiments.
 """
@@ -65,6 +69,21 @@ def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _workers_arg(text: str) -> int | str:
+    """Worker count for process pools: an integer or ``auto`` (= CPUs)."""
+    if text.strip().lower() == "auto":
+        return "auto"
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
     return value
 
 
@@ -151,7 +170,11 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--profile", default="scaled")
     exp.add_argument("--graphs", type=int, default=None, help="graphs per point")
     exp.add_argument("--seed", type=int, default=0)
-    exp.add_argument("--workers", type=int, default=0)
+    exp.add_argument(
+        "--workers", type=_workers_arg, default=0,
+        help="process-pool size for replications (an integer, or 'auto' "
+        "for one worker per CPU)",
+    )
     exp.add_argument("--output", "-o", default=None, help="save JSON results")
     exp.add_argument(
         "--metrics", action="store_true",
@@ -162,6 +185,39 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="render a JSONL search trace written by solve"
     )
     rep.add_argument("trace", help="path to a .jsonl trace file")
+
+    ben = sub.add_parser(
+        "bench", help="run the regression-tracked hot-path benchmark suite"
+    )
+    ben.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke subset (one instance per preset)",
+    )
+    ben.add_argument(
+        "--repeats", type=_positive_int, default=3,
+        help="timing repetitions per configuration (best-of; default 3)",
+    )
+    ben.add_argument(
+        "--out", "-o", default=None,
+        help="write the JSON report to this path (e.g. BENCH_PR2.json)",
+    )
+    ben.add_argument(
+        "--golden", default="benchmarks/golden_counts.json",
+        help="golden vertex-count file (default benchmarks/golden_counts.json)",
+    )
+    ben.add_argument(
+        "--baseline", default=None,
+        help="pre-PR throughput baseline JSON "
+             "(default benchmarks/baseline_pre_pr.json when present)",
+    )
+    ben.add_argument(
+        "--check", action="store_true",
+        help="fail when vertex counts drift from the golden file",
+    )
+    ben.add_argument(
+        "--update-golden", action="store_true",
+        help="rewrite the golden file from this run's counts",
+    )
 
     sub.add_parser("list", help="list registered experiments")
     return parser
@@ -269,6 +325,71 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from .bench import (
+        BASELINE_PATH,
+        check_against_golden,
+        golden_from_report,
+        load_baseline,
+        load_golden,
+        run_suite,
+        write_json,
+    )
+
+    baseline = load_baseline(args.baseline or BASELINE_PATH)
+    if args.baseline and baseline is None:
+        print(
+            f"error: cannot read baseline file {args.baseline!r}",
+            file=sys.stderr,
+        )
+        return 2
+    report = run_suite(
+        quick=args.quick, repeats=args.repeats, baseline=baseline
+    )
+    header = (
+        f"{'instance':28s} {'gen':>9s} {'ref s':>8s} {'opt s':>8s} "
+        f"{'speedup':>7s} {'opt v/s':>9s} {'vs pre-PR':>9s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in report["instances"]:
+        vs = row.get("speedup_vs_pre_pr")
+        vs_s = f"{vs:>8.2f}x" if vs is not None else f"{'-':>9s}"
+        print(
+            f"{row['name']:28s} {row['generated']:>9d} "
+            f"{row['ref_seconds']:>8.3f} {row['opt_seconds']:>8.3f} "
+            f"{row['speedup']:>6.2f}x {row['opt_vertices_per_sec']:>9d} "
+            f"{vs_s}"
+        )
+    s = report["summary"]
+    print(
+        f"total: {s['total_generated']} vertices, "
+        f"{s['ref_seconds']:.3f}s reference vs {s['opt_seconds']:.3f}s fused "
+        f"({s['overall_speedup']:.2f}x)"
+    )
+    for preset, geo in s.get("speedup_vs_pre_pr_geomean", {}).items():
+        print(f"vs pre-PR engine, {preset}: {geo:.2f}x geomean")
+    if args.out:
+        write_json(report, args.out)
+        print(f"wrote {args.out}")
+    if args.update_golden:
+        write_json(golden_from_report(report), args.golden)
+        print(f"wrote {args.golden}")
+    elif args.check:
+        try:
+            golden = load_golden(args.golden)
+        except OSError as exc:
+            print(f"error: cannot read golden file: {exc}", file=sys.stderr)
+            return 2
+        drift = check_against_golden(report, golden)
+        if drift:
+            for line in drift:
+                print(f"golden drift: {line}", file=sys.stderr)
+            return 1
+        print(f"golden counts OK ({args.golden})")
+    return 0
+
+
 def _cmd_experiment(args) -> int:
     kwargs = {"profile": args.profile, "base_seed": args.seed}
     if args.graphs is not None:
@@ -308,6 +429,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_experiment(args)
         if args.command == "report":
             return _cmd_report(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
         if args.command == "list":
             return _cmd_list()
     except ReproError as exc:

@@ -28,15 +28,36 @@ predecessors.
 
 All bounds return the *vertex cost*: for goal vertices the estimate
 coincides with the true maximum task lateness.
+
+Incremental evaluation
+----------------------
+``evaluate`` recomputes the full Hou & Shin recursion from scratch —
+``O(n + E)`` per vertex — and is kept as the *reference oracle*.  The
+fused expansion path (:mod:`repro.core.expand`) instead calls
+:meth:`LowerBound.make_incremental`: LB0 and LB1 decompose into the
+parent's estimate vector plus a small *dirty set* (descendants of the
+placed task, plus — for LB1 — tasks whose start was pinned by the old
+``l_min``).  The incremental evaluators replicate the reference float
+operations exactly, so the two paths produce bitwise-identical bounds;
+the property tests in ``tests/test_core_expand.py`` enforce this.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
+from ..model.compile import CompiledProblem
 from .state import SearchState
 
-__all__ = ["LowerBound", "LB0", "LB1", "LB2", "TrivialBound", "LOWER_BOUNDS"]
+__all__ = [
+    "LowerBound",
+    "LB0",
+    "LB1",
+    "LB2",
+    "TrivialBound",
+    "LOWER_BOUNDS",
+    "IncrementalEvaluator",
+]
 
 
 class LowerBound(ABC):
@@ -45,9 +66,31 @@ class LowerBound(ABC):
     #: Short identifier used in parameter summaries and reports.
     name: str = "?"
 
+    #: Whether ``L(child) >= L(parent)`` holds along every tree edge
+    #: (true for every shipped bound; the fused expansion path uses the
+    #: parent's bound as a free admission pre-check when set).
+    monotone: bool = False
+
+    #: Whether the static-tail pressure ``s + tail_lateness[task]`` is a
+    #: valid lower bound on this bound's child value (true for bounds
+    #: dominating LB0's critical-path recursion; false for
+    #: :class:`TrivialBound`, which ignores unscheduled tasks).
+    tail_admissible: bool = False
+
     @abstractmethod
     def evaluate(self, state: SearchState) -> float:
         """Lower bound on the best complete-schedule cost below ``state``."""
+
+    def make_incremental(
+        self, problem: CompiledProblem
+    ) -> "IncrementalEvaluator | None":
+        """Incremental evaluator for ``problem``, or None when unsupported.
+
+        Bounds without an incremental decomposition return None; the
+        fused expansion path then falls back to :meth:`evaluate` on the
+        frozen child state (still skipping most construction churn).
+        """
+        return None
 
     def __call__(self, state: SearchState) -> float:
         return self.evaluate(state)
@@ -56,19 +99,144 @@ class LowerBound(ABC):
         return f"{type(self).__name__}()"
 
 
+class IncrementalEvaluator(ABC):
+    """Per-problem incremental form of a lower bound.
+
+    The evaluator threads two per-vertex vectors through the search
+    tree (both indexed by task):
+
+    * ``est`` — the reference recursion's finish estimates (actual
+      finish times for scheduled tasks);
+    * ``estart`` — the pre-``wcet`` start estimates.  Kept separately
+      because ``est[i] - wcet[i]`` is not bitwise ``estart[i]`` under
+      IEEE rounding, and the LB1 ``l_min``-shift skip test needs the
+      exact start to stay byte-identical with the reference oracle.
+
+    :meth:`child` evaluates into *reusable scratch buffers* (no
+    allocation for children that end up pruned); the caller freezes the
+    vectors with :meth:`commit` only for children that survive.  The
+    parent's vectors are never mutated, and committed vectors are
+    immutable — :meth:`commit` may return the parent's own list when a
+    vector is provably unchanged.
+    """
+
+    #: Whether the bound consumes the child's minimum processor
+    #: availability (``l_min``); the expander skips computing it
+    #: otherwise.
+    uses_lmin: bool = False
+
+    @abstractmethod
+    def root(
+        self, state: SearchState
+    ) -> tuple[float, list[float], list[float]]:
+        """Full evaluation of ``state``: ``(lb, est, estart)``."""
+
+    @abstractmethod
+    def child(
+        self,
+        est: list[float],
+        estart: list[float],
+        parent_lb: float,
+        task: int,
+        finish: float,
+        sched_mask: int,
+        lmin: float,
+        lmin_changed: bool,
+    ) -> float:
+        """Evaluate the child that placed ``task`` finishing at ``finish``.
+
+        ``est``/``estart``/``parent_lb`` describe the parent vertex;
+        ``sched_mask`` is the *child's* scheduled set; ``lmin`` the
+        child's minimum processor availability (ignored by bounds with
+        ``uses_lmin`` False).  The child's vectors are left in scratch
+        until the next :meth:`child` call; freeze them via
+        :meth:`commit` if the child is kept.
+        """
+
+    @abstractmethod
+    def commit(self) -> tuple[list[float], list[float]]:
+        """Freeze the scratch vectors of the last :meth:`child` call."""
+
+    def begin(
+        self,
+        est: list[float],
+        estart: list[float],
+        sched_mask: int,
+        lmin_cap: float,
+    ) -> None:
+        """Optional hook before a sibling batch that may shift ``l_min``.
+
+        The expander calls this once per expansion (only when a child
+        *can* advance the availability floor) with the parent's vectors
+        and ``lmin_cap``, an upper bound on any child's new floor.
+        Evaluators may cache parent-derived work here; the default does
+        nothing, and every evaluator must stay correct when the hook is
+        never invoked.
+        """
+
+
 class TrivialBound(LowerBound):
     """Lateness of the already-placed tasks; ignores the future entirely."""
 
     name = "trivial"
+    monotone = True
+    tail_admissible = False
 
     def evaluate(self, state: SearchState) -> float:
         return state.scheduled_lateness
+
+    def make_incremental(
+        self, problem: CompiledProblem
+    ) -> "IncrementalEvaluator | None":
+        return _IncrementalTrivial(problem)
+
+
+class _IncrementalTrivial(IncrementalEvaluator):
+    """Scheduled lateness needs no estimate vectors at all."""
+
+    __slots__ = ("_deadline",)
+
+    _EMPTY: list[float] = []
+
+    def __init__(self, problem: CompiledProblem) -> None:
+        self._deadline = problem.deadline
+
+    def root(
+        self, state: SearchState
+    ) -> tuple[float, list[float], list[float]]:
+        return state.scheduled_lateness, self._EMPTY, self._EMPTY
+
+    def child(
+        self,
+        est: list[float],
+        estart: list[float],
+        parent_lb: float,
+        task: int,
+        finish: float,
+        sched_mask: int,
+        lmin: float,
+        lmin_changed: bool,
+    ) -> float:
+        lat = finish - self._deadline[task]
+        if lat < parent_lb:
+            lat = parent_lb
+        return lat
+
+    def commit(self) -> tuple[list[float], list[float]]:
+        return self._EMPTY, self._EMPTY
 
 
 class LB0(LowerBound):
     """Critical-path lower bound (no processor contention)."""
 
     name = "LB0"
+    monotone = True
+    tail_admissible = True
+
+    def make_incremental(
+        self, problem: CompiledProblem
+    ) -> "IncrementalEvaluator | None":
+        return _IncrementalLB0(problem)
 
     def evaluate(self, state: SearchState) -> float:
         p = state.problem
@@ -101,6 +269,13 @@ class LB1(LowerBound):
     """The paper's adaptive bound: LB0 plus the contention term ``l_min``."""
 
     name = "LB1"
+    monotone = True
+    tail_admissible = True
+
+    def make_incremental(
+        self, problem: CompiledProblem
+    ) -> "IncrementalEvaluator | None":
+        return _IncrementalLB1(problem)
 
     def evaluate(self, state: SearchState) -> float:
         p = state.problem
@@ -144,6 +319,8 @@ class LB2(LowerBound):
     """
 
     name = "LB2"
+    monotone = True
+    tail_admissible = True
 
     def evaluate(self, state: SearchState) -> float:
         p = state.problem
@@ -182,6 +359,343 @@ class LB2(LowerBound):
             lat = e - deadline[i]
             if lat > lb:
                 lb = lat
+        return lb
+
+
+class _IncrementalLB0(IncrementalEvaluator):
+    """Incremental critical-path recursion (dirty = placed task's cone).
+
+    Placing ``task`` can only raise estimates of its descendants, so the
+    child walk starts from ``succ_rank_mask[task]`` and follows rank
+    bits upward, stopping wherever a recomputed estimate is unchanged.
+    The inner recompute is a verbatim copy of :meth:`LB0.evaluate`'s
+    loop body, keeping the floats bitwise identical.
+    """
+
+    __slots__ = ("p", "_sest", "_sestart", "_fast")
+
+    def __init__(self, problem: CompiledProblem) -> None:
+        self.p = problem
+        self._sest = [0.0] * problem.n
+        self._sestart = [0.0] * problem.n
+        #: Set by :meth:`child` when the placement realized the parent's
+        #: estimate exactly: the child's vectors are the parent's with
+        #: one ``estart`` entry rewritten, so :meth:`commit` shares the
+        #: (immutable once committed) ``est`` list and copies only
+        #: ``estart`` — no scratch pass at all.
+        self._fast: tuple | None = None
+
+    def commit(self) -> tuple[list[float], list[float]]:
+        fast = self._fast
+        if fast is not None:
+            est, estart, task, finish = fast
+            cestart = estart.copy()
+            cestart[task] = finish
+            return est, cestart
+        return self._sest.copy(), self._sestart.copy()
+
+    def root(
+        self, state: SearchState
+    ) -> tuple[float, list[float], list[float]]:
+        self._fast = None
+        p = self.p
+        mask = state.scheduled_mask
+        finish = state.finish
+        arrival = p.arrival
+        wcet = p.wcet
+        deadline = p.deadline
+        est = [0.0] * p.n
+        estart = [0.0] * p.n
+        lb = state.scheduled_lateness
+        for i in p.topo:
+            if mask >> i & 1:
+                est[i] = finish[i]
+                estart[i] = finish[i]
+                continue
+            a = arrival[i]
+            e = a
+            for j, _ in p.pred_edges[i]:
+                fj = est[j]
+                if fj > e:
+                    e = fj
+            estart[i] = e
+            e += wcet[i]
+            est[i] = e
+            lat = e - deadline[i]
+            if lat > lb:
+                lb = lat
+        return lb, est, estart
+
+    def child(
+        self,
+        est: list[float],
+        estart: list[float],
+        parent_lb: float,
+        task: int,
+        finish: float,
+        sched_mask: int,
+        lmin: float,
+        lmin_changed: bool,
+    ) -> float:
+        p = self.p
+        if finish == est[task]:
+            # Placements frequently realize the parent's estimate
+            # exactly; then no successor input moved, the walk is a
+            # proven no-op and the bound is closed-form.
+            self._fast = (est, estart, task, finish)
+            lb = finish - p.deadline[task]
+            return lb if lb > parent_lb else parent_lb
+        self._fast = None
+        sest = self._sest
+        sestart = self._sestart
+        sest[:] = est
+        sestart[:] = estart
+        est = sest
+        estart = sestart
+        est[task] = finish
+        estart[task] = finish
+        lb = finish - p.deadline[task]
+        if lb < parent_lb:
+            lb = parent_lb
+        dirty = p.succ_rank_mask[task]
+        topo = p.topo
+        pred_edges = p.pred_edges
+        arrival = p.arrival
+        wcet = p.wcet
+        deadline = p.deadline
+        srm = p.succ_rank_mask
+        while dirty:
+            low = dirty & -dirty
+            dirty ^= low
+            i = topo[low.bit_length() - 1]
+            if sched_mask >> i & 1:
+                continue
+            e = arrival[i]
+            for j, _ in pred_edges[i]:
+                fj = est[j]
+                if fj > e:
+                    e = fj
+            estart[i] = e
+            ne = e + wcet[i]
+            if ne != est[i]:
+                est[i] = ne
+                dirty |= srm[i]
+                lat = ne - deadline[i]
+                if lat > lb:
+                    lb = lat
+        return lb
+
+
+class _IncrementalLB1(IncrementalEvaluator):
+    """Incremental adaptive bound.
+
+    Two regimes per child:
+
+    * ``l_min`` unchanged — identical to the LB0 walk (the contention
+      floor binds exactly as it did in the parent for untouched tasks);
+    * ``l_min`` advanced — a task's estimate can move only when a
+      predecessor changed or the new floor exceeds its exact stored
+      start (``estart[i] < l_min``).  After a :meth:`begin` call the
+      handful of such tasks (empirically well under one per child) come
+      from a per-batch candidate list and join the ordinary dirty walk;
+      without :meth:`begin` a full ascending pass applies the same
+      condition rank by rank.  Both produce bit-identical vectors.
+    """
+
+    __slots__ = ("p", "_sest", "_sestart", "_cand", "_pend", "_fast")
+
+    uses_lmin = True
+
+    def __init__(self, problem: CompiledProblem) -> None:
+        self.p = problem
+        self._sest = [0.0] * problem.n
+        self._sestart = [0.0] * problem.n
+        self._cand: list[tuple[float, int]] | None = None
+        self._pend: tuple | None = None
+        #: See :class:`_IncrementalLB0`: closed-form child, no scratch.
+        self._fast: tuple | None = None
+
+    def begin(
+        self,
+        est: list[float],
+        estart: list[float],
+        sched_mask: int,
+        lmin_cap: float,
+    ) -> None:
+        # Any child's new floor is at most ``lmin_cap``, so only
+        # unscheduled tasks with ``estart[i] < lmin_cap`` can be moved
+        # by the shift.  The O(n) scan is deferred until a child
+        # actually consults the list — batches where no child advances
+        # the floor never pay for it.  Deferral is sound because the
+        # parent's vectors are immutable for the batch's duration.
+        self._cand = None
+        self._pend = (estart, sched_mask, lmin_cap)
+
+    def _candidates(self) -> list[tuple[float, int]]:
+        cand = self._cand
+        if cand is None:
+            estart, sched_mask, lmin_cap = self._pend
+            topo_pos = self.p.topo_pos
+            cand = self._cand = [
+                (estart[i], 1 << topo_pos[i])
+                for i in range(self.p.n)
+                if estart[i] < lmin_cap and not sched_mask >> i & 1
+            ]
+        return cand
+
+    def commit(self) -> tuple[list[float], list[float]]:
+        fast = self._fast
+        if fast is not None:
+            est, estart, task, finish = fast
+            cestart = estart.copy()
+            cestart[task] = finish
+            return est, cestart
+        return self._sest.copy(), self._sestart.copy()
+
+    def root(
+        self, state: SearchState
+    ) -> tuple[float, list[float], list[float]]:
+        self._cand = None
+        self._pend = None
+        self._fast = None
+        p = self.p
+        mask = state.scheduled_mask
+        finish = state.finish
+        arrival = p.arrival
+        wcet = p.wcet
+        deadline = p.deadline
+        lmin = min(state.avail)
+        est = [0.0] * p.n
+        estart = [0.0] * p.n
+        lb = state.scheduled_lateness
+        for i in p.topo:
+            if mask >> i & 1:
+                est[i] = finish[i]
+                estart[i] = finish[i]
+                continue
+            a = arrival[i]
+            e = a if a > lmin else lmin
+            for j, _ in p.pred_edges[i]:
+                fj = est[j]
+                if fj > e:
+                    e = fj
+            estart[i] = e
+            e += wcet[i]
+            est[i] = e
+            lat = e - deadline[i]
+            if lat > lb:
+                lb = lat
+        return lb, est, estart
+
+    def child(
+        self,
+        est: list[float],
+        estart: list[float],
+        parent_lb: float,
+        task: int,
+        finish: float,
+        sched_mask: int,
+        lmin: float,
+        lmin_changed: bool,
+    ) -> float:
+        p = self.p
+        old = est[task]
+        if finish == old:
+            # As in LB0, successors see unchanged inputs; with a cached
+            # candidate list the floor shift is also refutable in O(|C|)
+            # — if nothing moves, the child is closed-form.
+            fast_ok = not lmin_changed
+            if not fast_ok and self._pend is not None:
+                cand = self._cand
+                if cand is None:
+                    cand = self._candidates()
+                fast_ok = True
+                for ei, _bit in cand:
+                    if ei < lmin:
+                        fast_ok = False
+                        break
+            if fast_ok:
+                self._fast = (est, estart, task, finish)
+                lb = finish - p.deadline[task]
+                return lb if lb > parent_lb else parent_lb
+        self._fast = None
+        sest = self._sest
+        sestart = self._sestart
+        sest[:] = est
+        sestart[:] = estart
+        est = sest
+        estart = sestart
+        est[task] = finish
+        estart[task] = finish
+        lb = finish - p.deadline[task]
+        if lb < parent_lb:
+            lb = parent_lb
+        topo = p.topo
+        pred_edges = p.pred_edges
+        arrival = p.arrival
+        wcet = p.wcet
+        deadline = p.deadline
+        srm = p.succ_rank_mask
+        # When the placement realizes the estimate exactly the cascade
+        # seed is a proven no-op; any task the advanced floor moves
+        # re-enters below through the ``lmin`` condition instead.
+        dirty = 0 if finish == old else srm[task]
+        if lmin_changed:
+            if self._pend is None:
+                # No begin() call: full ascending pass applying the
+                # same recompute condition rank by rank.
+                for r in range(p.n):
+                    i = topo[r]
+                    if sched_mask >> i & 1:
+                        continue
+                    a = arrival[i]
+                    base = a if a > lmin else lmin
+                    if not dirty >> r & 1 and base <= estart[i]:
+                        continue
+                    e = base
+                    for j, _ in pred_edges[i]:
+                        fj = est[j]
+                        if fj > e:
+                            e = fj
+                    estart[i] = e
+                    ne = e + wcet[i]
+                    if ne != est[i]:
+                        est[i] = ne
+                        dirty |= srm[i]
+                        lat = ne - deadline[i]
+                        if lat > lb:
+                            lb = lat
+                return lb
+            # Seed the walk with the tasks this child's floor actually
+            # moves (estart uses the parent's values, captured before
+            # the scratch copy).  The placed task may land in the seed;
+            # the walk's scheduled check drops it.
+            cand = self._cand
+            if cand is None:
+                cand = self._candidates()
+            for ei, bit in cand:
+                if ei < lmin:
+                    dirty |= bit
+        while dirty:
+            low = dirty & -dirty
+            dirty ^= low
+            i = topo[low.bit_length() - 1]
+            if sched_mask >> i & 1:
+                continue
+            a = arrival[i]
+            e = a if a > lmin else lmin
+            for j, _ in pred_edges[i]:
+                fj = est[j]
+                if fj > e:
+                    e = fj
+            estart[i] = e
+            ne = e + wcet[i]
+            if ne != est[i]:
+                est[i] = ne
+                dirty |= srm[i]
+                lat = ne - deadline[i]
+                if lat > lb:
+                    lb = lat
         return lb
 
 

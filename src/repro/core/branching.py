@@ -75,6 +75,23 @@ class PreparedBranching(ABC):
     ) -> list[tuple[int, int]]:
         """The (task, processor) pairs to expand from ``state``."""
 
+    def branch_tasks(self, state: SearchState) -> list[int]:
+        """The tasks this rule branches on from ``state``.
+
+        The fused expansion path iterates ``branch_tasks x _procs_for``
+        directly, skipping the intermediate placement-tuple list that
+        :meth:`placements` materializes.  The default derives the task
+        list from :meth:`placements` (order-preserving) so third-party
+        rules keep working; built-in rules override it.
+        """
+        seen: set[int] = set()
+        tasks: list[int] = []
+        for task, _ in self.placements(state):
+            if task not in seen:
+                seen.add(task)
+                tasks.append(task)
+        return tasks
+
     def _procs_for(
         self, state: SearchState, break_symmetry: bool
     ) -> list[int]:
@@ -95,6 +112,9 @@ class PreparedBranching(ABC):
 
 
 class _PreparedBFn(PreparedBranching):
+    def branch_tasks(self, state: SearchState) -> list[int]:
+        return state.ready_tasks()
+
     def placements(
         self, state: SearchState, break_symmetry: bool = False
     ) -> list[tuple[int, int]]:
@@ -121,17 +141,20 @@ class _PreparedFixedOrder(PreparedBranching):
             )
         self.order = tuple(order)
 
-    def placements(
-        self, state: SearchState, break_symmetry: bool = False
-    ) -> list[tuple[int, int]]:
+    def branch_tasks(self, state: SearchState) -> list[int]:
         task = self.order[state.level]
         if not state.is_ready(task):
             raise ConfigurationError(
                 f"fixed branching order is not topological: task "
                 f"{self.problem.names[task]!r} not ready at level {state.level}"
             )
+        return [task]
+
+    def placements(
+        self, state: SearchState, break_symmetry: bool = False
+    ) -> list[tuple[int, int]]:
         procs = self._procs_for(state, break_symmetry)
-        return [(task, q) for q in procs]
+        return [(task, q) for task in self.branch_tasks(state) for q in procs]
 
 
 class FixedOrderBranching(BranchingRule):

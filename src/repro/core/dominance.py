@@ -44,12 +44,21 @@ class DominanceRule(ABC):
 
 
 class DominanceChecker(ABC):
+    #: True when :meth:`is_dominated` is a stateless constant-False (no
+    #: store to keep consistent).  The fused expansion path may then
+    #: discard doomed children early; a stateful checker must observe
+    #: the exact same child stream as the reference engine path, so
+    #: early discards are disabled for it.
+    is_noop: bool = False
+
     @abstractmethod
     def is_dominated(self, state: SearchState) -> bool:
         """Whether the state is dominated by one seen before (and record it)."""
 
 
 class _NoChecker(DominanceChecker):
+    is_noop = True
+
     def is_dominated(self, state: SearchState) -> bool:
         return False
 

@@ -50,6 +50,14 @@ class EliminationRule(ABC):
 
     name: str = "?"
 
+    #: Whether ``should_prune`` is monotone in the bound at a fixed
+    #: threshold (pruning ``x`` implies pruning every ``y >= x``).  The
+    #: fused expansion path's admission pre-check discards a child when
+    #: a cheap *under*-estimate of its bound would already be pruned —
+    #: sound only under this monotonicity.  Both shipped rules qualify;
+    #: custom rules must opt in explicitly.
+    monotone_in_bound: bool = False
+
     @abstractmethod
     def should_prune(self, lower_bound: float, threshold: float) -> bool:
         """Whether a vertex with this bound is eliminated at this threshold."""
@@ -66,6 +74,7 @@ class UDBASElimination(EliminationRule):
     """Upper-Bound-Cost-to-DB-and-AS: prune ``L(v) >= threshold`` everywhere."""
 
     name = "U/DBAS"
+    monotone_in_bound = True
 
     def should_prune(self, lower_bound: float, threshold: float) -> bool:
         return lower_bound >= threshold
@@ -83,6 +92,9 @@ class NoElimination(EliminationRule):
     """
 
     name = "none"
+    # Constant-False is trivially monotone: the pre-check then never
+    # fires, and the fused path degenerates to incremental bounding only.
+    monotone_in_bound = True
 
     def should_prune(self, lower_bound: float, threshold: float) -> bool:
         return False

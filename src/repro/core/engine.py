@@ -33,6 +33,7 @@ import math
 import time
 from dataclasses import dataclass
 from enum import Enum
+from operator import attrgetter
 
 from ..errors import ResourceLimitExceeded
 from ..model.compile import CompiledProblem, compile_problem
@@ -46,7 +47,8 @@ from ..obs.metrics import (
     MetricsRegistry,
 )
 from ..obs.profile import PhaseBreakdown
-from .elimination import pruning_threshold
+from .elimination import UDBASElimination, pruning_threshold
+from .expand import FusedExpander
 from .params import BnBParameters
 from .state import root_state
 from .stats import SearchStats
@@ -60,6 +62,9 @@ _TIME_CHECK_MASK = 0xFF
 
 #: How often (in explored vertices) the progress reporter is consulted.
 _PROGRESS_CHECK_MASK = 0x3F
+
+#: C-level sort key for child ordering (avoids a lambda per comparison).
+_BY_BOUND = attrgetter("lower_bound")
 
 
 class SolveStatus(Enum):
@@ -192,6 +197,15 @@ class BranchAndBound:
     :class:`~repro.obs.Observability` bundle for streamed event traces,
     phase profiling, metrics and progress heartbeats; both are off by
     default and cost nothing when off.
+
+    ``fused`` selects the expansion path: ``True`` forces the fused
+    :class:`~repro.core.expand.FusedExpander` hot path (incremental
+    bounds, admission pre-check, scratch buffers), ``False`` forces the
+    reference per-child loop, and ``None`` (the default) uses the fused
+    path exactly when no event sink or profiler is attached — those two
+    consumers observe per-child branch/bound granularity that the fused
+    path folds into a single ``expand`` phase.  Both paths produce
+    identical results and statistics (``tests/test_core_expand.py``).
     """
 
     def __init__(
@@ -199,10 +213,12 @@ class BranchAndBound:
         params: BnBParameters | None = None,
         trace: TraceRecorder | None = None,
         obs: Observability | None = None,
+        fused: bool | None = None,
     ) -> None:
         self.params = params or BnBParameters()
         self.trace = trace
         self.obs = obs
+        self.fused = fused
 
     # ------------------------------------------------------------------
 
@@ -303,9 +319,33 @@ class BranchAndBound:
             child_order = params.child_order
             break_symmetry = params.break_symmetry
 
-            root = Vertex(
-                root_state(problem), bound.evaluate(root_state(problem)), 0
+            use_fused = self.fused
+            if use_fused is None:
+                use_fused = sink is None and profiler is None
+            expander = (
+                FusedExpander(
+                    problem, prepared, bound, charf, dominance, elim,
+                    break_symmetry,
+                )
+                if use_fused
+                else None
             )
+
+            fused_precheck = expander is not None and expander.precheck
+            # U/DBAS's test is a bare comparison; inlining it in the pop
+            # loop saves a method call per explored vertex.
+            fast_udbas = type(elim) is UDBASElimination
+            should_prune = elim.should_prune
+            max_children = rb.max_children
+            max_active = rb.max_active
+            max_vertices = rb.max_vertices
+            untimed = math.isinf(rb.time_limit)
+
+            if expander is not None:
+                root = expander.root()
+            else:
+                rs = root_state(problem)
+                root = Vertex(rs, bound.evaluate(rs), 0)
             stats.generated = 1
             seq = 1
             if not elim.should_prune(root.lower_bound, threshold):
@@ -329,7 +369,11 @@ class BranchAndBound:
                 # a popped vertex at/above the threshold ends the whole
                 # search; under LIFO/FIFO it is merely skipped (it was
                 # pushed before the incumbent improved).
-                if elim.should_prune(vertex.lower_bound, threshold):
+                if (
+                    (vertex.lower_bound >= threshold)
+                    if fast_udbas
+                    else should_prune(vertex.lower_bound, threshold)
+                ):
                     if stop_on_bound:
                         if lap is not None:
                             lap("select")
@@ -392,9 +436,7 @@ class BranchAndBound:
                     if lap is not None:
                         lap("telemetry")
 
-                if stats.explored & _TIME_CHECK_MASK == 0 and not math.isinf(
-                    rb.time_limit
-                ):
+                if stats.explored & _TIME_CHECK_MASK == 0 and not untimed:
                     if stats.time_since_start() >= rb.time_limit:
                         stats.time_limit_hit = True
                         if sink is not None and sink.accepts("resource"):
@@ -412,71 +454,118 @@ class BranchAndBound:
                         break
 
                 # Step 6-7: branch and bound the children.
-                placements = prepared.placements(vertex.state, break_symmetry)
-                if lap is not None:
-                    lap("branch")
-                children: list[Vertex] = []
-                best_goal_cost = math.inf
-                best_goal_state = None
-                for task, proc in placements:
-                    child_state = vertex.state.child(task, proc)
-                    stats.generated += 1
-                    if lap is not None:
-                        lap("branch")
-                    child_lb = bound.evaluate(child_state)
-                    if lap is not None:
-                        lap("bound")
-                    if child_state.is_goal:
-                        # Goal vertices never enter the active set: track
-                        # the cheapest one in DB (Figure 2, steps 1-5).
-                        stats.goals_evaluated += 1
-                        if child_lb < best_goal_cost:
-                            best_goal_cost = child_lb
-                            best_goal_state = child_state
-                        if sink is not None and sink.accepts("goal"):
+                precheck_pruned = 0
+                if expander is not None:
+                    # Fused hot path: branching, state construction and
+                    # bounding in one pass (see repro.core.expand).  The
+                    # admission pre-check discards only children the
+                    # reference loop would prune, after consuming their
+                    # sequence numbers, so all counters stay identical;
+                    # its discards are folded into pruned_children below.
+                    (
+                        seq, children, n_gen, n_goals, precheck_pruned,
+                        n_infeasible, n_dominated, best_goal_cost,
+                        best_goal_state,
+                    ) = expander.expand(vertex, threshold, seq)
+                    stats.generated += n_gen
+                    stats.goals_evaluated += n_goals
+                    stats.pruned_infeasible += n_infeasible
+                    stats.pruned_dominated += n_dominated
+                    if sink is not None:
+                        # Event parity is coarse on the fused path:
+                        # per-child goal/prune events are aggregated.
+                        if n_goals and sink.accepts("goal"):
                             sink.emit(
                                 "goal",
                                 {"generated": stats.generated,
-                                 "cost": _json_num(child_lb)},
+                                 "count": n_goals,
+                                 "cost": _json_num(best_goal_cost)},
                             )
-                        if lap is not None:
-                            lap("goal-eval")
-                        continue
-                    if not charf.admits(child_state, child_lb):
-                        stats.pruned_infeasible += 1
-                        if sink is not None and sink.accepts("prune"):
+                        if n_infeasible and sink.accepts("prune"):
                             sink.emit(
                                 "prune",
                                 {"cause": "infeasible",
-                                 "lb": _json_num(child_lb)},
+                                 "count": n_infeasible},
                             )
-                        if lap is not None:
-                            lap("filter")
-                        continue
-                    if lap is not None:
-                        lap("filter")
-                    if dominance.is_dominated(child_state):
-                        stats.pruned_dominated += 1
-                        if sink is not None and sink.accepts("prune"):
+                        if n_dominated and sink.accepts("prune"):
                             sink.emit(
                                 "prune",
                                 {"cause": "dominated",
-                                 "lb": _json_num(child_lb)},
+                                 "count": n_dominated},
                             )
+                    if lap is not None:
+                        lap("expand")
+                else:
+                    placements = prepared.placements(
+                        vertex.state, break_symmetry
+                    )
+                    if lap is not None:
+                        lap("branch")
+                    children = []
+                    best_goal_cost = math.inf
+                    best_goal_state = None
+                    for task, proc in placements:
+                        child_state = vertex.state.child(task, proc)
+                        stats.generated += 1
+                        if lap is not None:
+                            lap("branch")
+                        child_lb = bound.evaluate(child_state)
+                        if lap is not None:
+                            lap("bound")
+                        if child_state.is_goal:
+                            # Goal vertices never enter the active set:
+                            # track the cheapest one in DB (Figure 2,
+                            # steps 1-5).
+                            stats.goals_evaluated += 1
+                            if child_lb < best_goal_cost:
+                                best_goal_cost = child_lb
+                                best_goal_state = child_state
+                            if sink is not None and sink.accepts("goal"):
+                                sink.emit(
+                                    "goal",
+                                    {"generated": stats.generated,
+                                     "cost": _json_num(child_lb)},
+                                )
+                            if lap is not None:
+                                lap("goal-eval")
+                            continue
+                        if not charf.admits(child_state, child_lb):
+                            stats.pruned_infeasible += 1
+                            if sink is not None and sink.accepts("prune"):
+                                sink.emit(
+                                    "prune",
+                                    {"cause": "infeasible",
+                                     "lb": _json_num(child_lb)},
+                                )
+                            if lap is not None:
+                                lap("filter")
+                            continue
+                        if lap is not None:
+                            lap("filter")
+                        if dominance.is_dominated(child_state):
+                            stats.pruned_dominated += 1
+                            if sink is not None and sink.accepts("prune"):
+                                sink.emit(
+                                    "prune",
+                                    {"cause": "dominated",
+                                     "lb": _json_num(child_lb)},
+                                )
+                            if lap is not None:
+                                lap("dominance")
+                            continue
                         if lap is not None:
                             lap("dominance")
-                        continue
-                    if lap is not None:
-                        lap("dominance")
-                    children.append(Vertex(child_state, child_lb, seq))
-                    seq += 1
+                        children.append(Vertex(child_state, child_lb, seq))
+                        seq += 1
 
                 # Figure 2 steps 1-5: incumbent update from the cheapest
                 # goal.
+                threshold_tightened = False
                 if (
                     best_goal_state is not None
                     and best_goal_cost < incumbent_cost
                 ):
+                    threshold_tightened = True
                     incumbent_cost = best_goal_cost
                     best_proc = best_goal_state.proc_of
                     best_start = best_goal_state.start
@@ -518,22 +607,39 @@ class BranchAndBound:
                 if lap is not None:
                     lap("goal-eval")
 
-                # Figure 2 step 6, DB half: eliminate children.
-                kept = []
-                for child in children:
-                    if elim.should_prune(child.lower_bound, threshold):
-                        stats.pruned_children += 1
-                        if sink is not None and sink.accepts("prune"):
-                            sink.emit(
-                                "prune",
-                                {"cause": "bound",
-                                 "lb": _json_num(child.lower_bound)},
-                            )
-                    else:
-                        kept.append(child)
+                # Figure 2 step 6, DB half: eliminate children.  The
+                # fused path's pre-checked children are exactly the ones
+                # this stage would have pruned (their bounds met the
+                # threshold before it could only have tightened), so
+                # they count here.
+                if precheck_pruned:
+                    stats.pruned_children += precheck_pruned
+                    if sink is not None and sink.accepts("prune"):
+                        sink.emit(
+                            "prune",
+                            {"cause": "bound", "count": precheck_pruned},
+                        )
+                if fused_precheck and not threshold_tightened:
+                    # Pre-checked children are already strictly below
+                    # this very threshold; re-testing each one cannot
+                    # prune anything unless a goal just tightened it.
+                    kept = children
+                else:
+                    kept = []
+                    for child in children:
+                        if elim.should_prune(child.lower_bound, threshold):
+                            stats.pruned_children += 1
+                            if sink is not None and sink.accepts("prune"):
+                                sink.emit(
+                                    "prune",
+                                    {"cause": "bound",
+                                     "lb": _json_num(child.lower_bound)},
+                                )
+                        else:
+                            kept.append(child)
 
                 # RB: MAXSZDB caps the child set (keep the best bounds).
-                if len(kept) > rb.max_children:
+                if len(kept) > max_children:
                     if rb.fail_on_exhaustion:
                         if sink is not None and sink.accepts("resource"):
                             sink.emit(
@@ -544,7 +650,7 @@ class BranchAndBound:
                         raise ResourceLimitExceeded(
                             "MAXSZDB", f"{len(kept)} children"
                         )
-                    kept.sort(key=lambda v: v.lower_bound)
+                    kept.sort(key=_BY_BOUND)
                     dropped_db = len(kept) - int(rb.max_children)
                     stats.dropped_resource += dropped_db
                     stats.truncated = True
@@ -557,9 +663,11 @@ class BranchAndBound:
 
                 # Step 9: move the survivors into AS.
                 if child_order == "best-last":
-                    kept.sort(key=lambda v: -v.lower_bound)
+                    # Stable descending sort: equal bounds keep
+                    # insertion order, matching the negated-key sort.
+                    kept.sort(key=_BY_BOUND, reverse=True)
                 elif child_order == "best-first":
-                    kept.sort(key=lambda v: v.lower_bound)
+                    kept.sort(key=_BY_BOUND)
                 for child in kept:
                     frontier.push(child)
 
@@ -568,7 +676,7 @@ class BranchAndBound:
                     stats.peak_active = active
 
                 # RB: MAXSZAS disposes of the worst active vertices.
-                if active > rb.max_active:
+                if active > max_active:
                     if rb.fail_on_exhaustion:
                         if sink is not None and sink.accepts("resource"):
                             sink.emit(
@@ -589,7 +697,7 @@ class BranchAndBound:
                         )
 
                 # RB extension: generated-vertex cap.
-                if stats.generated >= rb.max_vertices:
+                if stats.generated >= max_vertices:
                     if sink is not None and sink.accepts("resource"):
                         sink.emit(
                             "resource",

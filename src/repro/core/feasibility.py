@@ -33,6 +33,12 @@ class CharacteristicFunction(ABC):
 
     name: str = "?"
 
+    #: True when :meth:`admits` accepts every vertex (the paper's
+    #: default).  The fused expansion path may then discard doomed
+    #: children before the function would have seen them without
+    #: changing any observable pruning behaviour.
+    admits_all: bool = False
+
     @abstractmethod
     def admits(self, state: SearchState, lower_bound: float) -> bool:
         """Whether the vertex may still lead to an acceptable solution."""
@@ -49,6 +55,7 @@ class NoFilter(CharacteristicFunction):
     """The paper's configuration: no characteristic function."""
 
     name = "none"
+    admits_all = True
 
     def admits(self, state: SearchState, lower_bound: float) -> bool:
         return True

@@ -119,64 +119,116 @@ class _FIFOFrontier(_ListFrontier):
 
 
 class _LLBFrontier(Frontier):
-    """Binary heap keyed by (lower bound, seq), with lazy deletion.
+    """Binary heap keyed by (lower bound, seq), with full lazy deletion.
 
-    ``prune_above`` only records the new threshold; stale entries are
-    skipped at pop time.  This keeps incumbent updates O(1) while the
-    *effective* content matches eager U/DBAS pruning exactly (every entry
-    at or above the threshold is unreachable).  ``__len__`` reports the
-    effective size, maintained incrementally.
+    Entries are ``(lower_bound, seq, vertex)`` tuples: ``seq`` is unique
+    among active vertices, so heap comparisons resolve in C on the first
+    two fields and never invoke ``Vertex.__lt__``.
+
+    No operation ever rebuilds the heap on the hot path:
+
+    * ``prune_above`` stamps the new threshold; entries at or above it
+      become *stale* and are skipped when popped.  Only a counting scan
+      (no allocation, no heapify) runs at incumbent updates, so the
+      *effective* content matches eager U/DBAS pruning exactly.
+    * ``drop_worst`` tombstones the doomed entries by identity instead
+      of filtering and re-heapifying; tombstones are reaped when the
+      entries surface at the heap top.
+    * ``__len__`` reports the effective (live) size, maintained
+      incrementally.
+
+    A compaction pass (filter + heapify) runs only when live entries
+    fall below half the heap, bounding memory at ~2x the live set while
+    keeping the amortized cost per operation O(log n).
     """
 
     def __init__(self) -> None:
-        self._heap: list[Vertex] = []
+        self._heap: list[tuple] = []
         self._threshold = float("inf")
         self._live = 0
+        #: ids of vertices removed by ``drop_worst`` but still heaped.
+        self._dead: set[int] = set()
+
+    @staticmethod
+    def _key(vertex: Vertex) -> tuple:
+        return (vertex.lower_bound, vertex.seq, vertex)
 
     def push(self, vertex: Vertex) -> None:
         if vertex.lower_bound >= self._threshold:
             return
-        heapq.heappush(self._heap, vertex)
+        heapq.heappush(self._heap, self._key(vertex))
         self._live += 1
 
     def pop(self) -> Vertex | None:
-        while self._heap:
-            v = heapq.heappop(self._heap)
-            if v.lower_bound < self._threshold:
+        dead = self._dead
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            v = entry[-1]
+            if dead and id(v) in dead:
+                dead.discard(id(v))
+                continue
+            if entry[0] < self._threshold:
                 self._live -= 1
                 return v
         self._live = 0
+        dead.clear()
         return None
+
+    def _compact(self) -> None:
+        """Reap stale and tombstoned entries; amortized by the 1/2 rule."""
+        dead = self._dead
+        threshold = self._threshold
+        self._heap = [
+            e
+            for e in self._heap
+            if e[0] < threshold and (not dead or id(e[-1]) not in dead)
+        ]
+        dead.clear()
+        heapq.heapify(self._heap)
 
     def prune_above(self, threshold: float) -> int:
         if threshold >= self._threshold:
             return 0
         # Count only newly dead entries: those below the old threshold
-        # (still live) but at or above the new one.
-        pruned = sum(
-            1
-            for v in self._heap
-            if threshold <= v.lower_bound < self._threshold
-        )
+        # (still live, not tombstoned) but at or above the new one.
+        dead = self._dead
+        old = self._threshold
+        if dead:
+            pruned = sum(
+                1
+                for e in self._heap
+                if threshold <= e[0] < old and id(e[-1]) not in dead
+            )
+        else:
+            pruned = sum(
+                1 for e in self._heap if threshold <= e[0] < old
+            )
         self._threshold = threshold
         self._live -= pruned
-        # Compact when most of the heap is stale, bounding memory.
         if pruned and self._live < len(self._heap) // 2:
-            self._heap = [v for v in self._heap if v.lower_bound < threshold]
-            heapq.heapify(self._heap)
+            self._compact()
         return pruned
 
     def drop_worst(self, count: int) -> int:
-        if count <= 0:
+        if count <= 0 or self._live == 0:
             return 0
-        live = [v for v in self._heap if v.lower_bound < self._threshold]
-        live.sort()  # ascending (lb, seq)
-        keep = live[: max(0, len(live) - count)]
-        dropped = len(live) - len(keep)
-        self._heap = keep
-        heapq.heapify(self._heap)
-        self._live = len(keep)
-        return dropped
+        dead = self._dead
+        threshold = self._threshold
+        worst = heapq.nlargest(
+            count,
+            (
+                e
+                for e in self._heap
+                if e[0] < threshold and id(e[-1]) not in dead
+            ),
+        )
+        for e in worst:
+            dead.add(id(e[-1]))
+        self._live -= len(worst)
+        if self._live < len(self._heap) // 2:
+            self._compact()
+        return len(worst)
 
     def __len__(self) -> int:
         return self._live
@@ -210,41 +262,12 @@ class LLBSelection(SelectionRule):
         return _LLBFrontier()
 
 
-class _DepthKeyed:
-    """Heap adapter ordering by (bound, -level, seq)."""
-
-    __slots__ = ("vertex",)
-
-    def __init__(self, vertex: Vertex) -> None:
-        self.vertex = vertex
-
-    @property
-    def lower_bound(self) -> float:
-        return self.vertex.lower_bound
-
-    @property
-    def seq(self) -> int:
-        return self.vertex.seq
-
-    def __lt__(self, other: "_DepthKeyed") -> bool:
-        a, b = self.vertex, other.vertex
-        if a.lower_bound != b.lower_bound:
-            return a.lower_bound < b.lower_bound
-        if a.level != b.level:
-            return a.level > b.level  # deeper first
-        return a.seq < b.seq
-
-
 class _DepthLLBFrontier(_LLBFrontier):
-    def push(self, vertex: Vertex) -> None:
-        if vertex.lower_bound >= self._threshold:
-            return
-        heapq.heappush(self._heap, _DepthKeyed(vertex))
-        self._live += 1
+    """Heap entries ordered by (bound, -level, seq): deeper ties first."""
 
-    def pop(self) -> Vertex | None:
-        popped = super().pop()
-        return popped.vertex if popped is not None else None  # type: ignore[attr-defined]
+    @staticmethod
+    def _key(vertex: Vertex) -> tuple:
+        return (vertex.lower_bound, -vertex.level, vertex.seq, vertex)
 
 
 class DepthBiasedLLBSelection(SelectionRule):

@@ -44,6 +44,7 @@ class SearchState(object):
         "scheduled_lateness",
         "last_task",
         "last_proc",
+        "_lmin",
     )
 
     def __init__(
@@ -59,6 +60,7 @@ class SearchState(object):
         scheduled_lateness: float,
         last_task: int = -1,
         last_proc: int = -1,
+        lmin: float | None = None,
     ) -> None:
         self.problem = problem
         self.scheduled_mask = scheduled_mask
@@ -71,6 +73,7 @@ class SearchState(object):
         self.scheduled_lateness = scheduled_lateness
         self.last_task = last_task
         self.last_proc = last_proc
+        self._lmin = lmin
 
     # ------------------------------------------------------------------
     # Queries
@@ -88,20 +91,31 @@ class SearchState(object):
         return bool(self.ready_mask >> task & 1)
 
     def ready_tasks(self) -> list[int]:
-        """Indices of ready tasks (all predecessors placed), ascending."""
+        """Indices of ready tasks (all predecessors placed), ascending.
+
+        Iterates set bits directly (isolate the lowest bit, index via
+        ``bit_length``) instead of shifting through every position, so
+        the cost scales with the number of ready tasks, not ``n``.
+        """
         out = []
         mask = self.ready_mask
-        i = 0
         while mask:
-            if mask & 1:
-                out.append(i)
-            mask >>= 1
-            i += 1
+            low = mask & -mask
+            out.append(low.bit_length() - 1)
+            mask ^= low
         return out
 
     def min_avail(self) -> float:
-        """``l_min``: earliest time any processor can accept a new task."""
-        return min(self.avail)
+        """``l_min``: earliest time any processor can accept a new task.
+
+        Computed once and cached (states are immutable); the fused
+        expansion path pre-seeds the cache at construction.
+        """
+        lmin = self._lmin
+        if lmin is None:
+            lmin = min(self.avail)
+            self._lmin = lmin
+        return lmin
 
     def earliest_start(self, task: int, proc: int) -> float:
         """Start time the scheduling operation would give ``task`` on ``proc``."""
@@ -116,14 +130,25 @@ class SearchState(object):
     def child(self, task: int, proc: int) -> "SearchState":
         """Append one placement, producing the child vertex's state."""
         p = self.problem
-        bit = 1 << task
-        if not self.ready_mask & bit:
+        if not self.ready_mask >> task & 1:
             raise ModelError(
                 f"task {p.names[task]!r} is not ready in this state"
             )
         s = p.earliest_start(task, proc, self.proc_of, self.finish, self.avail[proc])
-        f = s + p.wcet[task]
+        return self.child_placed(task, proc, s, s + p.wcet[task])
 
+    def child_placed(
+        self, task: int, proc: int, s: float, f: float
+    ) -> "SearchState":
+        """:meth:`child` with the start/finish times already computed.
+
+        The fused expansion path computes every placement's times up
+        front for its admission pre-check; this entry point lets it
+        freeze the surviving children without repeating the scheduling
+        operation (and without re-validating readiness).
+        """
+        p = self.problem
+        bit = 1 << task
         new_mask = self.scheduled_mask | bit
         new_ready = self.ready_mask & ~bit
         for j, _ in p.succ_edges[task]:

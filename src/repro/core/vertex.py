@@ -14,14 +14,29 @@ __all__ = ["Vertex"]
 
 
 class Vertex(object):
-    """One vertex of the branch-and-bound search tree."""
+    """One vertex of the branch-and-bound search tree.
 
-    __slots__ = ("state", "lower_bound", "seq")
+    ``est``/``estart`` carry the incremental lower bound's estimate
+    vectors (finish and pre-``wcet`` start estimates per task) from
+    parent to child on the fused expansion path; they stay ``None``
+    on the reference path and for bounds without an incremental form.
+    """
 
-    def __init__(self, state: SearchState, lower_bound: float, seq: int) -> None:
+    __slots__ = ("state", "lower_bound", "seq", "est", "estart")
+
+    def __init__(
+        self,
+        state: SearchState,
+        lower_bound: float,
+        seq: int,
+        est: list[float] | None = None,
+        estart: list[float] | None = None,
+    ) -> None:
         self.state = state
         self.lower_bound = lower_bound
         self.seq = seq
+        self.est = est
+        self.estart = estart
 
     @property
     def level(self) -> int:

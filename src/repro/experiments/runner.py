@@ -36,6 +36,7 @@ Two replication modes:
 from __future__ import annotations
 
 import math
+import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
@@ -56,8 +57,25 @@ __all__ = [
     "ExperimentOutput",
     "EDF_LABEL",
     "default_resources",
+    "resolve_workers",
     "run_experiment",
 ]
+
+
+def resolve_workers(workers: int | str) -> int:
+    """Normalize a worker-count setting to an integer.
+
+    ``"auto"`` (case-insensitive) means one worker per available CPU;
+    integers (or numeric strings) pass through.  ``0``/``1`` select the
+    sequential path.
+    """
+    if isinstance(workers, str):
+        if workers.strip().lower() == "auto":
+            return os.cpu_count() or 1
+        workers = int(workers)
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0 or 'auto', got {workers}")
+    return workers
 
 #: Label of the greedy reference series.
 EDF_LABEL = "EDF"
@@ -157,16 +175,20 @@ def run_experiment(
     num_graphs: int = 20,
     base_seed: int = 0,
     include_edf: bool = True,
-    workers: int = 0,
+    workers: int | str = 0,
     confidence: ConfidenceTarget | None = None,
     collect_metrics: bool = False,
 ) -> ExperimentOutput:
     """Run the full grid and aggregate into series.
 
+    ``workers`` may be an integer or ``"auto"`` (one process per CPU);
+    values above 1 fan the (cell, seed) jobs out over a process pool.
+
     With ``collect_metrics`` each solve carries a fresh
     :class:`~repro.obs.MetricsRegistry`; the per-run counter snapshots
     are summed per strategy into ``metadata["metrics"]`` of the output.
     """
+    workers = resolve_workers(workers)
     labels = ([EDF_LABEL] if include_edf else []) + list(strategies)
     acc: dict[tuple[str, float], PointAccumulator] = {}
     truncated_runs = 0
@@ -218,8 +240,12 @@ def run_experiment(
             for k in range(num_graphs)
         ]
         if workers and workers > 1:
+            # Aim for ~4 chunks per worker: large enough to amortize
+            # pickling of the strategy table, small enough to keep the
+            # pool load-balanced when per-graph solve times vary wildly.
+            chunksize = max(1, len(jobs) // (workers * 4))
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                rows = list(pool.map(_solve_cell, jobs, chunksize=1))
+                rows = list(pool.map(_solve_cell, jobs, chunksize=chunksize))
         else:
             rows = [_solve_cell(job) for job in jobs]
         for x, per_label in rows:

@@ -62,6 +62,30 @@ class CompiledProblem:
     all_mask: int
     #: Indices of tasks with no predecessors.
     inputs: tuple[int, ...] = field(default=())
+    #: ``succ_mask[i]`` has bit ``j`` set for each direct successor.
+    succ_mask: tuple[int, ...] = field(default=())
+    #: ``desc_mask[i]`` has bit ``j`` set for every (transitive)
+    #: descendant of ``i`` (``i`` itself excluded).
+    desc_mask: tuple[int, ...] = field(default=())
+    #: ``topo_pos[i]`` = rank of task ``i`` in :attr:`topo`.
+    topo_pos: tuple[int, ...] = field(default=())
+    #: ``succ_rank_mask[i]`` has bit ``topo_pos[j]`` set for each direct
+    #: successor ``j`` — successors always occupy *higher* ranks, so a
+    #: single ascending scan over rank bits visits a dirty set in
+    #: topological order (the incremental bounds rely on this).
+    succ_rank_mask: tuple[int, ...] = field(default=())
+    #: Static tail: ``tail[i]`` = longest pure-execution path from ``i``
+    #: to a sink, *including* ``wcet[i]``; communication, arrival times
+    #: and contention are ignored, so a task starting at ``s`` cannot
+    #: complete its downstream chain before ``s + tail[i]``.
+    tail: tuple[float, ...] = field(default=())
+    #: Tail pressure: ``tail_lateness[i]`` = max over ``i`` and its
+    #: descendants ``d`` of (wcet path-sum ``i..d`` inclusive) −
+    #: ``deadline[d]``.  Starting ``i`` at time ``s`` forces a lateness
+    #: of at least ``s + tail_lateness[i]`` somewhere below — the
+    #: tightest downstream ``deadline − tail`` slack, negated.  It is a
+    #: sound admission pre-check for any bound dominating LB0.
+    tail_lateness: tuple[float, ...] = field(default=())
 
     # ------------------------------------------------------------------
     # Placement primitive (the Section 4.3 scheduling operation)
@@ -190,6 +214,41 @@ def compile_problem(graph: TaskGraph, platform: Platform) -> CompiledProblem:
     topo = tuple(index[name] for name in graph.topological_order())
     inputs = tuple(index[name] for name in graph.input_tasks)
 
+    succ_mask = []
+    for i in range(n):
+        mask = 0
+        for j, _ in succ_edges[i]:
+            mask |= 1 << j
+        succ_mask.append(mask)
+
+    topo_pos = [0] * n
+    for rank, i in enumerate(topo):
+        topo_pos[i] = rank
+    succ_rank_mask = []
+    for i in range(n):
+        mask = 0
+        for j, _ in succ_edges[i]:
+            mask |= 1 << topo_pos[j]
+        succ_rank_mask.append(mask)
+
+    # Reverse-topological sweeps: descendant closure and static tails.
+    desc_mask = [0] * n
+    tail = [0.0] * n
+    tail_lateness = [0.0] * n
+    for i in reversed(topo):
+        dm = 0
+        best_tail = 0.0
+        press = -deadline[i]
+        for j, _ in succ_edges[i]:
+            dm |= (1 << j) | desc_mask[j]
+            if tail[j] > best_tail:
+                best_tail = tail[j]
+            if tail_lateness[j] > press:
+                press = tail_lateness[j]
+        desc_mask[i] = dm
+        tail[i] = wcet[i] + best_tail
+        tail_lateness[i] = wcet[i] + press
+
     return CompiledProblem(
         graph=graph,
         platform=platform,
@@ -208,4 +267,10 @@ def compile_problem(graph: TaskGraph, platform: Platform) -> CompiledProblem:
         topo=topo,
         all_mask=(1 << n) - 1,
         inputs=inputs,
+        succ_mask=tuple(succ_mask),
+        desc_mask=tuple(desc_mask),
+        topo_pos=tuple(topo_pos),
+        succ_rank_mask=tuple(succ_rank_mask),
+        tail=tuple(tail),
+        tail_lateness=tuple(tail_lateness),
     )

@@ -52,6 +52,7 @@ PHASES = (
     "select",
     "branch",
     "bound",
+    "expand",
     "filter",
     "dominance",
     "goal-eval",

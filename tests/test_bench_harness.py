@@ -1,0 +1,132 @@
+"""Benchmark harness: instance construction, oracle rows, golden logic."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bench.harness import (
+    BENCH_INSTANCES,
+    QUICK_INSTANCES,
+    BenchInstance,
+    bench_params,
+    check_against_golden,
+    golden_from_report,
+    run_instance,
+    run_suite,
+)
+from repro.errors import ReproError
+
+
+def test_bench_params_unknown_preset():
+    with pytest.raises(ReproError, match="unknown bench preset"):
+        bench_params("llb-lb9")
+
+
+def test_bench_params_capped_cells_truncate_quietly():
+    exhaustive = bench_params("llb-lb1")
+    capped = bench_params("llb-lb1", max_vertices=50_000)
+    assert exhaustive.resources.max_vertices == 2_000_000
+    assert not capped.resources.fail_on_exhaustion
+    assert capped.resources.max_vertices == 50_000
+
+
+def test_suite_names_unique_and_quick_is_subset():
+    names = [inst.name for inst in BENCH_INSTANCES]
+    assert len(names) == len(set(names))
+    assert set(QUICK_INSTANCES) <= set(BENCH_INSTANCES)
+    # One quick cell per preset, so CI smokes every configuration.
+    assert {q.preset for q in QUICK_INSTANCES} == {
+        inst.preset for inst in BENCH_INSTANCES
+    }
+
+
+def test_spec_overrides_reach_the_generator():
+    inst = BenchInstance(
+        "x", "paper", 1, 2, "llb-lb1",
+        num_tasks=(24, 26), depth=(9, 12),
+    )
+    problem = inst.problem()
+    assert 24 <= problem.n <= 26
+    plain = BenchInstance("y", "paper", 1, 2, "llb-lb1")
+    assert plain.spec_changes() == {}
+
+
+def test_run_instance_row_is_consistent():
+    inst = BenchInstance("tiny-s0-m2", "tiny", 0, 2, "lifo-lb1")
+    row = run_instance(inst, repeats=1)
+    assert row["name"] == "tiny-s0-m2"
+    assert row["generated"] > 0
+    assert row["explored"] > 0
+    assert row["capped"] is None
+    assert row["opt_seconds"] > 0.0
+    assert row["opt_vertices_per_sec"] > 0
+    assert math.isfinite(row["best_cost"])
+    assert row["phase_split"]
+
+
+def test_run_suite_merges_baseline(monkeypatch):
+    import repro.bench.harness as harness
+
+    rows = iter([
+        {"name": q.name, "preset": q.preset, "generated": 100,
+         "explored": 50, "best_cost": 0.0, "ref_seconds": 0.2,
+         "opt_seconds": 0.1, "opt_vertices_per_sec": 1000}
+        for q in QUICK_INSTANCES
+    ])
+    monkeypatch.setattr(
+        harness, "run_instance", lambda inst, repeats: next(rows)
+    )
+    baseline = {
+        "commit": "abc1234",
+        "measured_with": "test",
+        "instances": {
+            q.name: {"vertices_per_sec": 400} for q in QUICK_INSTANCES
+        },
+    }
+    report = harness.run_suite(quick=True, repeats=1, baseline=baseline)
+    for row in report["instances"]:
+        assert row["pre_pr_vertices_per_sec"] == 400
+        assert row["speedup_vs_pre_pr"] == 2.5
+    geo = report["summary"]["speedup_vs_pre_pr_geomean"]
+    assert set(geo) == {q.preset for q in QUICK_INSTANCES}
+    assert all(v == 2.5 for v in geo.values())
+    assert report["baseline"]["commit"] == "abc1234"
+
+
+def test_run_suite_without_baseline_has_no_ratio(monkeypatch):
+    import repro.bench.harness as harness
+
+    monkeypatch.setattr(
+        harness, "run_instance",
+        lambda inst, repeats: {
+            "name": inst.name, "preset": inst.preset, "generated": 10,
+            "explored": 5, "best_cost": 0.0, "ref_seconds": 0.2,
+            "opt_seconds": 0.1, "opt_vertices_per_sec": 100,
+        },
+    )
+    report = harness.run_suite(quick=True, repeats=1)
+    assert all(
+        "speedup_vs_pre_pr" not in row for row in report["instances"]
+    )
+    assert "speedup_vs_pre_pr_geomean" not in report["summary"]
+
+
+def test_golden_round_trip_and_drift():
+    report = {
+        "instances": [
+            {"name": "a", "generated": 10, "explored": 5, "best_cost": 1.5},
+            {"name": "b", "generated": 20, "explored": 9, "best_cost": -2.0},
+        ]
+    }
+    golden = golden_from_report(report)
+    assert check_against_golden(report, golden) == []
+    report["instances"][1]["explored"] = 10
+    drift = check_against_golden(report, golden)
+    assert len(drift) == 1 and "b: explored drifted" in drift[0]
+    report["instances"].append(
+        {"name": "c", "generated": 1, "explored": 1, "best_cost": 0.0}
+    )
+    drift = check_against_golden(report, golden)
+    assert any("c: no golden entry" in d for d in drift)
