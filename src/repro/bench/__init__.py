@@ -6,12 +6,15 @@ from .harness import (
     QUICK_INSTANCES,
     BenchInstance,
     bench_params,
+    parallel_params,
     load_baseline,
     check_against_golden,
     golden_from_report,
     load_golden,
     run_instance,
     run_suite,
+    run_parallel_instance,
+    run_parallel_suite,
     write_json,
 )
 
@@ -21,11 +24,14 @@ __all__ = [
     "QUICK_INSTANCES",
     "BenchInstance",
     "bench_params",
+    "parallel_params",
     "load_baseline",
     "check_against_golden",
     "golden_from_report",
     "load_golden",
     "run_instance",
     "run_suite",
+    "run_parallel_instance",
+    "run_parallel_suite",
     "write_json",
 ]

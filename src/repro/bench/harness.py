@@ -37,6 +37,18 @@ The committed ``BENCH_PR2.json`` at the repository root is the
 reference report for the PR 2 hot-path overhaul; regenerate it with::
 
     repro bench --out BENCH_PR2.json
+
+``repro bench --parallel`` runs the *parallel* suite instead
+(:func:`run_parallel_suite`): every cell is re-solved by the
+multiprocessing driver in deterministic mode and hard-gated against the
+sequential engine — exact replay (cost, schedule, counters) on the
+LIFO presets, cost parity plus run-to-run reproducibility on the
+best-first presets, whose shard-interleaved counters legitimately
+differ (see ``docs/PARALLEL.md``) — and the exhaustive cells are then
+timed in throughput mode across worker counts.  The committed
+``BENCH_PR3.json`` is that suite's reference report; its ``cpus`` field
+records the parallelism actually available when it was measured, which
+bounds any honest speedup reading.
 """
 
 from __future__ import annotations
@@ -66,9 +78,12 @@ __all__ = [
     "QUICK_INSTANCES",
     "BASELINE_PATH",
     "bench_params",
+    "parallel_params",
     "load_baseline",
     "run_instance",
     "run_suite",
+    "run_parallel_instance",
+    "run_parallel_suite",
     "check_against_golden",
     "golden_from_report",
 ]
@@ -343,6 +358,221 @@ def run_suite(
             for k in ("commit", "measured_with", "python", "machine")
         }
     return report
+
+
+# ---------------------------------------------------------------------------
+# Parallel suite (``repro bench --parallel``)
+# ---------------------------------------------------------------------------
+
+#: Presets whose deterministic-mode replay must be *bit-identical* to
+#: the sequential engine — schedule and per-counter.  The best-first
+#: (LLB) presets are gated on cost parity and run-to-run
+#: reproducibility instead: their global pop sequence interleaves
+#: shard-local sequences, so counter-exact replay is impossible by
+#: construction (docs/PARALLEL.md has the argument).
+_EXACT_REPLAY_PRESETS = ("lifo-lb1", "lifo-lb0")
+
+
+def parallel_params(inst: BenchInstance) -> BnBParameters:
+    """Preset parameters with the wall-clock limit stripped.
+
+    Deterministic parallel mode refuses timing-dependent truncation
+    (a ``time_limit`` would cut the search at a non-reproducible
+    vertex), so parallel cells run under the vertex cap alone.  The
+    exhaustive cells finish far below the safety cap either way.
+    """
+    factory = _PRESETS[inst.preset]
+    if inst.max_vertices is None:
+        return factory(resources=ResourceBounds(max_vertices=2_000_000))
+    return factory(resources=ResourceBounds(
+        max_vertices=inst.max_vertices, fail_on_exhaustion=False
+    ))
+
+
+def _timed_parallel(make_solver, problem, repeats: int):
+    """Best-of-``repeats`` wall clock for a parallel solver factory."""
+    best = math.inf
+    result = None
+    report = None
+    for _ in range(repeats):
+        solver = make_solver()
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            t0 = time.perf_counter()
+            result = solver.solve(problem)
+            dt = time.perf_counter() - t0
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        gc.collect()
+        if dt < best:
+            best = dt
+            report = solver.last_report
+    return result, best, report
+
+
+def _replay_fingerprint(result) -> tuple:
+    return (
+        result.best_cost,
+        result.proc_of,
+        result.start,
+        result.stats.generated,
+        result.stats.explored,
+        result.stats.pruned_total,
+    )
+
+
+def run_parallel_instance(
+    inst: BenchInstance,
+    workers: tuple[int, ...] = (1, 2, 4),
+    split_depth: int = 2,
+    repeats: int = 1,
+) -> dict:
+    """Benchmark one cell under the parallel driver.
+
+    Raises :class:`ReproError` on any parity violation; returns the
+    JSON-ready row otherwise.  Throughput timings are collected only
+    for exhaustive cells — a capped throughput run distributes the
+    vertex budget across shards, so its work differs from the
+    sequential cell and a seconds-ratio would compare unlike work.
+    """
+    from ..core.parallel import ParallelBnB
+
+    problem = inst.problem()
+    params = parallel_params(inst)
+
+    seq, seq_s = _timed_solve(params, problem, fused=True, repeats=repeats)
+
+    det, det_s, det_report = _timed_parallel(
+        lambda: ParallelBnB(params, workers=2, split_depth=split_depth),
+        problem, repeats,
+    )
+    if det.best_cost != seq.best_cost:
+        raise ReproError(
+            f"parallel bench {inst.name}: deterministic mode cost "
+            f"{det.best_cost!r} != sequential {seq.best_cost!r}"
+        )
+    exact = inst.preset in _EXACT_REPLAY_PRESETS
+    if exact:
+        if _replay_fingerprint(det) != _replay_fingerprint(seq):
+            raise ReproError(
+                f"parallel bench {inst.name}: deterministic replay is "
+                f"not bit-identical to the sequential search"
+            )
+    else:
+        rerun = ParallelBnB(
+            params, workers=2, split_depth=split_depth
+        ).solve(problem)
+        if _replay_fingerprint(rerun) != _replay_fingerprint(det):
+            raise ReproError(
+                f"parallel bench {inst.name}: deterministic mode is not "
+                f"reproducible run-to-run"
+            )
+
+    row = {
+        "name": inst.name,
+        "preset": inst.preset,
+        "processors": inst.processors,
+        "tasks": problem.n,
+        "capped": inst.max_vertices,
+        "generated": seq.stats.generated,
+        "best_cost": seq.best_cost,
+        "seq_seconds": round(seq_s, 6),
+        "deterministic": {
+            "workers": 2,
+            "split_depth": split_depth,
+            "seconds": round(det_s, 6),
+            "shards": det_report.shards,
+            "speculative_hits": det_report.speculative_hits,
+            "reruns": det_report.reruns,
+            "replay": "exact" if exact else "reproducible",
+        },
+        "throughput": None,
+    }
+
+    if inst.max_vertices is None:
+        timings = {}
+        for w in workers:
+            thr, thr_s, thr_report = _timed_parallel(
+                lambda w=w: ParallelBnB(
+                    params, workers=w, split_depth=split_depth,
+                    deterministic=False,
+                ),
+                problem, repeats,
+            )
+            if thr.best_cost != seq.best_cost:
+                raise ReproError(
+                    f"parallel bench {inst.name}: throughput mode at "
+                    f"{w} workers found {thr.best_cost!r}, sequential "
+                    f"found {seq.best_cost!r}"
+                )
+            timings[str(w)] = {
+                "seconds": round(thr_s, 6),
+                "speedup": round(seq_s / thr_s, 3) if thr_s > 0 else None,
+                "shards": thr_report.shards,
+                "shards_stale": thr_report.shards_stale,
+            }
+        row["throughput"] = timings
+    return row
+
+
+def run_parallel_suite(
+    quick: bool = False,
+    workers: tuple[int, ...] = (1, 2, 4),
+    split_depth: int = 2,
+    repeats: int = 1,
+) -> dict:
+    """Run the parallel bench suite; returns the JSON-ready report.
+
+    The report's ``cpus`` field records the cores actually available to
+    this process — speedups are only meaningful relative to it (a
+    1-CPU container cannot show wall-clock gains, only overhead).
+    """
+    instances = QUICK_INSTANCES if quick else BENCH_INSTANCES
+    rows = [
+        run_parallel_instance(
+            inst, workers=workers, split_depth=split_depth, repeats=repeats
+        )
+        for inst in instances
+    ]
+    best = None
+    for row in rows:
+        for w, cell in (row["throughput"] or {}).items():
+            if cell["speedup"] is not None and (
+                best is None or cell["speedup"] > best["speedup"]
+            ):
+                best = {
+                    "name": row["name"],
+                    "workers": int(w),
+                    "speedup": cell["speedup"],
+                }
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        cpus = os.cpu_count() or 1
+    return {
+        "schema": "repro-bench-pr3/1",
+        "quick": quick,
+        "repeats": repeats,
+        "workers": list(workers),
+        "split_depth": split_depth,
+        "python": sys.version.split()[0],
+        "machine": _platform.machine(),
+        "cpus": cpus,
+        "instances": rows,
+        "summary": {
+            "cells": len(rows),
+            "deterministic_verified": len(rows),
+            "exact_replay_cells": sum(
+                1 for r in rows if r["deterministic"]["replay"] == "exact"
+            ),
+            "throughput_cells": sum(
+                1 for r in rows if r["throughput"] is not None
+            ),
+            "best_throughput": best,
+        },
+    }
 
 
 def golden_from_report(report: dict) -> dict:

@@ -160,6 +160,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true",
         help="emit heartbeat progress lines to stderr during the solve",
     )
+    slv.add_argument(
+        "--workers", type=_workers_arg, default=0,
+        help="solve in parallel across this many worker processes "
+        "(an integer, or 'auto' for one per CPU; default 0 = in-process)",
+    )
+    slv.add_argument(
+        "--parallel-mode", choices=("deterministic", "throughput"),
+        default="deterministic",
+        help="deterministic replays the sequential search bit-for-bit; "
+        "throughput races shards and guarantees only the optimal cost",
+    )
+    slv.add_argument(
+        "--split-depth", type=_positive_int, default=2, metavar="D",
+        help="tree level at which subtrees are sharded to workers "
+        "(default 2)",
+    )
 
     cnv = sub.add_parser("convert", help="convert between graph formats")
     cnv.add_argument("input", help="input graph (.json or .stg)")
@@ -194,8 +210,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="CI smoke subset (one instance per preset)",
     )
     ben.add_argument(
-        "--repeats", type=_positive_int, default=3,
-        help="timing repetitions per configuration (best-of; default 3)",
+        "--repeats", type=_positive_int, default=None,
+        help="timing repetitions per configuration (best-of; "
+             "default 3, or 1 for the parallel suite)",
     )
     ben.add_argument(
         "--out", "-o", default=None,
@@ -209,6 +226,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--baseline", default=None,
         help="pre-PR throughput baseline JSON "
              "(default benchmarks/baseline_pre_pr.json when present)",
+    )
+    ben.add_argument(
+        "--parallel", action="store_true",
+        help="run the parallel suite instead: deterministic-replay "
+             "parity gates plus throughput-mode timings (BENCH_PR3)",
+    )
+    ben.add_argument(
+        "--split-depth", type=_positive_int, default=2,
+        help="frontier split depth for the parallel suite (default 2)",
     )
     ben.add_argument(
         "--check", action="store_true",
@@ -282,6 +308,13 @@ def _cmd_solve(args) -> int:
         inaccuracy=args.br,
         resources=ResourceBounds(**rb_kwargs),
     )
+    if args.trace_csv and args.workers:
+        print(
+            "note: --trace-csv records the in-process search only; "
+            "ignored with --workers (use --trace-jsonl instead)",
+            file=sys.stderr,
+        )
+        args.trace_csv = None
     trace = TraceRecorder() if args.trace_csv else None
     obs = Observability(
         sink=(
@@ -293,13 +326,40 @@ def _cmd_solve(args) -> int:
         metrics=MetricsRegistry() if args.metrics_out else None,
         progress=ProgressReporter() if args.progress else None,
     )
+    parallel = None
     try:
-        result = BranchAndBound(params, trace=trace, obs=obs).solve_graph(
-            graph, shared_bus_platform(args.processors)
-        )
+        if args.workers:
+            from .core.parallel import ParallelBnB
+
+            workers = None if args.workers == "auto" else args.workers
+            parallel = ParallelBnB(
+                params,
+                workers=workers,
+                split_depth=args.split_depth,
+                deterministic=args.parallel_mode == "deterministic",
+                obs=obs if obs.enabled else None,
+            )
+            result = parallel.solve_graph(
+                graph, shared_bus_platform(args.processors)
+            )
+        else:
+            result = BranchAndBound(params, trace=trace, obs=obs).solve_graph(
+                graph, shared_bus_platform(args.processors)
+            )
     finally:
         obs.close()
     print(f"parameters: {params.describe()}")
+    if parallel is not None and parallel.last_report is not None:
+        rep = parallel.last_report
+        extra = (
+            f" speculative={rep.speculative_hits} reruns={rep.reruns}"
+            if rep.mode == "deterministic"
+            else f" stale={rep.shards_stale}"
+        )
+        print(
+            f"parallel: mode={rep.mode} workers={rep.workers} "
+            f"split-depth={rep.split_depth} shards={rep.shards}{extra}"
+        )
     print(result.summary())
     schedule = result.schedule() if result.found_solution else None
     if args.gantt and schedule is not None:
@@ -336,6 +396,8 @@ def _cmd_bench(args) -> int:
         write_json,
     )
 
+    if args.parallel:
+        return _cmd_bench_parallel(args)
     baseline = load_baseline(args.baseline or BASELINE_PATH)
     if args.baseline and baseline is None:
         print(
@@ -344,7 +406,7 @@ def _cmd_bench(args) -> int:
         )
         return 2
     report = run_suite(
-        quick=args.quick, repeats=args.repeats, baseline=baseline
+        quick=args.quick, repeats=args.repeats or 3, baseline=baseline
     )
     header = (
         f"{'instance':28s} {'gen':>9s} {'ref s':>8s} {'opt s':>8s} "
@@ -387,6 +449,53 @@ def _cmd_bench(args) -> int:
                 print(f"golden drift: {line}", file=sys.stderr)
             return 1
         print(f"golden counts OK ({args.golden})")
+    return 0
+
+
+def _cmd_bench_parallel(args) -> int:
+    from .bench import run_parallel_suite, write_json
+
+    report = run_parallel_suite(
+        quick=args.quick,
+        split_depth=args.split_depth,
+        repeats=args.repeats or 1,
+    )
+    header = (
+        f"{'instance':28s} {'gen':>9s} {'seq s':>8s} {'det s':>8s} "
+        f"{'replay':>12s} {'thr@4 s':>8s} {'speedup':>7s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in report["instances"]:
+        det = row["deterministic"]
+        thr = (row["throughput"] or {}).get("4")
+        thr_s = f"{thr['seconds']:>8.3f}" if thr else f"{'-':>8s}"
+        sp = (
+            f"{thr['speedup']:>6.2f}x"
+            if thr and thr["speedup"] is not None
+            else f"{'-':>7s}"
+        )
+        print(
+            f"{row['name']:28s} {row['generated']:>9d} "
+            f"{row['seq_seconds']:>8.3f} {det['seconds']:>8.3f} "
+            f"{det['replay']:>12s} {thr_s} {sp}"
+        )
+    s = report["summary"]
+    print(
+        f"{s['cells']} cells deterministic-verified "
+        f"({s['exact_replay_cells']} bit-identical, rest reproducible); "
+        f"{s['throughput_cells']} cells timed in throughput mode "
+        f"on {report['cpus']} cpu(s)"
+    )
+    if s["best_throughput"]:
+        b = s["best_throughput"]
+        print(
+            f"best throughput: {b['speedup']:.2f}x on {b['name']} "
+            f"at {b['workers']} workers"
+        )
+    if args.out:
+        write_json(report, args.out)
+        print(f"wrote {args.out}")
     return 0
 
 

@@ -22,12 +22,26 @@ from .elimination import (
     UDBASElimination,
     pruning_threshold,
 )
-from .engine import BnBResult, BranchAndBound, SolveStatus, solve
+from .engine import (
+    BnBResult,
+    BranchAndBound,
+    SolveStatus,
+    SubtreeDispatcher,
+    SubtreeSpec,
+    solve,
+)
 from .feasibility import (
     CHARACTERISTIC_FUNCTIONS,
     CharacteristicFunction,
     LatenessTargetFilter,
     NoFilter,
+)
+from .parallel import (
+    ParallelBnB,
+    ParallelReport,
+    SharedIncumbent,
+    default_worker_count,
+    solve_parallel,
 )
 from .params import CHILD_ORDERS, BnBParameters
 from .resources import UNBOUNDED, ResourceBounds
@@ -87,14 +101,19 @@ __all__ = [
     "NoElimination",
     "NoFilter",
     "NoUpperBound",
+    "ParallelBnB",
+    "ParallelReport",
     "ResourceBounds",
     "SELECTION_RULES",
     "SearchState",
     "SearchStats",
     "SelectionRule",
+    "SharedIncumbent",
     "IncumbentEvent",
     "SolveStatus",
     "StateDominance",
+    "SubtreeDispatcher",
+    "SubtreeSpec",
     "TraceRecorder",
     "TrivialBound",
     "UDBASElimination",
@@ -102,7 +121,9 @@ __all__ = [
     "UPPER_BOUNDS",
     "UpperBoundProvider",
     "Vertex",
+    "default_worker_count",
     "pruning_threshold",
     "root_state",
     "solve",
+    "solve_parallel",
 ]

@@ -55,13 +55,26 @@ from .stats import SearchStats
 from .trace import TraceRecorder
 from .vertex import Vertex
 
-__all__ = ["SolveStatus", "BnBResult", "BranchAndBound", "solve"]
+__all__ = [
+    "SolveStatus",
+    "BnBResult",
+    "BranchAndBound",
+    "SubtreeSpec",
+    "SubtreeDispatcher",
+    "solve",
+]
 
 #: How often (in explored vertices) the wall clock is consulted.
 _TIME_CHECK_MASK = 0xFF
 
 #: How often (in explored vertices) the progress reporter is consulted.
 _PROGRESS_CHECK_MASK = 0x3F
+
+#: How often (in explored vertices) a shared-incumbent channel is polled.
+#: Frequent enough that a remote improvement propagates within tens of
+#: microseconds of work, rare enough that the lock never shows up in a
+#: profile (one acquisition per 64 explored vertices).
+_BOUND_POLL_MASK = 0x3F
 
 #: C-level sort key for child ordering (avoids a lambda per comparison).
 _BY_BOUND = attrgetter("lower_bound")
@@ -148,6 +161,70 @@ def _json_num(value: float) -> float | None:
     return None if (math.isinf(value) or math.isnan(value)) else value
 
 
+@dataclass(frozen=True)
+class SubtreeSpec:
+    """Restart point for a search rooted at a mid-tree vertex.
+
+    The parallel driver ships one of these (plus the compiled problem)
+    to a worker process, which resumes the search exactly where the
+    coordinating search left off: the root vertex is ``state`` with the
+    already-computed ``lower_bound``, the incumbent to beat is
+    ``incumbent_cost`` (the upper-bound provider is *not* consulted —
+    that already happened once, in the coordinator), and at most
+    ``max_generated`` further vertices may be generated before the
+    MAXVERT semantics kick in.  The sub-search's ``generated`` counter
+    excludes the root (the coordinator already counted it when it was
+    generated as a child), so shard-summed counters line up with a
+    single sequential run.
+    """
+
+    state: object  # SearchState; untyped here to avoid a hot-path import
+    lower_bound: float
+    incumbent_cost: float
+    max_generated: float = math.inf
+
+
+class SubtreeDispatcher:
+    """Hook for delegating deep subtrees to external workers.
+
+    When attached to :meth:`BranchAndBound.solve`, every popped vertex
+    at ``depth`` or deeper is *resolved* through the dispatcher instead
+    of being expanded inline: the dispatcher returns the finished
+    sub-search's :class:`BnBResult` (typically produced by a worker
+    process running :class:`SubtreeSpec` above) and the engine merges
+    its statistics and incumbent as if it had explored the subtree
+    itself.  ``offer`` lets the dispatcher start working on a subtree
+    speculatively the moment its root is pushed; ``notify_incumbent``
+    tells it the incumbent improved, so in-flight speculation based on a
+    stale bound can be restarted.  The base class is a no-op scaffold —
+    see :mod:`repro.core.parallel` for the real implementations.
+    """
+
+    #: Vertices at this level or deeper are dispatched, not expanded.
+    depth: int = 1
+
+    def offer(
+        self, vertex: Vertex, incumbent_cost: float, budget: float
+    ) -> None:
+        """A future shard was just pushed; speculation may begin."""
+
+    def notify_incumbent(self, cost: float) -> None:
+        """The coordinator's incumbent improved to ``cost``."""
+
+    def resolve(
+        self, vertex: Vertex, incumbent_cost: float, budget: float
+    ) -> BnBResult:
+        """Return the completed sub-search rooted at ``vertex``.
+
+        ``incumbent_cost`` is the incumbent at the moment the vertex was
+        popped and ``budget`` the remaining generated-vertex allowance —
+        together they pin down the sub-search a sequential run would
+        have performed, so implementations can check speculative results
+        against them and re-run only on a mismatch.
+        """
+        raise NotImplementedError
+
+
 def _final_metrics(
     metrics: MetricsRegistry, stats: SearchStats, incumbent_cost: float
 ) -> None:
@@ -226,8 +303,33 @@ class BranchAndBound:
         """Compile and solve a (graph, platform) pair."""
         return self.solve(compile_problem(graph, platform))
 
-    def solve(self, problem: CompiledProblem) -> BnBResult:
-        """Run the Figure 1 loop on a compiled problem."""
+    def solve(
+        self,
+        problem: CompiledProblem,
+        *,
+        subtree: SubtreeSpec | None = None,
+        dispatcher: SubtreeDispatcher | None = None,
+        bound_channel=None,
+    ) -> BnBResult:
+        """Run the Figure 1 loop on a compiled problem.
+
+        The keyword hooks drive the parallel decomposition in
+        :mod:`repro.core.parallel` and default to off (the sequential
+        loop is unchanged when they are ``None``):
+
+        * ``subtree`` — resume from a mid-tree state instead of the
+          empty schedule (see :class:`SubtreeSpec`); used by worker
+          processes.
+        * ``dispatcher`` — delegate vertices at ``dispatcher.depth`` or
+          deeper to a :class:`SubtreeDispatcher`; used by the
+          coordinator.
+        * ``bound_channel`` — an object with ``poll() -> float`` and
+          ``publish(cost)``: the incumbent is published on every
+          improvement and polled every 64 explored vertices, so
+          concurrent searches share pruning power.  An externally
+          polled bound tightens the threshold but never becomes the
+          returned schedule (the worker that published it owns that).
+        """
         params = self.params
         rb = params.resources
         bound = params.lower_bound
@@ -281,13 +383,22 @@ class BranchAndBound:
                 buckets=DEFAULT_SIZE_BUCKETS,
             )
 
+        channel = bound_channel
+        dispatch_depth = dispatcher.depth if dispatcher is not None else 0
+
         stats.start_clock()
         try:
             # Step 1-2: root vertex cost from the upper bound U; the
             # initial solution (if U supplies one) is the incumbent to beat.
-            incumbent_cost, initial_solution = params.upper_bound.initial(
-                problem
-            )
+            if subtree is not None:
+                # Sub-search: the incumbent travelled with the spec; the
+                # upper-bound provider already ran in the coordinator.
+                incumbent_cost = subtree.incumbent_cost
+                initial_solution = None
+            else:
+                incumbent_cost, initial_solution = params.upper_bound.initial(
+                    problem
+                )
             initial_upper_bound = incumbent_cost
             if initial_solution is not None:
                 best_proc: tuple[int, ...] | None = initial_solution.proc_of
@@ -295,6 +406,10 @@ class BranchAndBound:
             else:
                 best_proc = None
                 best_start = None
+            # ``found_cost`` is the cost of the schedule behind
+            # best_proc/best_start; it trails ``incumbent_cost`` only
+            # when an externally polled bound tightened the threshold.
+            found_cost = incumbent_cost
             incumbent_source = "initial-upper-bound"
             threshold = pruning_threshold(incumbent_cost, params.inaccuracy)
             if trace is not None:
@@ -341,12 +456,26 @@ class BranchAndBound:
             max_vertices = rb.max_vertices
             untimed = math.isinf(rb.time_limit)
 
-            if expander is not None:
-                root = expander.root()
+            if subtree is not None:
+                # Resume mid-tree.  The root was generated (and counted)
+                # by the coordinator, so the local generated counter
+                # starts at zero and the local MAXVERT allowance is the
+                # coordinator's remaining budget.
+                if subtree.max_generated < max_vertices:
+                    max_vertices = subtree.max_generated
+                rs = subtree.state
+                if expander is not None:
+                    root = expander.root_from(rs, subtree.lower_bound)
+                else:
+                    root = Vertex(rs, subtree.lower_bound, 0)
+                stats.generated = 0
             else:
-                rs = root_state(problem)
-                root = Vertex(rs, bound.evaluate(rs), 0)
-            stats.generated = 1
+                if expander is not None:
+                    root = expander.root()
+                else:
+                    rs = root_state(problem)
+                    root = Vertex(rs, bound.evaluate(rs), 0)
+                stats.generated = 1
             seq = 1
             if not elim.should_prune(root.lower_bound, threshold):
                 frontier.push(root)
@@ -385,6 +514,61 @@ class BranchAndBound:
                             {"cause": "stale-active",
                              "lb": vertex.lower_bound},
                         )
+                    if lap is not None:
+                        lap("select")
+                    continue
+
+                if dispatcher is not None and vertex.level >= dispatch_depth:
+                    # Delegate the whole subtree: the dispatcher returns
+                    # the finished sub-search (the shard explored the
+                    # root itself, so no explored increment here) and
+                    # the merge below mirrors what the inline loop would
+                    # have done with the shard's goals — absorb the
+                    # counters, adopt a better incumbent, sweep once at
+                    # the final threshold (consecutive sweeps at
+                    # monotonically tightening thresholds collapse into
+                    # one), honour early-stop and the MAXVERT cap.
+                    sub = dispatcher.resolve(
+                        vertex, incumbent_cost, max_vertices - stats.generated
+                    )
+                    stats.absorb(sub.stats, active_base=len(frontier))
+                    if (
+                        sub.proc_of is not None
+                        and sub.best_cost < incumbent_cost
+                    ):
+                        incumbent_cost = sub.best_cost
+                        found_cost = sub.best_cost
+                        best_proc = sub.proc_of
+                        best_start = sub.start
+                        incumbent_source = "search"
+                        if trace is not None:
+                            trace.on_incumbent(stats.generated, incumbent_cost)
+                        threshold = pruning_threshold(
+                            incumbent_cost, params.inaccuracy
+                        )
+                        if elim.prunes_active_set():
+                            stats.pruned_active += frontier.prune_above(
+                                threshold
+                            )
+                        if channel is not None:
+                            channel.publish(incumbent_cost)
+                        dispatcher.notify_incumbent(incumbent_cost)
+                        if (
+                            early_stop is not None
+                            and incumbent_cost <= early_stop
+                        ):
+                            target_reached = True
+                            break
+                    if sub.status is SolveStatus.TARGET_REACHED:
+                        target_reached = True
+                        break
+                    if stats.generated >= max_vertices:
+                        if rb.fail_on_exhaustion:
+                            raise ResourceLimitExceeded(
+                                "MAXVERT", f"{stats.generated} generated"
+                            )
+                        stats.truncated = True
+                        break
                     if lap is not None:
                         lap("select")
                     continue
@@ -452,6 +636,25 @@ class BranchAndBound:
                         if lap is not None:
                             lap("select")
                         break
+
+                if (
+                    channel is not None
+                    and stats.explored & _BOUND_POLL_MASK == 0
+                ):
+                    ext = channel.poll()
+                    if ext < incumbent_cost:
+                        # A concurrent search found something better:
+                        # adopt its cost for pruning only — the schedule
+                        # stays with whoever published it, and our own
+                        # goals must now beat the shared bound.
+                        incumbent_cost = ext
+                        threshold = pruning_threshold(
+                            incumbent_cost, params.inaccuracy
+                        )
+                        if elim.prunes_active_set():
+                            stats.pruned_active += frontier.prune_above(
+                                threshold
+                            )
 
                 # Step 6-7: branch and bound the children.
                 precheck_pruned = 0
@@ -567,10 +770,15 @@ class BranchAndBound:
                 ):
                     threshold_tightened = True
                     incumbent_cost = best_goal_cost
+                    found_cost = best_goal_cost
                     best_proc = best_goal_state.proc_of
                     best_start = best_goal_state.start
                     incumbent_source = "search"
                     stats.incumbent_updates += 1
+                    if channel is not None:
+                        channel.publish(incumbent_cost)
+                    if dispatcher is not None:
+                        dispatcher.notify_incumbent(incumbent_cost)
                     if trace is not None:
                         trace.on_incumbent(stats.generated, incumbent_cost)
                     if sink is not None and sink.accepts("incumbent"):
@@ -670,6 +878,13 @@ class BranchAndBound:
                     kept.sort(key=_BY_BOUND)
                 for child in kept:
                     frontier.push(child)
+                if dispatcher is not None:
+                    budget_guess = max_vertices - stats.generated
+                    for child in kept:
+                        if child.level >= dispatch_depth:
+                            dispatcher.offer(
+                                child, incumbent_cost, budget_guess
+                            )
 
                 active = len(frontier)
                 if active > stats.peak_active:
@@ -734,7 +949,7 @@ class BranchAndBound:
                 {
                     "status": status.value,
                     "best_cost": (
-                        _json_num(incumbent_cost)
+                        _json_num(found_cost)
                         if best_proc is not None
                         else None
                     ),
@@ -755,7 +970,7 @@ class BranchAndBound:
             problem=problem,
             params=params,
             status=status,
-            best_cost=incumbent_cost if best_proc is not None else math.inf,
+            best_cost=found_cost if best_proc is not None else math.inf,
             proc_of=best_proc,
             start=best_start,
             incumbent_source=incumbent_source,

@@ -103,6 +103,20 @@ class PendingChild:
             state._lmin = self.lmin
         return state
 
+    def __reduce__(self):
+        # Pickling a pending child naively would drag in its parent
+        # state — and, through chained pending parents, an unbounded
+        # prefix of the search tree.  The parallel driver ships frontier
+        # states across processes, so serialize the materialized flat
+        # state instead: the receiver observes exactly what
+        # ``materialize()`` would have produced locally.
+        return (_identity, (self.materialize(),))
+
+
+def _identity(state: SearchState) -> SearchState:
+    """Unpickle target for :meth:`PendingChild.__reduce__`."""
+    return state
+
 
 class FusedExpander:
     """One per solve; :meth:`expand` returns one flat result tuple."""
@@ -184,12 +198,31 @@ class FusedExpander:
 
     def root(self) -> Vertex:
         """Root vertex carrying the incremental estimate vectors."""
-        state = root_state(self.p)
+        return self.root_from(root_state(self.p))
+
+    def root_from(
+        self, state: SearchState, lower_bound: float | None = None
+    ) -> Vertex:
+        """Seed vertex for a search rooted at an arbitrary state.
+
+        Sub-searches (the parallel driver's subtree shards) restart the
+        engine from a mid-tree state shipped across a process boundary.
+        The incremental evaluator rebuilds the estimate vectors with a
+        full evaluation — the same float operations the fused path's
+        commit chain performed, so the vectors (and every child bound
+        derived from them) are bitwise identical to the originals.  When
+        the caller already knows the vertex's bound it passes it in;
+        otherwise the fresh evaluation supplies it.
+        """
         inc = self.inc
         if inc is not None:
             lb, est, estart = inc.root(state)
+            if lower_bound is not None:
+                lb = lower_bound
             return Vertex(state, lb, 0, est, estart)
-        return Vertex(state, self.bound.evaluate(state), 0)
+        if lower_bound is None:
+            lower_bound = self.bound.evaluate(state)
+        return Vertex(state, lower_bound, 0)
 
     def expand(self, vertex: Vertex, threshold: float, seq: int):
         """Branch ``vertex``, bound every child, admit the survivors.

@@ -1,0 +1,719 @@
+"""Parallel branch-and-bound across worker processes.
+
+The Kohler–Steiglitz parametrization decomposes cleanly: subtrees of
+the search tree are independent given (a) the incumbent cost at the
+moment their root would have been selected and (b) the remaining
+resource budget.  :class:`ParallelBnB` exploits that in two modes built
+on the same engine hooks (:class:`~repro.core.engine.SubtreeSpec` /
+:class:`~repro.core.engine.SubtreeDispatcher`):
+
+**Deterministic mode** (``deterministic=True``, the default) replays
+the *exact* sequential search.  The coordinator runs the genuine
+sequential loop; every popped vertex at ``split_depth`` or deeper is
+resolved as a complete sub-search executed in a worker process.
+Workers start *speculatively* the moment a shard's root is pushed,
+guessing the incumbent it will see when popped; at resolution the guess
+is checked against the true entering incumbent and the remaining
+MAXVERT budget, and only mismatches re-run.  Accepted shards are
+therefore bit-identical to what the sequential engine would have done,
+so under LIFO selection (depth-first — shards are explored contiguously
+in the sequential order too) the optimal cost, the returned schedule
+*and every shard-summed counter* match the sequential run exactly.
+Under best-first selection (LLB/LLB-D) the sequential loop interleaves
+vertices of different shards on the global ``(bound, seq)`` order,
+which no shard-local search can replicate; deterministic mode still
+returns the same optimal cost, a run-to-run reproducible schedule, and
+reproducible counters, but the counters legitimately differ from the
+sequential interleaving (see ``docs/PARALLEL.md`` for the full
+contract).
+
+**Throughput mode** (``deterministic=False``) splits the depth-d
+frontier round-robin across long-lived worker processes and lets them
+race: the incumbent lives in a ``multiprocessing.Value`` that workers
+poll every 64 explored vertices and publish improvements to (a
+compare-and-set-min under the value's lock), so U/DBAS pruning stays
+effective across shards.  Only the optimal *cost* is guaranteed (any
+complete-search mode finds it: the shard containing an optimal goal
+either reaches it or prunes its path only because an equally good cost
+was already published); which equal-cost schedule wins depends on
+cross-process timing.
+
+Statistics merge by summation (:meth:`SearchStats.absorb`), worker
+event streams can be folded into the coordinator's sink with per-worker
+tags (:class:`~repro.obs.TaggedSink`), and the compiled problem ships
+by pickling — it serializes as its source (graph, platform) pair and
+recompiles on the other side.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from ..model.compile import CompiledProblem
+from ..obs import MemorySink, Observability, TaggedSink
+from .elimination import pruning_threshold
+from .engine import (
+    BnBResult,
+    BranchAndBound,
+    SolveStatus,
+    SubtreeDispatcher,
+    SubtreeSpec,
+)
+from .expand import PendingChild
+from .params import BnBParameters
+from .state import SearchState
+from .stats import SearchStats
+from .vertex import Vertex
+
+__all__ = [
+    "ParallelBnB",
+    "ParallelReport",
+    "SharedIncumbent",
+    "default_worker_count",
+    "solve_parallel",
+]
+
+
+def default_worker_count() -> int:
+    """Workers to use when the caller does not say: one per usable CPU."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+# ---------------------------------------------------------------------------
+# Shared incumbent
+# ---------------------------------------------------------------------------
+
+
+class SharedIncumbent:
+    """Cross-process minimum over published incumbent costs.
+
+    Wraps a ``multiprocessing.Value('d')``; ``publish`` is a
+    compare-and-set-min under the value's lock, ``poll`` a locked read.
+    Implements the engine's ``bound_channel`` protocol, so a worker's
+    search publishes every local improvement and adopts any smaller
+    cost it polls — pruning power propagates between shards at the
+    engine's 64-explored-vertex polling cadence.
+    """
+
+    def __init__(self, value) -> None:
+        self._value = value
+
+    @classmethod
+    def create(
+        cls, initial: float = math.inf, ctx=None
+    ) -> "SharedIncumbent":
+        ctx = ctx if ctx is not None else multiprocessing.get_context()
+        return cls(ctx.Value("d", initial))
+
+    @property
+    def raw(self):
+        """The underlying synchronized value (for process inheritance)."""
+        return self._value
+
+    def poll(self) -> float:
+        v = self._value
+        with v.get_lock():
+            return v.value
+
+    def publish(self, cost: float) -> bool:
+        v = self._value
+        with v.get_lock():
+            if cost < v.value:
+                v.value = cost
+                return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Worker-process entry points (module-level: must be picklable by name)
+# ---------------------------------------------------------------------------
+
+_WORKER_CHANNEL: SharedIncumbent | None = None
+
+
+def _init_worker(shared=None) -> None:
+    """Pool initializer: adopt the inherited shared-incumbent value."""
+    global _WORKER_CHANNEL
+    _WORKER_CHANNEL = SharedIncumbent(shared) if shared is not None else None
+
+
+def _run_shard(
+    problem: CompiledProblem,
+    params: BnBParameters,
+    state: SearchState,
+    lower_bound: float,
+    incumbent_cost: float,
+    budget: float,
+    fused: bool | None,
+) -> BnBResult:
+    """Deterministic-mode worker: one complete sub-search, no sharing.
+
+    The shard must reproduce exactly what the sequential engine would
+    have done from this vertex, so it runs against the frozen entering
+    incumbent — cross-shard bound sharing would make its counters
+    depend on scheduling timing.
+    """
+    engine = BranchAndBound(params, fused=fused)
+    return engine.solve(
+        problem,
+        subtree=SubtreeSpec(state, lower_bound, incumbent_cost, budget),
+    )
+
+
+@dataclass
+class _BlockOutcome:
+    """What one throughput-mode worker sends back for its shard block."""
+
+    stats: SearchStats
+    best_cost: float
+    proc_of: tuple | None
+    start: tuple | None
+    target_reached: bool
+    shards_run: int
+    shards_stale: int
+    #: ``(shard_index, [(kind, payload), ...])`` per executed shard when
+    #: event collection was requested, else empty.
+    events: list = field(default_factory=list)
+
+
+def _run_block(
+    problem: CompiledProblem,
+    params: BnBParameters,
+    shards: list,
+    budget: float,
+    fused: bool | None,
+    collect_events: bool,
+) -> _BlockOutcome:
+    """Throughput-mode worker: run a block of shards sequentially.
+
+    Before each shard the current global incumbent is polled; shards
+    whose bound already meets the threshold are dropped exactly as the
+    sequential sweep would have dropped them (counted as
+    ``pruned_active``).  Each sub-search polls and publishes through the
+    shared channel while it runs.
+    """
+    channel = _WORKER_CHANNEL
+    elim = params.elimination
+    stats = SearchStats()
+    best_cost = math.inf
+    best_proc = None
+    best_start = None
+    target = False
+    run = 0
+    stale = 0
+    events: list = []
+    remaining = budget
+    for shard_index, state, lower_bound in shards:
+        incumbent = channel.poll() if channel is not None else math.inf
+        if elim.should_prune(
+            lower_bound, pruning_threshold(incumbent, params.inaccuracy)
+        ):
+            stats.pruned_active += 1
+            stale += 1
+            continue
+        sink = MemorySink() if collect_events else None
+        engine = BranchAndBound(
+            params,
+            obs=Observability(sink=sink) if sink is not None else None,
+            fused=fused,
+        )
+        result = engine.solve(
+            problem,
+            subtree=SubtreeSpec(state, lower_bound, incumbent, remaining),
+            bound_channel=channel,
+        )
+        run += 1
+        stats.absorb(result.stats)
+        remaining -= result.stats.generated
+        if result.proc_of is not None and result.best_cost < best_cost:
+            best_cost = result.best_cost
+            best_proc = result.proc_of
+            best_start = result.start
+        if sink is not None:
+            events.append((shard_index, sink.events))
+        if result.status is SolveStatus.TARGET_REACHED:
+            target = True
+            break
+        if remaining <= 0:
+            stats.truncated = True
+            break
+    return _BlockOutcome(
+        stats=stats,
+        best_cost=best_cost,
+        proc_of=best_proc,
+        start=best_start,
+        target_reached=target,
+        shards_run=run,
+        shards_stale=stale,
+        events=events,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Coordinator-side dispatchers
+# ---------------------------------------------------------------------------
+
+
+def _shard_state(vertex: Vertex) -> SearchState:
+    """Materialize a frontier vertex's state for shipping."""
+    state = vertex.state
+    if type(state) is PendingChild:
+        state = state.materialize()
+        vertex.state = state
+    return state
+
+
+@dataclass
+class _Speculation:
+    future: Future
+    incumbent_cost: float
+    budget: float
+    state: SearchState
+    lower_bound: float
+
+
+class _ReplayDispatcher(SubtreeDispatcher):
+    """Deterministic replay: resolve each shard with its exact entering
+    parameters, reusing speculative runs whose guesses turned out right.
+
+    A speculative run is acceptable iff (a) it was started with the
+    incumbent the shard actually entered with, and (b) its generated
+    count stayed strictly below the true remaining MAXVERT budget — a
+    capped run only diverges from an uncapped one once the cap is
+    reached, so a speculative search that finished under the entering
+    budget is bit-identical to the budgeted search the sequential
+    engine would have run.  Anything else re-runs with the exact
+    parameters; correctness never depends on speculation.
+    """
+
+    def __init__(
+        self,
+        executor: ProcessPoolExecutor,
+        problem: CompiledProblem,
+        params: BnBParameters,
+        fused: bool | None,
+        depth: int,
+        sink=None,
+    ) -> None:
+        self.depth = depth
+        self._executor = executor
+        self._problem = problem
+        self._params = params
+        self._fused = fused
+        self._sink = sink
+        self._pending: dict[int, _Speculation] = {}
+        self.shards = 0
+        self.speculative_hits = 0
+        self.reruns = 0
+
+    def _submit(
+        self,
+        state: SearchState,
+        lower_bound: float,
+        incumbent_cost: float,
+        budget: float,
+    ) -> Future:
+        return self._executor.submit(
+            _run_shard,
+            self._problem,
+            self._params,
+            state,
+            lower_bound,
+            incumbent_cost,
+            budget,
+            self._fused,
+        )
+
+    def offer(
+        self, vertex: Vertex, incumbent_cost: float, budget: float
+    ) -> None:
+        state = _shard_state(vertex)
+        self._pending[id(vertex)] = _Speculation(
+            self._submit(state, vertex.lower_bound, incumbent_cost, budget),
+            incumbent_cost,
+            budget,
+            state,
+            vertex.lower_bound,
+        )
+
+    def notify_incumbent(self, cost: float) -> None:
+        # Every outstanding speculation with a staler guess is doomed to
+        # mismatch at resolution; restart the ones that have not begun
+        # running (cancel() succeeds only for queued futures).
+        for key, spec in self._pending.items():
+            if spec.incumbent_cost > cost and spec.future.cancel():
+                self._pending[key] = _Speculation(
+                    self._submit(
+                        spec.state, spec.lower_bound, cost, spec.budget
+                    ),
+                    cost,
+                    spec.budget,
+                    spec.state,
+                    spec.lower_bound,
+                )
+
+    def resolve(
+        self, vertex: Vertex, incumbent_cost: float, budget: float
+    ) -> BnBResult:
+        self.shards += 1
+        spec = self._pending.pop(id(vertex), None)
+        result = None
+        speculative = False
+        if spec is not None and spec.incumbent_cost == incumbent_cost:
+            candidate = spec.future.result()
+            # The budget at offer time can only exceed the entering
+            # budget (generation is monotone), so an untripped run under
+            # it that stayed strictly below the entering budget is
+            # identical to the exactly-budgeted run.
+            if candidate.stats.generated < budget:
+                self.speculative_hits += 1
+                result = candidate
+                speculative = True
+        if result is None:
+            if spec is not None:
+                spec.future.cancel()
+                self.reruns += 1
+            result = self._submit(
+                _shard_state(vertex), vertex.lower_bound, incumbent_cost,
+                budget,
+            ).result()
+        sink = self._sink
+        if sink is not None and sink.accepts("shard"):
+            sink.emit(
+                "shard",
+                {
+                    "shard": self.shards - 1,
+                    "level": vertex.level,
+                    "lb": vertex.lower_bound,
+                    "speculative": speculative,
+                    "generated": result.stats.generated,
+                    "explored": result.stats.explored,
+                },
+            )
+        return result
+
+
+@dataclass(frozen=True)
+class _Shard:
+    index: int
+    state: SearchState
+    lower_bound: float
+    incumbent_cost: float
+    budget: float
+
+
+class _FrontierCollector(SubtreeDispatcher):
+    """Dispatcher that records the depth-d frontier instead of searching.
+
+    Resolving every dispatched vertex with an empty result makes the
+    coordinator's loop a pure shallow expansion: it terminates once all
+    vertices below ``depth`` are expanded, leaving the would-be shard
+    roots here in exact pop order with their entering incumbents and
+    budgets.
+    """
+
+    def __init__(
+        self, depth: int, problem: CompiledProblem, params: BnBParameters
+    ) -> None:
+        self.depth = depth
+        self._problem = problem
+        self._params = params
+        self.shards: list[_Shard] = []
+
+    def resolve(
+        self, vertex: Vertex, incumbent_cost: float, budget: float
+    ) -> BnBResult:
+        self.shards.append(
+            _Shard(
+                len(self.shards),
+                _shard_state(vertex),
+                vertex.lower_bound,
+                incumbent_cost,
+                budget,
+            )
+        )
+        return BnBResult(
+            problem=self._problem,
+            params=self._params,
+            status=SolveStatus.FAILED,
+            best_cost=math.inf,
+            proc_of=None,
+            start=None,
+            incumbent_source="initial-upper-bound",
+            initial_upper_bound=incumbent_cost,
+            stats=SearchStats(),
+        )
+
+
+# ---------------------------------------------------------------------------
+# The driver
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ParallelReport:
+    """How a parallel solve was executed (``ParallelBnB.last_report``)."""
+
+    mode: str
+    workers: int
+    split_depth: int
+    #: Subtree shards resolved (deterministic) or collected (throughput).
+    shards: int
+    #: Shards never searched because a polled incumbent pruned them.
+    shards_stale: int = 0
+    #: Deterministic mode: speculative runs accepted as-is.
+    speculative_hits: int = 0
+    #: Deterministic mode: speculations discarded and re-run exactly.
+    reruns: int = 0
+    #: Throughput mode: per-worker merged counters, in worker order.
+    worker_stats: tuple = ()
+
+
+class ParallelBnB:
+    """Multiprocessing driver around :class:`BranchAndBound`.
+
+    ``workers=None`` uses one worker per usable CPU; ``split_depth`` is
+    the tree level at which subtrees become shards.  See the module doc
+    for the two modes; ``last_report`` describes the most recent solve.
+
+    Deterministic mode rejects finite TIMELIMIT / MAXSZAS / MAXSZDB
+    bounds (:class:`~repro.errors.ConfigurationError`): wall-clock cuts
+    and worst-vertex disposal depend on timing and global generation
+    order, which shards cannot reproduce.  The MAXVERT cap *is*
+    supported exactly — the budget threads through shard resolution.
+    """
+
+    def __init__(
+        self,
+        params: BnBParameters | None = None,
+        *,
+        workers: int | None = None,
+        split_depth: int = 2,
+        deterministic: bool = True,
+        fused: bool | None = None,
+        obs: Observability | None = None,
+        collect_worker_events: bool = False,
+        mp_context=None,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if split_depth < 1:
+            raise ConfigurationError(
+                f"split_depth must be >= 1, got {split_depth}"
+            )
+        self.params = params or BnBParameters()
+        self.workers = workers if workers is not None else default_worker_count()
+        self.split_depth = split_depth
+        self.deterministic = deterministic
+        self.fused = fused
+        self.obs = obs
+        self.collect_worker_events = collect_worker_events
+        self._mp_context = mp_context
+        self.last_report: ParallelReport | None = None
+
+    # ------------------------------------------------------------------
+
+    def solve(self, problem: CompiledProblem) -> BnBResult:
+        if self.deterministic:
+            return self._solve_deterministic(problem)
+        return self._solve_throughput(problem)
+
+    def solve_graph(self, graph, platform) -> BnBResult:
+        from ..model.compile import compile_problem
+
+        return self.solve(compile_problem(graph, platform))
+
+    # ------------------------------------------------------------------
+
+    def _ctx(self):
+        if self._mp_context is not None:
+            return self._mp_context
+        return multiprocessing.get_context()
+
+    def _solve_deterministic(self, problem: CompiledProblem) -> BnBResult:
+        rb = self.params.resources
+        for name in ("time_limit", "max_active", "max_children"):
+            if not math.isinf(getattr(rb, name)):
+                raise ConfigurationError(
+                    "deterministic parallel mode requires unbounded "
+                    f"{name}: its effect depends on timing or global "
+                    "generation order, which shards cannot reproduce "
+                    "(use deterministic=False, or max_vertices, which "
+                    "is replayed exactly)"
+                )
+        sink = self.obs.sink if self.obs is not None else None
+        executor = ProcessPoolExecutor(
+            max_workers=self.workers, mp_context=self._ctx()
+        )
+        try:
+            dispatcher = _ReplayDispatcher(
+                executor, problem, self.params, self.fused,
+                self.split_depth, sink,
+            )
+            engine = BranchAndBound(self.params, obs=self.obs, fused=self.fused)
+            result = engine.solve(problem, dispatcher=dispatcher)
+        finally:
+            # Stale speculations for swept shards must not keep workers
+            # busy past the solve.
+            executor.shutdown(wait=True, cancel_futures=True)
+        self.last_report = ParallelReport(
+            mode="deterministic",
+            workers=self.workers,
+            split_depth=self.split_depth,
+            shards=dispatcher.shards,
+            speculative_hits=dispatcher.speculative_hits,
+            reruns=dispatcher.reruns,
+        )
+        return result
+
+    def _solve_throughput(self, problem: CompiledProblem) -> BnBResult:
+        t0 = time.perf_counter()
+        params = self.params
+        collector = _FrontierCollector(self.split_depth, problem, params)
+        engine = BranchAndBound(params, obs=self.obs, fused=self.fused)
+        shallow = engine.solve(problem, dispatcher=collector)
+        shards = collector.shards
+        if not shards or shallow.status is SolveStatus.TARGET_REACHED:
+            # The shallow pass already completed the search (tiny tree,
+            # everything pruned, or early stop before any dispatch).
+            self.last_report = ParallelReport(
+                mode="throughput",
+                workers=self.workers,
+                split_depth=self.split_depth,
+                shards=len(shards),
+            )
+            return shallow
+
+        incumbent0 = min(shallow.best_cost, shallow.initial_upper_bound)
+        threshold0 = pruning_threshold(incumbent0, params.inaccuracy)
+        elim = params.elimination
+        live = [
+            s
+            for s in shards
+            if not elim.should_prune(s.lower_bound, threshold0)
+        ]
+        merged = SearchStats()
+        merged.absorb(shallow.stats)
+        # Shards collected before a later shallow incumbent improvement
+        # would have been swept by the sequential engine; count them so.
+        merged.pruned_active += len(shards) - len(live)
+
+        budget = params.resources.max_vertices - shallow.stats.generated
+        best_cost = shallow.best_cost
+        best_proc = shallow.proc_of
+        best_start = shallow.start
+        target = False
+        worker_stats: list[SearchStats] = []
+        outcomes: list[_BlockOutcome] = []
+        if live and budget > 0:
+            blocks: list[list] = [[] for _ in range(self.workers)]
+            for i, s in enumerate(live):
+                blocks[i % self.workers].append(
+                    (s.index, s.state, s.lower_bound)
+                )
+            blocks = [b for b in blocks if b]
+            ctx = self._ctx()
+            shared = ctx.Value("d", incumbent0)
+            executor = ProcessPoolExecutor(
+                max_workers=len(blocks),
+                mp_context=ctx,
+                initializer=_init_worker,
+                initargs=(shared,),
+            )
+            try:
+                futures = [
+                    executor.submit(
+                        _run_block,
+                        problem,
+                        params,
+                        block,
+                        budget,
+                        self.fused,
+                        self.collect_worker_events,
+                    )
+                    for block in blocks
+                ]
+                outcomes = [f.result() for f in futures]
+            finally:
+                executor.shutdown(wait=True, cancel_futures=True)
+            for outcome in outcomes:
+                merged.absorb(outcome.stats)
+                worker_stats.append(outcome.stats)
+                target = target or outcome.target_reached
+                if (
+                    outcome.proc_of is not None
+                    and outcome.best_cost < best_cost
+                ):
+                    best_cost = outcome.best_cost
+                    best_proc = outcome.proc_of
+                    best_start = outcome.start
+        elif budget <= 0:
+            merged.truncated = True
+
+        sink = self.obs.sink if self.obs is not None else None
+        if sink is not None and self.collect_worker_events:
+            for worker_id, outcome in enumerate(outcomes):
+                for shard_index, shard_events in outcome.events:
+                    tagged = TaggedSink(
+                        sink, worker=worker_id, shard=shard_index
+                    )
+                    for kind, payload in shard_events:
+                        if tagged.accepts(kind):
+                            tagged.emit(kind, payload)
+
+        merged.elapsed = time.perf_counter() - t0
+        found = best_proc is not None
+        status = BranchAndBound._status(params, merged, target, found)
+        incumbent_source = (
+            "search"
+            if found and best_cost < shallow.initial_upper_bound
+            else shallow.incumbent_source
+        )
+        self.last_report = ParallelReport(
+            mode="throughput",
+            workers=self.workers,
+            split_depth=self.split_depth,
+            shards=len(shards),
+            shards_stale=(len(shards) - len(live))
+            + sum(o.shards_stale for o in outcomes),
+            worker_stats=tuple(worker_stats),
+        )
+        return BnBResult(
+            problem=problem,
+            params=params,
+            status=status,
+            best_cost=best_cost if found else math.inf,
+            proc_of=best_proc,
+            start=best_start,
+            incumbent_source=incumbent_source,
+            initial_upper_bound=shallow.initial_upper_bound,
+            stats=merged,
+        )
+
+
+def solve_parallel(
+    problem: CompiledProblem,
+    params: BnBParameters | None = None,
+    *,
+    workers: int | None = None,
+    deterministic: bool = True,
+    split_depth: int = 2,
+    fused: bool | None = None,
+) -> BnBResult:
+    """One-shot convenience wrapper around :class:`ParallelBnB`."""
+    return ParallelBnB(
+        params,
+        workers=workers,
+        split_depth=split_depth,
+        deterministic=deterministic,
+        fused=fused,
+    ).solve(problem)

@@ -69,6 +69,16 @@ class Frontier(ABC):
         """
 
     @abstractmethod
+    def export(self) -> list[Vertex]:
+        """Live vertices in pop order, without consuming the frontier.
+
+        The parallel driver uses this to split the active set into
+        shards with a deterministic ordering; tests use it to inspect
+        frontier content.  Lazy-deletion implementations must exclude
+        stale and tombstoned entries.
+        """
+
+    @abstractmethod
     def __len__(self) -> int: ...
 
     def __bool__(self) -> bool:
@@ -112,10 +122,16 @@ class _LIFOFrontier(_ListFrontier):
     def pop(self) -> Vertex | None:
         return self._items.pop() if self._items else None
 
+    def export(self) -> list[Vertex]:
+        return list(reversed(self._items))
+
 
 class _FIFOFrontier(_ListFrontier):
     def pop(self) -> Vertex | None:
         return self._items.popleft() if self._items else None
+
+    def export(self) -> list[Vertex]:
+        return list(self._items)
 
 
 class _LLBFrontier(Frontier):
@@ -229,6 +245,18 @@ class _LLBFrontier(Frontier):
         if self._live < len(self._heap) // 2:
             self._compact()
         return len(worst)
+
+    def export(self) -> list[Vertex]:
+        dead = self._dead
+        threshold = self._threshold
+        return [
+            e[-1]
+            for e in sorted(
+                e
+                for e in self._heap
+                if e[0] < threshold and (not dead or id(e[-1]) not in dead)
+            )
+        ]
 
     def __len__(self) -> int:
         return self._live

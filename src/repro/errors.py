@@ -134,10 +134,19 @@ class ResourceLimitExceeded(SearchError):
 
     def __init__(self, which: str, detail: str = "") -> None:
         self.which = which
+        self.detail = detail
         msg = f"resource bound exceeded: {which}"
         if detail:
             msg += f" ({detail})"
         super().__init__(msg)
+
+    def __reduce__(self):
+        # Default exception pickling replays __init__ with ``args`` —
+        # here the already-formatted message — which would double-wrap
+        # the prefix and drop ``which``.  Replay the real constructor
+        # arguments instead (workers raise this across process
+        # boundaries).
+        return (type(self), (self.which, self.detail))
 
 
 class ConfigurationError(ReproError, ValueError):

@@ -88,6 +88,19 @@ class CompiledProblem:
     tail_lateness: tuple[float, ...] = field(default=())
 
     # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def __reduce__(self):
+        # Serialize as (graph, platform) and recompile on load.
+        # Compilation is deterministic, so every derived field comes
+        # back bit-identical; payloads shrink to the source models; and
+        # new derived fields (or representation changes) can never be
+        # stranded in stale pickles.  The parallel driver relies on this
+        # to ship problems to worker processes cheaply.
+        return (compile_problem, (self.graph, self.platform))
+
+    # ------------------------------------------------------------------
     # Placement primitive (the Section 4.3 scheduling operation)
     # ------------------------------------------------------------------
 

@@ -35,6 +35,7 @@ from .events import (
     JsonlSink,
     MemorySink,
     MultiSink,
+    TaggedSink,
 )
 from .metrics import (
     DEFAULT_GAP_BUCKETS,
@@ -58,6 +59,7 @@ __all__ = [
     "MemorySink",
     "CallbackSink",
     "MultiSink",
+    "TaggedSink",
     # profile
     "PHASES",
     "PhaseProfiler",

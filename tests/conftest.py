@@ -3,8 +3,31 @@
 from __future__ import annotations
 
 import math
+import os
 
 import pytest
+
+try:
+    from hypothesis import HealthCheck, settings
+
+    # "ci" (the default) is fully reproducible: derandomize=True makes
+    # hypothesis derive its examples from the test function itself, so a
+    # CI failure replays locally without a shared example database.
+    # HYPOTHESIS_PROFILE=dev restores randomized exploration.
+    settings.register_profile(
+        "ci",
+        derandomize=True,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.register_profile(
+        "dev",
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
+except ImportError:  # pragma: no cover - hypothesis is an optional dep
+    pass
 
 from repro.core.state import root_state
 from repro.model import (

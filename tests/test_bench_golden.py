@@ -1,0 +1,56 @@
+"""Golden vertex-count drift check in the normal test tier.
+
+The bench suite pins machine-independent vertex counts in
+``benchmarks/golden_counts.json`` and CI's bench job checks the quick
+subset — but that leaves a gap where a search-order change lands, the
+unit tier stays green, and the drift only surfaces in the (slower,
+separately-run) bench job.  This test closes the gap by re-solving the
+two *smallest* bench cells inside plain pytest and comparing against
+the same golden file.  Both finish in well under a second.
+
+On intentional search-order changes, regenerate the golden file with
+``repro bench --update-golden`` and commit it — same procedure the
+bench suite documents.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench import BENCH_INSTANCES, load_golden
+from repro.core.engine import BranchAndBound
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "benchmarks",
+    "golden_counts.json",
+)
+
+#: The two smallest cells by pinned generated-vertex count.
+SMALL_CELLS = ("paper-s13-m2-lifo-lb1", "scaled-s0-m2-lifo-lb1")
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return load_golden(GOLDEN_PATH)
+
+
+@pytest.mark.parametrize("name", SMALL_CELLS)
+def test_small_cell_counts_match_golden(name, golden):
+    inst = next(i for i in BENCH_INSTANCES if i.name == name)
+    pinned = golden["instances"][name]
+    result = BranchAndBound(inst.params()).solve(inst.problem())
+    assert result.stats.generated == pinned["generated"]
+    assert result.stats.explored == pinned["explored"]
+    assert result.best_cost == pinned["best_cost"]
+
+
+def test_small_cells_are_the_smallest_pinned():
+    """Keep SMALL_CELLS honest if the suite or goldens ever change."""
+    golden = load_golden(GOLDEN_PATH)
+    by_size = sorted(
+        golden["instances"].items(), key=lambda kv: kv[1]["generated"]
+    )
+    assert {name for name, _ in by_size[:2]} == set(SMALL_CELLS)

@@ -1,0 +1,308 @@
+"""Unit tests for the multiprocessing parallel driver.
+
+The deterministic-mode contract (exact replay of the sequential LIFO
+search: cost, schedule, shard-summed counters, status — and exact
+MAXVERT budget replay) is asserted against the sequential engine on
+every fixture; throughput mode is held to its weaker contract (optimal
+cost, valid schedule).  The supporting machinery — frontier export
+order, shared-incumbent semantics, sub-search resumption, worker event
+tagging, the parallel report — is covered piecewise.
+"""
+
+from __future__ import annotations
+
+import math
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core import (
+    BnBParameters,
+    BranchAndBound,
+    LIFOSelection,
+    ParallelBnB,
+    ResourceBounds,
+    SharedIncumbent,
+    SolveStatus,
+    Vertex,
+    root_state,
+    solve_parallel,
+)
+from repro.core.engine import SubtreeSpec
+from repro.core.expand import FusedExpander
+from repro.core.parallel import default_worker_count
+from repro.core.selection import SELECTION_RULES
+from repro.errors import ConfigurationError, ResourceLimitExceeded
+from repro.model import compile_problem, shared_bus_platform
+from repro.obs import MemorySink, Observability
+from repro.workload import WorkloadSpec, generate_task_graph
+
+from conftest import make_chain, make_diamond, make_forkjoin
+
+
+def _problems():
+    probs = [
+        compile_problem(make_chain(), shared_bus_platform(2)),
+        compile_problem(make_diamond(), shared_bus_platform(2)),
+        compile_problem(make_forkjoin(), shared_bus_platform(2)),
+    ]
+    # Tight deadlines + real communication costs: EDF is not optimal
+    # here, so the search trees are non-trivial (~2k vertices each).
+    spec = WorkloadSpec(
+        num_tasks=(8, 10), depth=(3, 5), ccr=1.0, laxity_ratio=1.05
+    )
+    for seed in (0, 4):
+        probs.append(
+            compile_problem(
+                generate_task_graph(spec, seed=seed), shared_bus_platform(2)
+            )
+        )
+    return probs
+
+
+PROBLEMS = _problems()
+_IDS = [f"{p.graph.name}-m{p.m}" for p in PROBLEMS]
+
+LIFO = BnBParameters(selection=LIFOSelection())
+
+#: ``elapsed`` is wall-clock; ``peak_active`` is an upper estimate in
+#: parallel mode.  Everything else must match exactly.
+_INEXACT = ("elapsed", "peak_active")
+
+
+def _exact(stats) -> dict:
+    d = stats.as_dict()
+    for key in _INEXACT:
+        d.pop(key)
+    return d
+
+
+def _assert_identical(par, seq):
+    assert par.status == seq.status
+    assert par.best_cost == seq.best_cost
+    assert par.proc_of == seq.proc_of
+    assert par.start == seq.start
+    assert par.initial_upper_bound == seq.initial_upper_bound
+    assert par.incumbent_source == seq.incumbent_source
+    assert _exact(par.stats) == _exact(seq.stats)
+
+
+# ---------------------------------------------------------------------------
+# Deterministic mode
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("problem", PROBLEMS, ids=_IDS)
+def test_deterministic_replay_is_bit_identical(problem):
+    seq = BranchAndBound(LIFO).solve(problem)
+    par = ParallelBnB(LIFO, workers=2, split_depth=2).solve(problem)
+    _assert_identical(par, seq)
+
+
+def test_deterministic_across_worker_counts_and_depths():
+    problem = PROBLEMS[-1]
+    seq = BranchAndBound(LIFO).solve(problem)
+    for workers in (1, 2, 4):
+        for depth in (1, 3):
+            solver = ParallelBnB(LIFO, workers=workers, split_depth=depth)
+            _assert_identical(solver.solve(problem), seq)
+            report = solver.last_report
+            assert report.mode == "deterministic"
+            assert report.workers == workers
+            assert report.speculative_hits + report.reruns <= report.shards
+
+
+def test_maxvert_budget_is_replayed_exactly():
+    problem = PROBLEMS[-1]
+    for cap in (40, 150, 600):
+        params = BnBParameters(
+            selection=LIFOSelection(),
+            resources=ResourceBounds(
+                max_vertices=cap, fail_on_exhaustion=False
+            ),
+        )
+        seq = BranchAndBound(params).solve(problem)
+        par = ParallelBnB(params, workers=2, split_depth=2).solve(problem)
+        _assert_identical(par, seq)
+
+
+def test_maxvert_exhaustion_raises_in_both_modes():
+    problem = PROBLEMS[-1]
+    params = BnBParameters(
+        selection=LIFOSelection(),
+        resources=ResourceBounds(max_vertices=40, fail_on_exhaustion=True),
+    )
+    with pytest.raises(ResourceLimitExceeded) as seq_err:
+        BranchAndBound(params).solve(problem)
+    with pytest.raises(ResourceLimitExceeded) as par_err:
+        ParallelBnB(params, workers=2, split_depth=2).solve(problem)
+    assert seq_err.value.which == par_err.value.which == "MAXVERT"
+
+
+def test_deterministic_rejects_timing_dependent_bounds():
+    for bounds in (
+        ResourceBounds(time_limit=5.0),
+        ResourceBounds(max_active=100, fail_on_exhaustion=False),
+        ResourceBounds(max_children=4, fail_on_exhaustion=False),
+    ):
+        params = BnBParameters(resources=bounds)
+        with pytest.raises(ConfigurationError):
+            ParallelBnB(params, workers=2).solve(PROBLEMS[0])
+
+
+def test_constructor_validation():
+    with pytest.raises(ConfigurationError):
+        ParallelBnB(workers=0)
+    with pytest.raises(ConfigurationError):
+        ParallelBnB(split_depth=0)
+    assert default_worker_count() >= 1
+
+
+def test_shard_events_reach_the_coordinator_sink():
+    problem = PROBLEMS[-1]
+    sink = MemorySink()
+    solver = ParallelBnB(
+        LIFO, workers=2, split_depth=2, obs=Observability(sink=sink)
+    )
+    solver.solve(problem)
+    shard_events = sink.of_kind("shard")
+    assert len(shard_events) == solver.last_report.shards
+    assert solver.last_report.shards > 0
+    for ev in shard_events:
+        assert {"shard", "level", "lb", "speculative", "generated"} <= set(ev)
+        assert ev["level"] >= 2
+
+
+# ---------------------------------------------------------------------------
+# Throughput mode
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("problem", PROBLEMS, ids=_IDS)
+def test_throughput_mode_is_cost_optimal(problem):
+    seq = BranchAndBound(LIFO).solve(problem)
+    solver = ParallelBnB(LIFO, workers=2, split_depth=2, deterministic=False)
+    thr = solver.solve(problem)
+    assert thr.best_cost == seq.best_cost
+    assert thr.status is SolveStatus.OPTIMAL
+    if thr.proc_of is not None:
+        thr.schedule().validate()
+    assert solver.last_report.mode == "throughput"
+
+
+def test_throughput_with_no_shards_returns_the_shallow_result():
+    problem = PROBLEMS[0]  # chain: split deeper than the tree
+    solver = ParallelBnB(
+        LIFO, workers=2, split_depth=problem.n + 1, deterministic=False
+    )
+    thr = solver.solve(problem)
+    seq = BranchAndBound(LIFO).solve(problem)
+    _assert_identical(thr, seq)
+    assert solver.last_report.shards == 0
+
+
+def test_worker_events_are_tagged():
+    problem = PROBLEMS[-1]
+    sink = MemorySink()
+    solver = ParallelBnB(
+        LIFO,
+        workers=2,
+        split_depth=2,
+        deterministic=False,
+        obs=Observability(sink=sink),
+        collect_worker_events=True,
+    )
+    solver.solve(problem)
+    tagged = [p for _k, p in sink.events if "worker" in p]
+    assert tagged, "expected per-worker tagged events in the merged trace"
+    workers_seen = {p["worker"] for p in tagged}
+    assert workers_seen <= set(range(solver.last_report.workers))
+    for payload in tagged:
+        assert "shard" in payload
+    # The coordinator's own shallow-pass events stay untagged.
+    assert any("worker" not in p for _k, p in sink.events)
+
+
+# ---------------------------------------------------------------------------
+# Machinery
+# ---------------------------------------------------------------------------
+
+
+def test_shared_incumbent_is_a_cross_process_min():
+    shared = SharedIncumbent.create()
+    assert math.isinf(shared.poll())
+    assert shared.publish(5.0)
+    assert not shared.publish(7.0)  # worse: rejected
+    assert shared.poll() == 5.0
+    assert shared.publish(-1.0)
+    assert shared.poll() == -1.0
+
+
+def test_subtree_resume_reproduces_the_root_evaluation():
+    problem = PROBLEMS[-1]
+    params = BnBParameters()
+    expander = FusedExpander(
+        problem,
+        params.branching.prepare(problem),
+        params.lower_bound,
+        params.characteristic,
+        params.dominance.fresh(),
+        params.elimination,
+        params.break_symmetry,
+    )
+    fresh = expander.root()
+    resumed = expander.root_from(root_state(problem))
+    assert resumed.lower_bound == fresh.lower_bound
+    # Bitwise-equal estimate vectors: the incremental bound continues
+    # in a worker exactly as it would have in the coordinator.
+    assert resumed.est == fresh.est
+    assert resumed.estart == fresh.estart
+    # A shipped lower bound is trusted verbatim (no re-evaluation drift).
+    pinned = expander.root_from(root_state(problem), fresh.lower_bound)
+    assert pinned.lower_bound == fresh.lower_bound
+
+
+def test_subtree_solve_equals_inline_subtree():
+    """A sub-search from a mid-tree vertex finds the best completion at
+    or below the incumbent it was given."""
+    problem = PROBLEMS[1]  # diamond
+    seq = BranchAndBound(LIFO).solve(problem)
+    state = root_state(problem).child(0, 0)
+    lb = BnBParameters().lower_bound.evaluate(state)
+    sub = BranchAndBound(LIFO).solve(
+        problem,
+        subtree=SubtreeSpec(state, lb, math.inf),
+    )
+    # The first root placement is symmetric-optimal for the diamond, so
+    # the subtree contains an optimal completion.
+    assert sub.best_cost == pytest.approx(seq.best_cost, abs=1e-9)
+    # Sub-search roots are not re-counted: all generated vertices are
+    # strictly below the shipped root.
+    assert sub.stats.generated < seq.stats.generated
+
+
+def test_frontier_export_matches_pop_order():
+    for name, cls in SELECTION_RULES.items():
+        frontier = cls().make_frontier()
+        # LLB-D orders by depth too, so the stub states need a level.
+        vertices = [
+            Vertex(SimpleNamespace(level=seq % 3), lb, seq)
+            for seq, lb in enumerate([3.0, 1.0, 2.0, 1.0, 5.0])
+        ]
+        for v in vertices:
+            frontier.push(v)
+        exported = frontier.export()
+        popped = []
+        while True:
+            v = frontier.pop()
+            if v is None:
+                break
+            popped.append(v)
+        assert exported == popped, name
+
+
+def test_solve_parallel_wrapper():
+    problem = PROBLEMS[1]
+    seq = BranchAndBound(LIFO).solve(problem)
+    res = solve_parallel(problem, LIFO, workers=2)
+    _assert_identical(res, seq)

@@ -1,0 +1,153 @@
+"""Differential suite: the engine vs. the independent exhaustive oracle.
+
+Fifty fixed-seed instances (44 generated DAGs plus six handcrafted
+shapes), every one small enough for :func:`oracle.oracle_optimum` to
+enumerate completely.  Four *core* instances run the full
+``B x S x E x L`` parameter matrix (96 combinations); the rest cycle
+through the matrix deterministically, so every combination is exercised
+on several graphs per run.
+
+What is asserted per cell:
+
+* the reported cost is *real* — recomputed from the returned schedule
+  by the oracle's own arithmetic, and the schedule passes the
+  independent validity checker;
+* under an optimal branching rule (BFn) the cost equals the oracle
+  optimum for **every** selection rule, elimination rule and lower
+  bound — selection changes order, elimination changes work, bounds
+  change pruning, none may change the answer;
+* under the approximate rules (BF1, DF) the cost is sandwiched between
+  the oracle optimum and the initial upper bound (they search a
+  restricted tree, so equality is not a theorem — asserting it would
+  encode a falsehood).
+
+Unpruned cells (E = none) enumerate the entire tree, so they are kept
+to instances of at most five tasks.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core import BnBParameters, BranchAndBound
+from repro.core.bounds import LOWER_BOUNDS
+from repro.core.branching import BRANCHING_RULES
+from repro.core.elimination import ELIMINATION_RULES
+from repro.core.selection import SELECTION_RULES
+from repro.model import compile_problem, shared_bus_platform
+from repro.workload import WorkloadSpec, generate_task_graph
+
+from conftest import (
+    make_chain,
+    make_diamond,
+    make_forkjoin,
+    make_independent,
+)
+from oracle import oracle_optimum, oracle_schedule_cost
+
+SPEC = WorkloadSpec(num_tasks=(4, 6), depth=(2, 4))
+NUM_RANDOM = 44
+
+#: Full E-off enumeration is the whole tree; cap those cells here.
+MAX_TASKS_UNPRUNED = 5
+
+
+def _instances():
+    probs = []
+    for seed in range(NUM_RANDOM):
+        graph = generate_task_graph(SPEC, seed=seed)
+        m = 3 if len(graph) <= 4 else 2
+        probs.append(compile_problem(graph, shared_bus_platform(m)))
+    for graph, m in (
+        (make_chain(), 2),
+        (make_diamond(), 2),
+        (make_diamond(), 3),
+        (make_forkjoin(), 2),
+        (make_independent(), 2),
+        (make_independent(), 3),
+    ):
+        probs.append(compile_problem(graph, shared_bus_platform(m)))
+    return probs
+
+
+PROBLEMS = _instances()
+
+COMBOS = list(
+    itertools.product(
+        sorted(BRANCHING_RULES),
+        sorted(SELECTION_RULES),
+        sorted(ELIMINATION_RULES),
+        sorted(LOWER_BOUNDS),
+    )
+)
+
+#: Core instances get the complete 96-combination matrix: the first
+#: three random draws small enough to allow E = none everywhere, plus
+#: one handcrafted three-processor shape.
+CORE = [
+    i for i in range(NUM_RANDOM) if PROBLEMS[i].n <= MAX_TASKS_UNPRUNED
+][:3] + [NUM_RANDOM + 2]
+
+_oracle_cache: dict[int, float] = {}
+
+
+def _oracle(idx: int) -> float:
+    if idx not in _oracle_cache:
+        _oracle_cache[idx] = oracle_optimum(PROBLEMS[idx])
+    return _oracle_cache[idx]
+
+
+def _case_id(idx: int, combo) -> str:
+    b, s, e, l = combo
+    return f"g{idx:02d}-{b}-{s}-{e.replace('/', '')}-{l}"
+
+
+CASES = [(i, combo) for i in CORE for combo in COMBOS] + [
+    (i, COMBOS[i % len(COMBOS)])
+    for i in range(len(PROBLEMS))
+    if i not in CORE
+]
+
+
+@pytest.mark.parametrize(
+    "idx,combo", CASES, ids=[_case_id(i, c) for i, c in CASES]
+)
+def test_engine_matches_oracle(idx, combo):
+    branching, selection, elimination, bound = combo
+    problem = PROBLEMS[idx]
+    if elimination == "none" and problem.n > MAX_TASKS_UNPRUNED:
+        pytest.skip("unpruned full enumeration kept to small instances")
+    params = BnBParameters(
+        branching=BRANCHING_RULES[branching](),
+        selection=SELECTION_RULES[selection](),
+        elimination=ELIMINATION_RULES[elimination](),
+        lower_bound=LOWER_BOUNDS[bound](),
+    )
+    result = BranchAndBound(params).solve(problem)
+    optimum = _oracle(idx)
+
+    assert result.found_solution
+    assert oracle_schedule_cost(
+        problem, result.proc_of, result.start
+    ) == pytest.approx(result.best_cost, abs=1e-9)
+    result.schedule().validate()
+
+    if params.branching.guarantees_optimal:
+        assert result.best_cost == pytest.approx(optimum, abs=1e-9)
+    else:
+        assert result.best_cost >= optimum - 1e-9
+        assert result.best_cost <= result.initial_upper_bound + 1e-9
+
+
+def test_matrix_coverage():
+    """Every ⟨B,S,E,L⟩ combination appears in the parametrized cases."""
+    covered = {combo for _, combo in CASES}
+    assert covered == set(COMBOS)
+
+
+def test_core_instances_are_unpruned_capable():
+    assert len(CORE) == 4
+    for idx in CORE:
+        assert PROBLEMS[idx].n <= MAX_TASKS_UNPRUNED

@@ -153,6 +153,72 @@ def test_partial_states_are_consistent_schedules(state):
 
 @SETTINGS
 @given(prob=compiled_problems(max_tasks=5))
+def test_selection_rules_agree_on_the_optimum(prob):
+    """Selection (S) changes the search order, never the answer: under
+    an optimal branching rule every rule lands on the same cost."""
+    from repro.core import SELECTION_RULES
+
+    costs = {
+        name: BranchAndBound(
+            BnBParameters(selection=cls())
+        ).solve(prob).best_cost
+        for name, cls in SELECTION_RULES.items()
+    }
+    reference = costs.pop("LIFO")
+    for name, cost in costs.items():
+        assert abs(cost - reference) < 1e-9, (name, cost, reference)
+
+
+@SETTINGS
+@given(prob=compiled_problems(max_tasks=5))
+def test_approximate_branching_never_beats_optimal(prob):
+    """BF1/DF search restricted trees: their cost is achievable (so it
+    can't undercut the optimum) but carries no optimality guarantee."""
+    from repro.core import BRANCHING_RULES
+
+    optimum = BranchAndBound(BnBParameters()).solve(prob).best_cost
+    for name in ("BF1", "DF"):
+        res = BranchAndBound(
+            BnBParameters(branching=BRANCHING_RULES[name]())
+        ).solve(prob)
+        assert res.best_cost >= optimum - 1e-9
+        assert res.best_cost <= res.initial_upper_bound + 1e-9
+
+
+class _HierarchySpy(LB1):
+    """Behaves exactly like LB1, but cross-checks the bound hierarchy at
+    every state the engine actually bounds during the search."""
+
+    def __init__(self):
+        self.checked = 0
+        self._lb0 = LB0()
+        self._trivial = TrivialBound()
+
+    def evaluate(self, state):
+        value = LB1.evaluate(self, state)
+        lb0 = self._lb0.evaluate(state)
+        trivial = self._trivial.evaluate(state)
+        assert trivial <= lb0 + 1e-9
+        assert lb0 <= value + 1e-9
+        self.checked += 1
+        return value
+
+
+@SETTINGS
+@given(prob=compiled_problems(max_tasks=5))
+def test_bound_hierarchy_at_every_searched_vertex(prob):
+    """trivial <= LB0 <= LB1 at each vertex the engine bounds — the
+    search-visited set, not just randomly sampled reachable states."""
+    spy = _HierarchySpy()
+    res = BranchAndBound(
+        BnBParameters(lower_bound=spy), fused=False
+    ).solve(prob)
+    # The reference path bounds every generated vertex.
+    assert spy.checked >= res.stats.generated - 1
+
+
+@SETTINGS
+@given(prob=compiled_problems(max_tasks=5))
 def test_engine_matches_brute_force(prob):
     res = BranchAndBound(BnBParameters()).solve(prob)
     assert res.best_cost == math.inf or res.found_solution
