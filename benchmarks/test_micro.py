@@ -51,6 +51,36 @@ def test_lb2_evaluation(benchmark, midstate):
 
 
 @pytest.mark.benchmark(group="micro")
+def test_signature_incremental(benchmark, prob, midstate):
+    """Placement + O(1) signature update — the transposition hot path."""
+    task = midstate.ready_tasks()[0]
+
+    def place_and_sign():
+        return midstate.child(task, 0).signature()
+
+    benchmark(place_and_sign)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_signature_probe_without_child(benchmark, prob, midstate):
+    """The fused path's child-free probe arithmetic alone."""
+    from repro.core.transposition import child_signature
+
+    task = midstate.ready_tasks()[0]
+    child = midstate.child(task, 0)
+    start = child.start[task]
+    benchmark(child_signature, midstate, task, 0, start)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_signature_from_scratch(benchmark, prob, midstate):
+    """Full accumulator rebuild — what every placement would cost
+    without the incremental update."""
+    child = midstate.child(midstate.ready_tasks()[0], 0)
+    benchmark(child.signature_from_scratch)
+
+
+@pytest.mark.benchmark(group="micro")
 def test_edf_schedule(benchmark, prob):
     benchmark(edf_schedule, prob)
 

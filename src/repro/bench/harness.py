@@ -84,6 +84,8 @@ __all__ = [
     "run_suite",
     "run_parallel_instance",
     "run_parallel_suite",
+    "run_transposition_instance",
+    "run_transposition_suite",
     "check_against_golden",
     "golden_from_report",
 ]
@@ -572,6 +574,171 @@ def run_parallel_suite(
             ),
             "best_throughput": best,
         },
+    }
+
+
+# ---------------------------------------------------------------------------
+# Transposition suite (``repro bench --transposition``)
+# ---------------------------------------------------------------------------
+
+
+def run_transposition_instance(
+    inst: BenchInstance,
+    table_bytes: int = 64 << 20,
+    policy: str = "depth",
+    repeats: int = 3,
+) -> dict:
+    """Benchmark one cell with the transposition table off vs on.
+
+    Three hard gates per cell (each a :class:`ReproError`):
+
+    * fused/reference parity with the table ON — both engine paths must
+      report identical counters, cost and schedule, proving the probe
+      contract holds on a real workload;
+    * cost parity OFF vs ON for exhaustive cells — duplicate pruning
+      must not change the optimum (capped cells truncate at different
+      vertices once pruning shrinks the stream, so only the gates above
+      apply there);
+    * ``generated(tt) <= generated(no-tt)`` for exhaustive cells — the
+      table must never *add* work.
+
+    Table telemetry is read from the reference parity run (one solve,
+    windowed via ``spawn_mark``); by the parity gate the fused run's
+    counters are identical.
+    """
+    problem = inst.problem()
+    base_params = inst.params()
+    tt_params = base_params.with_transposition(
+        table_bytes=table_bytes, policy=policy
+    )
+
+    base, base_s = _timed_solve(base_params, problem, fused=True,
+                                repeats=repeats)
+    tt, tt_s = _timed_solve(tt_params, problem, fused=True, repeats=repeats)
+
+    from ..core.transposition import find_transposition
+
+    tt_rule = find_transposition(tt_params.dominance)
+    mark = tt_rule.spawn_mark()
+    ref = BranchAndBound(tt_params, fused=False).solve(problem)
+    tel = tt_rule.telemetry_total(mark) or {}
+
+    def fingerprint(res):
+        return (
+            res.stats.generated, res.stats.explored,
+            res.stats.pruned_duplicate, res.best_cost,
+            res.proc_of, res.start,
+        )
+
+    if fingerprint(ref) != fingerprint(tt):
+        raise ReproError(
+            f"tt bench {inst.name}: fused path diverged from the "
+            f"reference oracle with the table on: "
+            f"{fingerprint(ref)[:4]} != {fingerprint(tt)[:4]}"
+        )
+    exhaustive = inst.max_vertices is None and not base.stats.truncated
+    if exhaustive:
+        if tt.best_cost != base.best_cost:
+            raise ReproError(
+                f"tt bench {inst.name}: duplicate pruning changed the "
+                f"optimum: {tt.best_cost!r} != {base.best_cost!r}"
+            )
+        if tt.stats.generated > base.stats.generated:
+            raise ReproError(
+                f"tt bench {inst.name}: table increased the search "
+                f"({tt.stats.generated} > {base.stats.generated} vertices)"
+            )
+
+    filled = int(tel.get("tt_filled", 0))
+    capacity = int(tel.get("tt_capacity", 0))
+    return {
+        "name": inst.name,
+        "preset": inst.preset,
+        "processors": inst.processors,
+        "tasks": problem.n,
+        "capped": inst.max_vertices,
+        "exhaustive": exhaustive,
+        "base": {
+            "generated": base.stats.generated,
+            "explored": base.stats.explored,
+            "best_cost": base.best_cost,
+            "seconds": round(base_s, 6),
+        },
+        "tt": {
+            "generated": tt.stats.generated,
+            "explored": tt.stats.explored,
+            "best_cost": tt.best_cost,
+            "seconds": round(tt_s, 6),
+            "duplicates_pruned": tt.stats.pruned_duplicate,
+            "telemetry": {k: int(v) for k, v in sorted(tel.items())},
+        },
+        "vertex_reduction": (
+            round(base.stats.generated / tt.stats.generated, 3)
+            if tt.stats.generated else None
+        ),
+        "time_ratio": round(tt_s / base_s, 3) if base_s > 0 else None,
+        "table_filled": bool(
+            capacity and (filled >= capacity or tel.get("tt_evictions")
+                          or tel.get("tt_rejects"))
+        ),
+    }
+
+
+def run_transposition_suite(
+    quick: bool = False,
+    table_bytes: int = 64 << 20,
+    policy: str = "depth",
+    repeats: int = 3,
+) -> dict:
+    """Run the duplicate-detection suite; returns the JSON-ready report.
+
+    The OFF timings are the PR 3 engine unchanged (the fused path with
+    ``NoDominance``), so ``time_ratio`` per cell *is* the wall-clock
+    delta vs the pre-PR baseline on this hardware.  The committed
+    ``BENCH_PR4.json`` at the repository root is this suite's reference
+    report; regenerate it with::
+
+        repro bench --transposition --out BENCH_PR4.json
+    """
+    instances = QUICK_INSTANCES if quick else BENCH_INSTANCES
+    rows = [
+        run_transposition_instance(
+            inst, table_bytes=table_bytes, policy=policy, repeats=repeats
+        )
+        for inst in instances
+    ]
+    exhaustive = [r for r in rows if r["exhaustive"]]
+    unfilled = [r for r in rows if not r["table_filled"]]
+    summary = {
+        "cells": len(rows),
+        "exhaustive_cells": len(exhaustive),
+        "total_base_generated": sum(r["base"]["generated"] for r in rows),
+        "total_tt_generated": sum(r["tt"]["generated"] for r in rows),
+        "duplicates_pruned": sum(
+            r["tt"]["duplicates_pruned"] for r in rows
+        ),
+        "vertex_reduction_geomean": (
+            round(_geomean(
+                [r["vertex_reduction"] for r in exhaustive
+                 if r["vertex_reduction"]]
+            ), 3) if exhaustive else None
+        ),
+        "time_ratio_geomean_unfilled": (
+            round(_geomean(
+                [r["time_ratio"] for r in unfilled if r["time_ratio"]]
+            ), 3) if unfilled else None
+        ),
+    }
+    return {
+        "schema": "repro-bench-pr4/1",
+        "quick": quick,
+        "repeats": repeats,
+        "table_bytes": table_bytes,
+        "policy": policy,
+        "python": sys.version.split()[0],
+        "machine": _platform.machine(),
+        "instances": rows,
+        "summary": summary,
     }
 
 

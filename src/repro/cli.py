@@ -34,7 +34,18 @@ import sys
 from . import __version__
 from .core.bounds import LOWER_BOUNDS
 from .core.branching import BRANCHING_RULES
+from .core.dominance import (
+    DOMINANCE_RULES,
+    ChainedDominance,
+    DominanceRule,
+    StateDominance,
+)
 from .core.engine import BranchAndBound
+from .core.transposition import (
+    TT_POLICIES,
+    TranspositionDominance,
+    find_transposition,
+)
 from .core.params import BnBParameters
 from .core.resources import ResourceBounds
 from .core.selection import SELECTION_RULES
@@ -123,6 +134,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--branching", choices=sorted(BRANCHING_RULES), default="BFn"
     )
     slv.add_argument("--bound", choices=sorted(LOWER_BOUNDS), default="LB1")
+    slv.add_argument(
+        "--dominance", choices=sorted(DOMINANCE_RULES), default="none",
+        help="dominance rule D (default none, the paper's choice)",
+    )
+    slv.add_argument(
+        "--max-front", type=_positive_int, default=64, metavar="K",
+        help="Pareto-front size bound per key for --dominance state "
+        "(oldest entry evicted first; default 64)",
+    )
+    slv.add_argument(
+        "--transposition", action="store_true",
+        help="prune duplicate states via the memory-bounded transposition "
+        "table (chains with --dominance when one is set)",
+    )
+    slv.add_argument(
+        "--tt-bytes", type=_positive_int, default=16 << 20, metavar="BYTES",
+        help="transposition-table memory budget in bytes (default 16 MiB)",
+    )
+    slv.add_argument(
+        "--tt-policy", choices=TT_POLICIES, default="depth",
+        help="replacement policy once the table fills (default depth: "
+        "keep shallow entries, whose subtrees are largest)",
+    )
     slv.add_argument("--br", type=float, default=0.0, help="inaccuracy limit")
     slv.add_argument("--time-limit", type=float, default=None)
     slv.add_argument("--max-vertices", type=float, default=None)
@@ -233,6 +267,22 @@ def build_parser() -> argparse.ArgumentParser:
              "parity gates plus throughput-mode timings (BENCH_PR3)",
     )
     ben.add_argument(
+        "--transposition", action="store_true",
+        help="run the duplicate-detection suite instead: per-cell "
+             "vertex-reduction and wall-clock deltas with the "
+             "transposition table on vs off, cost-parity gated "
+             "(BENCH_PR4)",
+    )
+    ben.add_argument(
+        "--tt-bytes", type=_positive_int, default=64 << 20, metavar="BYTES",
+        help="table budget for the transposition suite (default 64 MiB, "
+             "sized so the table never fills on the committed cells)",
+    )
+    ben.add_argument(
+        "--tt-policy", choices=TT_POLICIES, default="depth",
+        help="replacement policy for the transposition suite",
+    )
+    ben.add_argument(
         "--split-depth", type=_positive_int, default=2,
         help="frontier split depth for the parallel suite (default 2)",
     )
@@ -294,6 +344,36 @@ def _cmd_convert(args) -> int:
     return 0
 
 
+def _build_dominance(args) -> DominanceRule | None:
+    """Compose ``--dominance`` / ``--transposition`` into one rule D."""
+    name = args.dominance
+    use_tt = args.transposition or name == TranspositionDominance.name
+    base: DominanceRule | None = None
+    if name != "none" and name != TranspositionDominance.name:
+        cls = DOMINANCE_RULES[name]
+        base = (
+            cls(max_front=args.max_front) if cls is StateDominance else cls()
+        )
+    if not use_tt:
+        return base
+    tt = TranspositionDominance(
+        table_bytes=args.tt_bytes, policy=args.tt_policy
+    )
+    return tt if base is None else ChainedDominance(tt, base)
+
+
+def _tt_summary(tel: dict) -> str:
+    return (
+        f"transposition: duplicates={tel.get('duplicate_pruned', 0)} "
+        f"hits={tel.get('tt_hits', 0)} misses={tel.get('tt_misses', 0)} "
+        f"inserts={tel.get('tt_inserts', 0)} "
+        f"evictions={tel.get('tt_evictions', 0)} "
+        f"rejects={tel.get('tt_rejects', 0)} "
+        f"collisions={tel.get('tt_collisions', 0)} "
+        f"filled={tel.get('tt_filled', 0)}/{tel.get('tt_capacity', 0)}"
+    )
+
+
 def _cmd_solve(args) -> int:
     graph = _read_graph(args.graph, laxity=args.laxity)
     rb_kwargs = {}
@@ -301,12 +381,17 @@ def _cmd_solve(args) -> int:
         rb_kwargs["time_limit"] = args.time_limit
     if args.max_vertices is not None:
         rb_kwargs["max_vertices"] = args.max_vertices
+    dom_kwargs = {}
+    dominance = _build_dominance(args)
+    if dominance is not None:
+        dom_kwargs["dominance"] = dominance
     params = BnBParameters(
         selection=SELECTION_RULES[args.selection](),
         branching=BRANCHING_RULES[args.branching](),
         lower_bound=LOWER_BOUNDS[args.bound](),
         inaccuracy=args.br,
         resources=ResourceBounds(**rb_kwargs),
+        **dom_kwargs,
     )
     if args.trace_csv and args.workers:
         print(
@@ -360,6 +445,14 @@ def _cmd_solve(args) -> int:
             f"parallel: mode={rep.mode} workers={rep.workers} "
             f"split-depth={rep.split_depth} shards={rep.shards}{extra}"
         )
+    tt_rule = find_transposition(params.dominance)
+    if tt_rule is not None:
+        if parallel is not None and parallel.last_report is not None:
+            tt_tel = parallel.last_report.tt_stats
+        else:
+            tt_tel = tt_rule.telemetry_total()
+        if tt_tel:
+            print(_tt_summary(tt_tel))
     print(result.summary())
     schedule = result.schedule() if result.found_solution else None
     if args.gantt and schedule is not None:
@@ -398,6 +491,8 @@ def _cmd_bench(args) -> int:
 
     if args.parallel:
         return _cmd_bench_parallel(args)
+    if args.transposition:
+        return _cmd_bench_transposition(args)
     baseline = load_baseline(args.baseline or BASELINE_PATH)
     if args.baseline and baseline is None:
         print(
@@ -492,6 +587,53 @@ def _cmd_bench_parallel(args) -> int:
         print(
             f"best throughput: {b['speedup']:.2f}x on {b['name']} "
             f"at {b['workers']} workers"
+        )
+    if args.out:
+        write_json(report, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_bench_transposition(args) -> int:
+    from .bench import run_transposition_suite, write_json
+
+    report = run_transposition_suite(
+        quick=args.quick,
+        table_bytes=args.tt_bytes,
+        policy=args.tt_policy,
+        repeats=args.repeats or 3,
+    )
+    header = (
+        f"{'instance':28s} {'base gen':>9s} {'tt gen':>9s} {'reduct':>7s} "
+        f"{'base s':>8s} {'tt s':>8s} {'ratio':>6s} {'dups':>8s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in report["instances"]:
+        red = row["vertex_reduction"]
+        print(
+            f"{row['name']:28s} {row['base']['generated']:>9d} "
+            f"{row['tt']['generated']:>9d} "
+            f"{red:>6.2f}x "
+            f"{row['base']['seconds']:>8.3f} {row['tt']['seconds']:>8.3f} "
+            f"{row['time_ratio']:>6.2f} {row['tt']['duplicates_pruned']:>8d}"
+            f"{'  [capped]' if row['capped'] else ''}"
+            f"{'  [filled]' if row['table_filled'] else ''}"
+        )
+    s = report["summary"]
+    print(
+        f"{s['cells']} cells parity-verified (table on, fused == "
+        f"reference); {s['duplicates_pruned']} duplicates pruned"
+    )
+    if s["vertex_reduction_geomean"] is not None:
+        print(
+            f"vertex reduction geomean (exhaustive cells): "
+            f"{s['vertex_reduction_geomean']:.2f}x"
+        )
+    if s["time_ratio_geomean_unfilled"] is not None:
+        print(
+            f"wall-clock ratio geomean (table never filled): "
+            f"{s['time_ratio_geomean_unfilled']:.2f}"
         )
     if args.out:
         write_json(report, args.out)

@@ -14,7 +14,13 @@ from .branching import (
     DFBranching,
     FixedOrderBranching,
 )
-from .dominance import DOMINANCE_RULES, DominanceRule, NoDominance, StateDominance
+from .dominance import (
+    DOMINANCE_RULES,
+    ChainedDominance,
+    DominanceRule,
+    NoDominance,
+    StateDominance,
+)
 from .elimination import (
     ELIMINATION_RULES,
     EliminationRule,
@@ -56,6 +62,15 @@ from .selection import (
 from .state import SearchState, root_state
 from .stats import SearchStats
 from .trace import ExploreEvent, IncumbentEvent, TraceRecorder
+from .transposition import (
+    TT_POLICIES,
+    PayloadCodec,
+    SharedTranspositionTable,
+    TranspositionDominance,
+    TranspositionTable,
+    child_signature,
+    find_transposition,
+)
 from .upper import (
     UPPER_BOUNDS,
     BestHeuristicUpperBound,
@@ -77,6 +92,7 @@ __all__ = [
     "BranchingRule",
     "CHARACTERISTIC_FUNCTIONS",
     "CHILD_ORDERS",
+    "ChainedDominance",
     "CharacteristicFunction",
     "ConstantUpperBound",
     "DFBranching",
@@ -103,25 +119,32 @@ __all__ = [
     "NoUpperBound",
     "ParallelBnB",
     "ParallelReport",
+    "PayloadCodec",
     "ResourceBounds",
     "SELECTION_RULES",
     "SearchState",
     "SearchStats",
     "SelectionRule",
     "SharedIncumbent",
+    "SharedTranspositionTable",
     "IncumbentEvent",
     "SolveStatus",
     "StateDominance",
     "SubtreeDispatcher",
     "SubtreeSpec",
+    "TT_POLICIES",
     "TraceRecorder",
+    "TranspositionDominance",
+    "TranspositionTable",
     "TrivialBound",
     "UDBASElimination",
     "UNBOUNDED",
     "UPPER_BOUNDS",
     "UpperBoundProvider",
     "Vertex",
+    "child_signature",
     "default_worker_count",
+    "find_transposition",
     "pruning_threshold",
     "root_state",
     "solve",

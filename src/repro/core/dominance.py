@@ -24,7 +24,14 @@ from abc import ABC, abstractmethod
 
 from .state import SearchState
 
-__all__ = ["DominanceRule", "NoDominance", "StateDominance", "DOMINANCE_RULES"]
+__all__ = [
+    "DominanceRule",
+    "DominanceChecker",
+    "NoDominance",
+    "StateDominance",
+    "ChainedDominance",
+    "DOMINANCE_RULES",
+]
 
 
 class DominanceRule(ABC):
@@ -46,14 +53,50 @@ class DominanceRule(ABC):
 class DominanceChecker(ABC):
     #: True when :meth:`is_dominated` is a stateless constant-False (no
     #: store to keep consistent).  The fused expansion path may then
-    #: discard doomed children early; a stateful checker must observe
-    #: the exact same child stream as the reference engine path, so
-    #: early discards are disabled for it.
+    #: discard doomed children early; a stateful checker without probe
+    #: support must observe the exact same child stream as the reference
+    #: engine path, so early discards are disabled for it.
     is_noop: bool = False
+
+    #: True when the checker honours the replay-consistent observation
+    #: contract below: :meth:`probe_placement` must be *exactly*
+    #: equivalent — same verdicts, same internal store mutations — to
+    #: materializing the child via ``parent.child_placed(task, proc, s,
+    #: f)`` and calling :meth:`is_dominated` on it.  The fused expansion
+    #: path then keeps its early-discard and lazy-state optimizations
+    #: with the stateful checker in the loop: it calls the probe on every
+    #: non-goal placement *before* any bound-based discard, mirroring the
+    #: reference loop's bound → feasibility → dominance order (dominance
+    #: runs before threshold elimination there too, and a dominated child
+    #: consumes no sequence number on either path).
+    supports_probe: bool = False
 
     @abstractmethod
     def is_dominated(self, state: SearchState) -> bool:
         """Whether the state is dominated by one seen before (and record it)."""
+
+    def probe_placement(
+        self, parent: SearchState, task: int, proc: int, s: float, f: float
+    ) -> bool:
+        """Verdict for the child ``parent + (task on proc at [s, f])``.
+
+        Default bridge: materialize the child and defer to
+        :meth:`is_dominated`.  Checkers that can answer from the parent's
+        incremental signature override this and set
+        :attr:`supports_probe`.
+        """
+        return self.is_dominated(parent.child_placed(task, proc, s, f))
+
+    def telemetry(self) -> dict[str, int] | None:
+        """Post-solve counters for observability (``None`` = nothing).
+
+        Recognised keys the engine folds into :class:`SearchStats` and
+        the metrics registry: ``duplicate_pruned`` plus the transposition
+        table counters (``tt_hits``, ``tt_misses``, ``tt_inserts``,
+        ``tt_evictions``, ``tt_rejects``, ``tt_collisions``,
+        ``tt_filled``, ``tt_capacity``).
+        """
+        return None
 
 
 class _NoChecker(DominanceChecker):
@@ -87,6 +130,8 @@ class _StateChecker(DominanceChecker):
 
     def __init__(self, max_front: int) -> None:
         self.max_front = max_front
+        self.dominated_pruned = 0
+        self.front_evictions = 0
         self._fronts: dict[
             tuple[int, tuple[int, ...]],
             list[tuple[tuple[float, ...], tuple[float, ...]]],
@@ -127,10 +172,31 @@ class _StateChecker(DominanceChecker):
             if all(of <= nf for of, nf in zip(ofin, fin)) and all(
                 oa <= na for oa, na in zip(oav, av)
             ):
+                self.dominated_pruned += 1
                 return True
-        if len(front) < self.max_front:
-            front.append((fin, av))
+        # Bounded front with deterministic FIFO eviction: once a key's
+        # front is full, the oldest recorded state makes room.  Evicting
+        # only ever *loses* pruning power (a forgotten state can no
+        # longer dominate newcomers), so the bound never threatens
+        # soundness — and FIFO keeps runs reproducible, unlike the
+        # previous silent drop of every new entry at capacity.
+        if len(front) >= self.max_front:
+            front.pop(0)
+            self.front_evictions += 1
+        front.append((fin, av))
         return False
+
+    def telemetry(self) -> dict[str, int]:
+        return {
+            "dominated_pruned": self.dominated_pruned,
+            "front_evictions": self.front_evictions,
+            "front_keys": len(self._fronts),
+            "front_entries": sum(len(v) for v in self._fronts.values()),
+        }
+
+    def store_size(self) -> int:
+        """Total recorded states across all fronts (bound regression hook)."""
+        return sum(len(v) for v in self._fronts.values())
 
 
 class StateDominance(DominanceRule):
@@ -139,6 +205,8 @@ class StateDominance(DominanceRule):
     name = "state"
 
     def __init__(self, max_front: int = 64) -> None:
+        if max_front < 1:
+            raise ValueError("max_front must be >= 1")
         self.max_front = max_front
 
     def fresh(self) -> DominanceChecker:
@@ -148,6 +216,72 @@ class StateDominance(DominanceRule):
         return f"StateDominance(max_front={self.max_front})"
 
 
+class _ChainedChecker(DominanceChecker):
+    def __init__(self, checkers: list[DominanceChecker]) -> None:
+        self.checkers = checkers
+        self.is_noop = all(c.is_noop for c in checkers)
+        # The chain can be probed only if every stateful member can:
+        # probe and materialize-then-check must stay indistinguishable
+        # for each link, or the fused path would diverge from reference.
+        self.supports_probe = all(
+            c.is_noop or c.supports_probe for c in checkers
+        )
+
+    def is_dominated(self, state: SearchState) -> bool:
+        for c in self.checkers:
+            if c.is_dominated(state):
+                return True
+        return False
+
+    def probe_placement(
+        self, parent: SearchState, task: int, proc: int, s: float, f: float
+    ) -> bool:
+        for c in self.checkers:
+            if c.probe_placement(parent, task, proc, s, f):
+                return True
+        return False
+
+    def telemetry(self) -> dict[str, int] | None:
+        merged: dict[str, int] = {}
+        for c in self.checkers:
+            tel = c.telemetry()
+            if tel:
+                for k, v in tel.items():
+                    merged[k] = merged.get(k, 0) + v
+        return merged or None
+
+
+class ChainedDominance(DominanceRule):
+    """Short-circuit conjunction of dominance rules, checked in order.
+
+    A child is pruned when *any* member rule dominates it; each sound
+    member keeps the chain sound.  Used to compose the transposition
+    layer with :class:`StateDominance`'s Pareto front.
+
+    Order matters for economy, not soundness: put the cheapest / most
+    selective rule first.  Every member still observes each surviving
+    state (short-circuit skips later members on a prune, exactly as a
+    single combined checker would).
+    """
+
+    def __init__(self, *rules: DominanceRule) -> None:
+        if not rules:
+            raise ValueError("ChainedDominance needs at least one rule")
+        self.rules = rules
+        self.name = "+".join(r.name for r in rules)
+
+    def fresh(self) -> DominanceChecker:
+        return _ChainedChecker([r.fresh() for r in self.rules])
+
+    def __repr__(self) -> str:
+        return f"ChainedDominance({', '.join(map(repr, self.rules))})"
+
+
+#: Registry used by the CLI and parameter presets.  Values are rule
+#: *classes*; constructor keywords (``StateDominance(max_front=...)``,
+#: ``TranspositionDominance(table_bytes=..., policy=...)``) are wired
+#: through by the CLI.  ``repro.core.transposition`` registers its rule
+#: here on import.
 DOMINANCE_RULES: dict[str, type[DominanceRule]] = {
     NoDominance.name: NoDominance,
     StateDominance.name: StateDominance,

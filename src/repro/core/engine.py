@@ -246,6 +246,9 @@ def _final_metrics(
           stats.pruned_active)
     c("bnb_pruned_dominated_total",
       "Children discarded by the dominance rule D").inc(stats.pruned_dominated)
+    c("bnb_pruned_duplicate_total",
+      "Children discarded as duplicate states (transposition hits)").inc(
+          stats.pruned_duplicate)
     c("bnb_pruned_infeasible_total",
       "Children discarded by the characteristic function F").inc(
           stats.pruned_infeasible)
@@ -264,6 +267,30 @@ def _final_metrics(
     if not math.isinf(incumbent_cost):
         g("bnb_incumbent_cost",
           "Best maximum lateness found").set(incumbent_cost)
+
+
+def _tt_metrics(metrics: MetricsRegistry, tel: dict[str, int]) -> None:
+    """Fold transposition-table telemetry into the metrics registry."""
+    c = metrics.counter
+    for key, help_text in (
+        ("tt_hits", "Transposition probes answered by a stored duplicate"),
+        ("tt_misses", "Transposition probes that found no duplicate"),
+        ("tt_inserts", "States recorded in the transposition table"),
+        ("tt_evictions", "Stored states displaced by the replacement policy"),
+        ("tt_rejects", "Insertions refused by the depth-preferred policy"),
+        ("tt_collisions", "Equal 64-bit signatures with differing payloads"),
+    ):
+        if key in tel:
+            c(f"bnb_{key}_total", help_text).inc(tel[key])
+    g = metrics.gauge
+    if "tt_filled" in tel:
+        g("bnb_tt_filled_entries",
+          "Occupied transposition slots after the last run").set(
+              tel["tt_filled"])
+    if "tt_capacity" in tel:
+        g("bnb_tt_capacity_entries",
+          "Total transposition slots (memory bound / entry size)").set(
+              tel["tt_capacity"])
 
 
 class BranchAndBound:
@@ -941,8 +968,23 @@ class BranchAndBound:
         if lap is not None:
             lap("finalize")
 
+        # Fold the dominance checker's post-solve telemetry into the
+        # run's stats: transposition hits are split out of the dominated
+        # count into `pruned_duplicate` so reports break pruning down by
+        # rule (elimination vs dominance vs transposition).
+        dom_tel = dominance.telemetry()
+        if dom_tel:
+            dup = dom_tel.get("duplicate_pruned", 0)
+            if dup:
+                stats.pruned_duplicate = dup
+                stats.pruned_dominated -= dup
+
         if metrics is not None:
             _final_metrics(metrics, stats, incumbent_cost)
+            if dom_tel:
+                _tt_metrics(metrics, dom_tel)
+        if sink is not None and dom_tel and sink.accepts("tt"):
+            sink.emit("tt", {k: int(v) for k, v in dom_tel.items()})
         if sink is not None and sink.accepts("summary"):
             sink.emit(
                 "summary",

@@ -32,8 +32,9 @@ bounding into one pass with three ideas:
 
 Search-order parity: the pre-check is enabled only when the
 characteristic function admits everything, the dominance checker is a
-no-op, the bound is monotone and elimination is monotone in the bound.
-Under those conditions every non-goal child consumes a sequence number
+no-op *or supports the replay-consistent probe contract* (see below),
+the bound is monotone and elimination is monotone in the bound.  Under
+those conditions every non-goal child consumes a sequence number
 exactly as the reference loop would have (pre-checked children *are*
 reference-pruned children, and reference pruning happens after seq
 assignment), so heap tie-breaks — hence exploration order and all
@@ -41,6 +42,20 @@ statistics — are unchanged.  Outside those conditions the expander
 still runs (incremental bounds, scratch buffers) but discards nothing
 early, and stateful dominance checkers observe the exact reference
 child stream.
+
+Stateful dominance on the fast path: a checker advertising
+``supports_probe`` (the transposition layer) answers
+``probe_placement(parent, task, proc, s, f)`` identically to
+materializing the child and calling ``is_dominated`` — including store
+mutations.  The expander probes every non-goal placement *first*,
+before any bound-based discard, because that is where the reference
+loop runs dominance: before its post-expansion threshold filter.  A
+dominated child consumes no sequence number on either path; a probe
+survivor is recorded in the checker's store on both paths even if the
+pre-check then discards it (the reference loop records it and prunes it
+at the threshold filter).  Counters therefore stay byte-identical, and
+the lazy :class:`PendingChild` deferral stays on — nothing downstream
+of the probe inspects the child state.
 """
 
 from __future__ import annotations
@@ -132,6 +147,7 @@ class FusedExpander:
         "break_symmetry",
         "admits_all",
         "dom_noop",
+        "dom_probe",
         "precheck",
         "tail_check",
         "lazy_states",
@@ -163,18 +179,36 @@ class FusedExpander:
         self.break_symmetry = break_symmetry
         self.admits_all = charf.admits_all
         self.dom_noop = dominance.is_noop
+        # A probe-capable checker (transposition layer) is consulted at
+        # the top of the placement loop instead of on materialized
+        # children; only sound when the characteristic function admits
+        # everything (the reference loop runs it before dominance).
+        self.dom_probe = (
+            dominance.probe_placement
+            if (
+                self.admits_all
+                and not self.dom_noop
+                and dominance.supports_probe
+            )
+            else None
+        )
         # Early discards are sound only when nothing downstream of the
-        # bound test can observe the discarded child (see module doc).
+        # bound test can observe the discarded child (see module doc) —
+        # or when the one observer is a probe-capable checker consulted
+        # up front.
         self.precheck = (
             self.admits_all
-            and self.dom_noop
+            and (self.dom_noop or self.dom_probe is not None)
             and bound.monotone
             and elim.monotone_in_bound
         )
         self.tail_check = self.precheck and bound.tail_admissible
         # Child states may be deferred whenever nothing downstream of
-        # the bound inspects them (no filter, no dominance store).
-        self.lazy_states = self.admits_all and self.dom_noop
+        # the bound inspects them (no filter, and any dominance store is
+        # fed through the probe before deferral).
+        self.lazy_states = self.admits_all and (
+            self.dom_noop or self.dom_probe is not None
+        )
         # U/DBAS's threshold test is a bare comparison; inlining it
         # saves three method calls per child on the default config.
         self.fast_udbas = type(elim) is UDBASElimination
@@ -278,6 +312,7 @@ class FusedExpander:
         fast = self.fast_udbas
         admits_all = self.admits_all
         dom_noop = self.dom_noop
+        dom_probe = self.dom_probe
         eps = self._eps
         maxd = self._maxabs_deadline
         uses_lmin = self.uses_lmin
@@ -442,6 +477,14 @@ class FusedExpander:
                     s = earliest_start(task, proc, proc_of, fin, ap)
                 f = s + wt
 
+                if dom_probe is not None and dom_probe(state, task, proc, s, f):
+                    # Duplicate/dominated placement.  Probed before any
+                    # bound discard — the reference loop runs dominance
+                    # ahead of its threshold filter — and, like there, a
+                    # dominated child consumes no sequence number.
+                    dominated += 1
+                    continue
+
                 if precheck:
                     # Exact floor: monotone bounds satisfy
                     # L(child) >= max(L(parent), f - D_task).
@@ -508,8 +551,10 @@ class FusedExpander:
                     ):
                         infeasible += 1
                         continue
-                    if not dom_noop and self.dominance.is_dominated(
-                        child_state
+                    if (
+                        not dom_noop
+                        and dom_probe is None
+                        and self.dominance.is_dominated(child_state)
                     ):
                         dominated += 1
                         continue
@@ -536,8 +581,10 @@ class FusedExpander:
                     ):
                         infeasible += 1
                         continue
-                    if not dom_noop and self.dominance.is_dominated(
-                        child_state
+                    if (
+                        not dom_noop
+                        and dom_probe is None
+                        and self.dominance.is_dominated(child_state)
                     ):
                         dominated += 1
                         continue

@@ -69,6 +69,11 @@ from .expand import PendingChild
 from .params import BnBParameters
 from .state import SearchState
 from .stats import SearchStats
+from .transposition import (
+    PayloadCodec,
+    SharedTranspositionTable,
+    find_transposition,
+)
 from .vertex import Vertex
 
 __all__ = [
@@ -138,12 +143,19 @@ class SharedIncumbent:
 # ---------------------------------------------------------------------------
 
 _WORKER_CHANNEL: SharedIncumbent | None = None
+_WORKER_TT: SharedTranspositionTable | None = None
 
 
-def _init_worker(shared=None) -> None:
-    """Pool initializer: adopt the inherited shared-incumbent value."""
-    global _WORKER_CHANNEL
+def _init_worker(shared=None, tt_handle=None) -> None:
+    """Pool initializer: adopt the inherited shared-incumbent value and
+    attach the shared transposition segment (throughput mode only)."""
+    global _WORKER_CHANNEL, _WORKER_TT
     _WORKER_CHANNEL = SharedIncumbent(shared) if shared is not None else None
+    _WORKER_TT = (
+        SharedTranspositionTable.from_handle(tt_handle)
+        if tt_handle is not None
+        else None
+    )
 
 
 def _run_shard(
@@ -183,6 +195,9 @@ class _BlockOutcome:
     #: ``(shard_index, [(kind, payload), ...])`` per executed shard when
     #: event collection was requested, else empty.
     events: list = field(default_factory=list)
+    #: This worker's transposition-table telemetry (process-local view
+    #: of the shared store), when the transposition layer was active.
+    tt: dict | None = None
 
 
 def _run_block(
@@ -202,6 +217,13 @@ def _run_block(
     shared channel while it runs.
     """
     channel = _WORKER_CHANNEL
+    # Bind the dominance rule's transposition member (the rule arrived
+    # pickled without runtime handles) to this process's attachment of
+    # the shared segment, so every shard in the block prunes against —
+    # and feeds — the same global store.
+    tt_rule = find_transposition(params.dominance)
+    if tt_rule is not None and _WORKER_TT is not None:
+        tt_rule.bind_shared(_WORKER_TT)
     elim = params.elimination
     stats = SearchStats()
     best_cost = math.inf
@@ -255,6 +277,7 @@ def _run_block(
         shards_run=run,
         shards_stale=stale,
         events=events,
+        tt=tt_rule.telemetry_total() if tt_rule is not None else None,
     )
 
 
@@ -476,6 +499,11 @@ class ParallelReport:
     reruns: int = 0
     #: Throughput mode: per-worker merged counters, in worker order.
     worker_stats: tuple = ()
+    #: Merged transposition-table telemetry (coordinator + workers) when
+    #: the transposition layer was active, else None.  Counter keys are
+    #: summed across processes (each global event happens in exactly one
+    #: process); ``tt_capacity`` is the shared geometry.
+    tt_stats: dict | None = None
 
 
 class ParallelBnB:
@@ -550,6 +578,15 @@ class ParallelBnB:
                     "(use deterministic=False, or max_vertices, which "
                     "is replayed exactly)"
                 )
+        if find_transposition(self.params.dominance) is not None:
+            raise ConfigurationError(
+                "deterministic parallel mode does not support the "
+                "transposition layer: the sequential engine feeds one "
+                "table across the whole tree, which per-shard replay "
+                "cannot reproduce bit-exactly (use deterministic=False "
+                "for the shared-table throughput mode, or solve "
+                "sequentially)"
+            )
         sink = self.obs.sink if self.obs is not None else None
         executor = ProcessPoolExecutor(
             max_workers=self.workers, mp_context=self._ctx()
@@ -578,6 +615,34 @@ class ParallelBnB:
     def _solve_throughput(self, problem: CompiledProblem) -> BnBResult:
         t0 = time.perf_counter()
         params = self.params
+        tt_rule = find_transposition(params.dominance)
+        shared_tt = None
+        tt_mark = 0
+        if tt_rule is not None:
+            # One lock-striped shared segment for the whole solve: the
+            # coordinator's shallow pass seeds it, worker shards prune
+            # against (and feed) it.  The coordinator owns its lifetime.
+            shared_tt = SharedTranspositionTable.create(
+                tt_rule.table_bytes,
+                PayloadCodec.for_problem(problem),
+                tt_rule.policy,
+                ctx=self._ctx(),
+            )
+            tt_rule.bind_shared(shared_tt)
+            tt_mark = tt_rule.spawn_mark()
+        try:
+            return self._throughput_run(
+                problem, t0, tt_rule, shared_tt, tt_mark
+            )
+        finally:
+            if shared_tt is not None:
+                tt_rule.bind_shared(None)
+                shared_tt.close()
+
+    def _throughput_run(
+        self, problem: CompiledProblem, t0, tt_rule, shared_tt, tt_mark
+    ) -> BnBResult:
+        params = self.params
         collector = _FrontierCollector(self.split_depth, problem, params)
         engine = BranchAndBound(params, obs=self.obs, fused=self.fused)
         shallow = engine.solve(problem, dispatcher=collector)
@@ -590,6 +655,11 @@ class ParallelBnB:
                 workers=self.workers,
                 split_depth=self.split_depth,
                 shards=len(shards),
+                tt_stats=(
+                    tt_rule.telemetry_total(tt_mark)
+                    if tt_rule is not None
+                    else None
+                ),
             )
             return shallow
 
@@ -627,7 +697,10 @@ class ParallelBnB:
                 max_workers=len(blocks),
                 mp_context=ctx,
                 initializer=_init_worker,
-                initargs=(shared,),
+                initargs=(
+                    shared,
+                    shared_tt.handle() if shared_tt is not None else None,
+                ),
             )
             try:
                 futures = [
@@ -678,6 +751,20 @@ class ParallelBnB:
             if found and best_cost < shallow.initial_upper_bound
             else shallow.incumbent_source
         )
+        tt_stats = None
+        if tt_rule is not None:
+            tt_stats = tt_rule.telemetry_total(tt_mark)
+            for outcome in outcomes:
+                if not outcome.tt:
+                    continue
+                for k, v in outcome.tt.items():
+                    if k == "tt_capacity":
+                        tt_stats[k] = v
+                    else:
+                        # Process-local views sum to the global count:
+                        # every hit/miss/insert/fill happens in exactly
+                        # one process.
+                        tt_stats[k] = tt_stats.get(k, 0) + v
         self.last_report = ParallelReport(
             mode="throughput",
             workers=self.workers,
@@ -686,6 +773,7 @@ class ParallelBnB:
             shards_stale=(len(shards) - len(live))
             + sum(o.shards_stale for o in outcomes),
             worker_stats=tuple(worker_stats),
+            tt_stats=tt_stats,
         )
         return BnBResult(
             problem=problem,

@@ -13,7 +13,8 @@ from dataclasses import dataclass, field, replace
 from ..errors import ConfigurationError
 from .branching import BF1Branching, BFnBranching, BranchingRule, DFBranching
 from .bounds import LB0, LB1, LowerBound
-from .dominance import DominanceRule, NoDominance
+from .dominance import ChainedDominance, DominanceRule, NoDominance
+from .transposition import TranspositionDominance
 from .elimination import EliminationRule, UDBASElimination
 from .feasibility import CharacteristicFunction, NoFilter
 from .resources import ResourceBounds
@@ -89,6 +90,24 @@ class BnBParameters:
     def evolve(self, **changes) -> "BnBParameters":
         """Functional update (rules are stateless and shareable)."""
         return replace(self, **changes)
+
+    def with_transposition(
+        self, table_bytes: int = 16 << 20, policy: str = "depth"
+    ) -> "BnBParameters":
+        """Compose the duplicate-state transposition layer onto ``D``.
+
+        When a dominance rule is already configured the transposition
+        table is chained *first* (an O(1) hash probe is cheaper than a
+        Pareto-front scan); with :class:`NoDominance` it simply replaces
+        it.  Pruning exact duplicates is sound for every ``<B, S, E, L>``
+        combination because the first instance of a state is either
+        explored or itself soundly pruned, so duplicate subtrees cannot
+        contain a strictly better completion.
+        """
+        tt = TranspositionDominance(table_bytes=table_bytes, policy=policy)
+        if isinstance(self.dominance, NoDominance):
+            return self.evolve(dominance=tt)
+        return self.evolve(dominance=ChainedDominance(tt, self.dominance))
 
     # ------------------------------------------------------------------
     # Presets matching the paper's evaluation

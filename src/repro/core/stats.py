@@ -32,6 +32,10 @@ class SearchStats:
     pruned_active: int = 0
     #: Children discarded by the dominance rule D.
     pruned_dominated: int = 0
+    #: Children discarded as duplicates of an already-seen state (the
+    #: transposition layer; split out of ``pruned_dominated`` post-solve
+    #: so reports can attribute pruning per rule).
+    pruned_duplicate: int = 0
     #: Children discarded by the characteristic function F.
     pruned_infeasible: int = 0
     #: Vertices dropped by MAXSZAS / MAXSZDB overflow.
@@ -84,6 +88,7 @@ class SearchStats:
         self.pruned_children += other.pruned_children
         self.pruned_active += other.pruned_active
         self.pruned_dominated += other.pruned_dominated
+        self.pruned_duplicate += other.pruned_duplicate
         self.pruned_infeasible += other.pruned_infeasible
         self.dropped_resource += other.dropped_resource
         self.goals_evaluated += other.goals_evaluated
@@ -100,6 +105,7 @@ class SearchStats:
             self.pruned_children
             + self.pruned_active
             + self.pruned_dominated
+            + self.pruned_duplicate
             + self.pruned_infeasible
         )
 
@@ -115,6 +121,7 @@ class SearchStats:
             "pruned_children": self.pruned_children,
             "pruned_active": self.pruned_active,
             "pruned_dominated": self.pruned_dominated,
+            "pruned_duplicate": self.pruned_duplicate,
             "pruned_infeasible": self.pruned_infeasible,
             "dropped_resource": self.dropped_resource,
             "goals_evaluated": self.goals_evaluated,

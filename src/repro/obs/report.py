@@ -39,6 +39,8 @@ class TraceReport:
     )
     #: Resource events (TIMELIMIT / MAXSZAS / MAXSZDB / MAXVERT).
     resources: list[dict[str, Any]] = field(default_factory=list)
+    #: The post-solve transposition-table telemetry event, if present.
+    tt: dict[str, Any] | None = None
     #: Lines that failed to parse as JSON objects.
     malformed_lines: int = 0
 
@@ -104,7 +106,21 @@ def _parse(fh: IO[str], path: str) -> TraceReport:
             )
         elif kind == "resource":
             report.resources.append(record)
+        elif kind == "tt":
+            report.tt = record
     return report
+
+
+#: Per-rule attribution of the engine's pruning counters: the stats key
+#: and which of the 9-tuple's knobs (or engine mechanism) discarded the
+#: vertex.
+_PRUNE_RULES = (
+    ("pruned_children", "elimination E (bound vs threshold)"),
+    ("pruned_active", "incumbent sweep (U/DBAS)"),
+    ("pruned_dominated", "dominance D"),
+    ("pruned_duplicate", "transposition (duplicate state)"),
+    ("pruned_infeasible", "characteristic F"),
+)
 
 
 def _simple_table(rows: list[tuple[str, ...]]) -> str:
@@ -175,6 +191,49 @@ def render_trace_report(report: TraceReport, max_profile_rows: int = 20) -> str:
             kind = rec.get("kind", "?")
             detail = rec.get("detail", "")
             out.append(f"  {kind} {detail}".rstrip())
+
+    stats_for_pruning = (report.summary or {}).get("stats") or {}
+    pruned_total = sum(
+        int(stats_for_pruning.get(key, 0)) for key, _ in _PRUNE_RULES
+    )
+    if pruned_total:
+        out.append("")
+        out.append("pruning breakdown by rule:")
+        rows = [("rule", "pruned", "share")]
+        for key, label in _PRUNE_RULES:
+            count = int(stats_for_pruning.get(key, 0))
+            if count:
+                rows.append(
+                    (label, f"{count:,}", f"{count / pruned_total:.1%}")
+                )
+        out.append(_simple_table(rows))
+
+    if report.tt is not None:
+        tt = report.tt
+        probes = int(tt.get("tt_hits", 0)) + int(tt.get("tt_misses", 0))
+        hit_rate = (
+            f" ({tt.get('tt_hits', 0) / probes:.1%} hit rate)"
+            if probes else ""
+        )
+        out.append("")
+        out.append("transposition table:")
+        out.append(
+            f"  duplicates pruned: {tt.get('duplicate_pruned', 0):,}"
+            f"{hit_rate}"
+        )
+        out.append(
+            f"  probes: {probes:,} "
+            f"(hits={tt.get('tt_hits', 0):,} "
+            f"misses={tt.get('tt_misses', 0):,} "
+            f"collisions={tt.get('tt_collisions', 0):,})"
+        )
+        out.append(
+            f"  store: {tt.get('tt_filled', 0):,}/"
+            f"{tt.get('tt_capacity', 0):,} entries "
+            f"(inserts={tt.get('tt_inserts', 0):,} "
+            f"evictions={tt.get('tt_evictions', 0):,} "
+            f"rejects={tt.get('tt_rejects', 0):,})"
+        )
 
     if report.summary is not None:
         out.append("")

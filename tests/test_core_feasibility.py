@@ -1,0 +1,118 @@
+"""Dedicated tests for the characteristic functions (``repro.core.feasibility``).
+
+:class:`LatenessTargetFilter` turns the B&B into a feasibility search;
+soundness here means it never discards the true optimum when the target
+admits it.  Verified against the independent exhaustive oracle on seeded
+DAGs: with a target at (or above) the optimum the engine must return a
+schedule meeting it, and with a target strictly below the optimum it
+must never *claim* one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BnBParameters, BranchAndBound
+from repro.core.feasibility import (
+    CHARACTERISTIC_FUNCTIONS,
+    LatenessTargetFilter,
+    NoFilter,
+)
+from repro.core.state import root_state
+from repro.model import compile_problem, shared_bus_platform
+from repro.workload import WorkloadSpec, generate_task_graph
+
+from oracle import oracle_optimum, oracle_schedule_cost
+
+SPEC = WorkloadSpec(num_tasks=(4, 6), depth=(2, 4))
+SEEDS = range(12)
+
+
+def _problem(seed: int):
+    graph = generate_task_graph(SPEC, seed=seed)
+    m = 3 if len(graph) <= 4 else 2
+    return compile_problem(graph, shared_bus_platform(m))
+
+
+# ---------------------------------------------------------------------------
+# Soundness against the independent oracle
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_target_at_optimum_is_reached(seed):
+    """A target the oracle proves achievable must be achieved.
+
+    The filter prunes on admissible lower bounds, so the optimal path is
+    admitted all the way down; the search stops at the first incumbent
+    meeting the target, which is therefore within ``[optimum, target]``.
+    """
+    problem = _problem(seed)
+    optimum = oracle_optimum(problem)
+    target = optimum + 1e-6
+    params = BnBParameters(characteristic=LatenessTargetFilter(target))
+    result = BranchAndBound(params).solve(problem)
+    assert result.found_solution
+    assert result.best_cost <= target + 1e-9
+    assert result.best_cost >= optimum - 1e-9
+    # The schedule is real, not just a reported number.
+    assert oracle_schedule_cost(
+        problem, result.proc_of, result.start
+    ) == pytest.approx(result.best_cost, abs=1e-9)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_unreachable_target_is_never_claimed(seed):
+    """With the target strictly below the optimum, no schedule at or
+    below it can exist — the engine must not fabricate one."""
+    problem = _problem(seed)
+    optimum = oracle_optimum(problem)
+    target = optimum - 0.5
+    params = BnBParameters(characteristic=LatenessTargetFilter(target))
+    result = BranchAndBound(params).solve(problem)
+    if result.found_solution:
+        assert result.best_cost > target + 1e-9
+        assert result.best_cost >= optimum - 1e-9
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_filter_stops_early_without_losing_validity(seed):
+    """The feasibility search does no more work than full optimization,
+    and whatever schedule it returns is valid."""
+    problem = _problem(seed)
+    optimum = oracle_optimum(problem)
+    full = BranchAndBound(BnBParameters()).solve(problem)
+    filtered = BranchAndBound(
+        BnBParameters(characteristic=LatenessTargetFilter(optimum + 1e-6))
+    ).solve(problem)
+    assert filtered.stats.generated <= full.stats.generated
+    if filtered.found_solution:
+        filtered.schedule().validate()
+
+
+# ---------------------------------------------------------------------------
+# Unit behaviour
+# ---------------------------------------------------------------------------
+
+
+def test_no_filter_admits_everything():
+    problem = _problem(0)
+    f = NoFilter()
+    assert f.admits_all is True
+    assert f.early_stop_cost is None
+    assert f.admits(root_state(problem), float("inf")) is True
+
+
+def test_lateness_filter_admits_by_bound():
+    problem = _problem(0)
+    state = root_state(problem)
+    f = LatenessTargetFilter(target=0.0)
+    assert f.admits_all is False
+    assert f.early_stop_cost == 0.0
+    assert f.admits(state, -1.0) is True
+    assert f.admits(state, 0.0) is True
+    assert f.admits(state, 0.5) is False
+
+
+def test_registry_exposes_both_functions():
+    assert set(CHARACTERISTIC_FUNCTIONS) == {"none", "lateness-target"}
