@@ -40,7 +40,13 @@ from .core.dominance import (
     DominanceRule,
     StateDominance,
 )
-from .core.engine import BranchAndBound
+from .core.checkpoint import (
+    Checkpointer,
+    StopToken,
+    graceful_interrupts,
+    load_checkpoint,
+)
+from .core.engine import BranchAndBound, SolveStatus
 from .core.transposition import (
     TT_POLICIES,
     TranspositionDominance,
@@ -49,7 +55,8 @@ from .core.transposition import (
 from .core.params import BnBParameters
 from .core.resources import ResourceBounds
 from .core.selection import SELECTION_RULES
-from .errors import ReproError
+from .errors import ConfigurationError, ReproError
+from .model.compile import compile_problem
 from .experiments.registry import EXPERIMENTS, run_by_name
 from .experiments.report import render
 from .experiments.runner import EDF_LABEL
@@ -160,6 +167,26 @@ def build_parser() -> argparse.ArgumentParser:
     slv.add_argument("--br", type=float, default=0.0, help="inaccuracy limit")
     slv.add_argument("--time-limit", type=float, default=None)
     slv.add_argument("--max-vertices", type=float, default=None)
+    slv.add_argument(
+        "--max-memory-mb", type=float, default=None, metavar="MB",
+        help="stop gracefully when resident memory exceeds this many MiB "
+        "(anytime result, status 'memory')",
+    )
+    slv.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="periodically write an atomic search snapshot to PATH; a "
+        "killed run continues from it with --resume",
+    )
+    slv.add_argument(
+        "--checkpoint-every", type=_positive_int, default=2000, metavar="N",
+        help="explored-vertex interval between snapshots (default 2000)",
+    )
+    slv.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="resume a checkpointed search: the graph and the "
+        "search-shaping flags must match the original run (fingerprint "
+        "checked); resource limits may differ",
+    )
     slv.add_argument("--gantt", action="store_true", help="print the schedule")
     slv.add_argument(
         "--chart", action="store_true", help="print an ASCII Gantt chart"
@@ -381,6 +408,8 @@ def _cmd_solve(args) -> int:
         rb_kwargs["time_limit"] = args.time_limit
     if args.max_vertices is not None:
         rb_kwargs["max_vertices"] = args.max_vertices
+    if args.max_memory_mb is not None:
+        rb_kwargs["max_memory_bytes"] = args.max_memory_mb * (1 << 20)
     dom_kwargs = {}
     dominance = _build_dominance(args)
     if dominance is not None:
@@ -411,7 +440,14 @@ def _cmd_solve(args) -> int:
         metrics=MetricsRegistry() if args.metrics_out else None,
         progress=ProgressReporter() if args.progress else None,
     )
+    if args.workers and (args.checkpoint or args.resume):
+        raise ConfigurationError(
+            "--checkpoint/--resume apply to the in-process engine only; "
+            "drop --workers (parallel workers recover via the "
+            "supervision layer instead)"
+        )
     parallel = None
+    snapshot = load_checkpoint(args.resume) if args.resume else None
     try:
         if args.workers:
             from .core.parallel import ParallelBnB
@@ -428,12 +464,32 @@ def _cmd_solve(args) -> int:
                 graph, shared_bus_platform(args.processors)
             )
         else:
-            result = BranchAndBound(params, trace=trace, obs=obs).solve_graph(
+            checkpointer = (
+                Checkpointer(args.checkpoint, every=args.checkpoint_every)
+                if args.checkpoint
+                else None
+            )
+            problem = compile_problem(
                 graph, shared_bus_platform(args.processors)
             )
+            token = StopToken()
+            with graceful_interrupts(token):
+                result = BranchAndBound(params, trace=trace, obs=obs).solve(
+                    problem,
+                    checkpoint=checkpointer,
+                    resume=snapshot,
+                    stop=token,
+                )
     finally:
         obs.close()
     print(f"parameters: {params.describe()}")
+    if snapshot is not None:
+        stats0 = snapshot.stats
+        print(
+            f"resumed: {args.resume} (version {snapshot.version}, "
+            f"{stats0.get('explored', 0)} explored / "
+            f"{stats0.get('generated', 0)} generated before the restart)"
+        )
     if parallel is not None and parallel.last_report is not None:
         rep = parallel.last_report
         extra = (
@@ -445,6 +501,16 @@ def _cmd_solve(args) -> int:
             f"parallel: mode={rep.mode} workers={rep.workers} "
             f"split-depth={rep.split_depth} shards={rep.shards}{extra}"
         )
+        if rep.worker_restarts or rep.shard_retries or rep.quarantined:
+            quarantined = (
+                ",".join(str(i) for i in rep.quarantined)
+                if rep.quarantined
+                else "none"
+            )
+            print(
+                f"supervision: restarts={rep.worker_restarts} "
+                f"retries={rep.shard_retries} quarantined={quarantined}"
+            )
     tt_rule = find_transposition(params.dominance)
     if tt_rule is not None:
         if parallel is not None and parallel.last_report is not None:
@@ -469,6 +535,8 @@ def _cmd_solve(args) -> int:
     if args.metrics_out and obs.metrics is not None:
         obs.metrics.write(args.metrics_out)
         print(f"wrote {args.metrics_out}")
+    if result.status is SolveStatus.INTERRUPTED:
+        return 130  # conventional signal exit; the summary above is anytime
     return 0 if result.found_solution else 1
 
 

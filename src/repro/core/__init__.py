@@ -21,6 +21,15 @@ from .dominance import (
     NoDominance,
     StateDominance,
 )
+from .checkpoint import (
+    Checkpointer,
+    SearchCheckpoint,
+    StopToken,
+    graceful_interrupts,
+    load_checkpoint,
+    problem_fingerprint,
+    write_checkpoint,
+)
 from .elimination import (
     ELIMINATION_RULES,
     EliminationRule,
@@ -43,14 +52,16 @@ from .feasibility import (
     NoFilter,
 )
 from .parallel import (
+    FaultPlan,
     ParallelBnB,
     ParallelReport,
     SharedIncumbent,
+    ShardFault,
     default_worker_count,
     solve_parallel,
 )
 from .params import CHILD_ORDERS, BnBParameters
-from .resources import UNBOUNDED, ResourceBounds
+from .resources import UNBOUNDED, ResourceBounds, current_rss_bytes
 from .selection import (
     SELECTION_RULES,
     DepthBiasedLLBSelection,
@@ -94,6 +105,7 @@ __all__ = [
     "CHILD_ORDERS",
     "ChainedDominance",
     "CharacteristicFunction",
+    "Checkpointer",
     "ConstantUpperBound",
     "DFBranching",
     "DepthBiasedLLBSelection",
@@ -104,6 +116,7 @@ __all__ = [
     "EliminationRule",
     "ExploreEvent",
     "FIFOSelection",
+    "FaultPlan",
     "FixedOrderBranching",
     "LB0",
     "LB1",
@@ -122,14 +135,17 @@ __all__ = [
     "PayloadCodec",
     "ResourceBounds",
     "SELECTION_RULES",
+    "SearchCheckpoint",
     "SearchState",
     "SearchStats",
     "SelectionRule",
     "SharedIncumbent",
     "SharedTranspositionTable",
+    "ShardFault",
     "IncumbentEvent",
     "SolveStatus",
     "StateDominance",
+    "StopToken",
     "SubtreeDispatcher",
     "SubtreeSpec",
     "TT_POLICIES",
@@ -143,10 +159,15 @@ __all__ = [
     "UpperBoundProvider",
     "Vertex",
     "child_signature",
+    "current_rss_bytes",
     "default_worker_count",
     "find_transposition",
+    "graceful_interrupts",
+    "load_checkpoint",
+    "problem_fingerprint",
     "pruning_threshold",
     "root_state",
     "solve",
     "solve_parallel",
+    "write_checkpoint",
 ]

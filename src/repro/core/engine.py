@@ -35,7 +35,11 @@ from dataclasses import dataclass
 from enum import Enum
 from operator import attrgetter
 
-from ..errors import ResourceLimitExceeded
+from ..errors import (
+    CheckpointError,
+    ConfigurationError,
+    ResourceLimitExceeded,
+)
 from ..model.compile import CompiledProblem, compile_problem
 from ..model.platform import Platform
 from ..model.schedule import Schedule
@@ -47,9 +51,16 @@ from ..obs.metrics import (
     MetricsRegistry,
 )
 from ..obs.profile import PhaseBreakdown
+from .checkpoint import (
+    Checkpointer,
+    SearchCheckpoint,
+    StopToken,
+    problem_fingerprint,
+)
 from .elimination import UDBASElimination, pruning_threshold
 from .expand import FusedExpander
 from .params import BnBParameters
+from .resources import current_rss_bytes
 from .state import root_state
 from .stats import SearchStats
 from .trace import TraceRecorder
@@ -94,6 +105,11 @@ class SolveStatus(Enum):
     TARGET_REACHED = "target-reached"
     #: TIMELIMIT expired; best solution found so far.
     TIMEOUT = "timeout"
+    #: SIGINT/SIGTERM (or a :class:`~repro.core.checkpoint.StopToken`)
+    #: stopped the loop cooperatively; best solution found so far.
+    INTERRUPTED = "interrupted"
+    #: The MEMLIMIT resident-set ceiling tripped; best solution so far.
+    MEMORY = "memory"
     #: A storage bound dropped vertices; best solution found so far.
     TRUNCATED = "truncated"
     #: No complete schedule at or below the initial bound was found
@@ -128,10 +144,32 @@ class BnBResult:
     stats: SearchStats
     #: Per-phase timing, present when a profiler was attached.
     profile: PhaseBreakdown | None = None
+    #: Smallest lower bound among vertices still open when an early stop
+    #: (interrupt/timeout/memory, or a MAXVERT cap with nothing dropped)
+    #: ended the search; None when the search completed or when dropped
+    #: vertices make the remaining bounds meaningless.
+    open_lower_bound: float | None = None
+    #: Where the final snapshot was written, when checkpointing was on.
+    checkpoint_path: str | None = None
 
     @property
     def found_solution(self) -> bool:
         return self.proc_of is not None
+
+    @property
+    def optimality_gap(self) -> float | None:
+        """Upper bound on ``best_cost - optimum`` for early-stopped runs.
+
+        Every unexplored solution lies below some open vertex, so the
+        optimum is at least ``min(open_lower_bound, best_cost)``; the
+        gap is how far above that floor the incumbent sits.  ``None``
+        when no bound can be claimed (no solution, or no open-bound
+        information — completed runs express their guarantee through
+        ``status`` instead).
+        """
+        if not self.found_solution or self.open_lower_bound is None:
+            return None
+        return max(0.0, self.best_cost - self.open_lower_bound)
 
     @property
     def is_feasible(self) -> bool:
@@ -151,6 +189,11 @@ class BnBResult:
             f"(U={self.initial_upper_bound:g}, from {self.incumbent_source}); "
             f"{self.stats.summary()}"
         )
+        gap = self.optimality_gap
+        if gap is not None:
+            base += f"\ngap: <= {gap:g} (best open bound {self.open_lower_bound:g})"
+        if self.checkpoint_path is not None:
+            base += f"\ncheckpoint: {self.checkpoint_path}"
         if self.profile is not None:
             return f"{base}\n{self.profile.summary()}"
         return base
@@ -337,6 +380,9 @@ class BranchAndBound:
         subtree: SubtreeSpec | None = None,
         dispatcher: SubtreeDispatcher | None = None,
         bound_channel=None,
+        checkpoint: Checkpointer | None = None,
+        resume: SearchCheckpoint | None = None,
+        stop: StopToken | None = None,
     ) -> BnBResult:
         """Run the Figure 1 loop on a compiled problem.
 
@@ -356,13 +402,50 @@ class BranchAndBound:
           concurrent searches share pruning power.  An externally
           polled bound tightens the threshold but never becomes the
           returned schedule (the worker that published it owns that).
+
+        The fault-tolerance hooks (see :mod:`repro.core.checkpoint`)
+        likewise default to off:
+
+        * ``checkpoint`` — a :class:`~repro.core.checkpoint.Checkpointer`
+          that periodically snapshots the search (and always writes a
+          final snapshot on an early stop).
+        * ``resume`` — a loaded
+          :class:`~repro.core.checkpoint.SearchCheckpoint` to continue
+          from; its fingerprint must match this ⟨problem, parameters⟩
+          pair.
+        * ``stop`` — a :class:`~repro.core.checkpoint.StopToken`; when
+          set (e.g. by a signal handler), the loop stops at the next
+          iteration and returns an ``INTERRUPTED`` anytime result.
         """
         params = self.params
+        if (checkpoint is not None or resume is not None) and (
+            subtree is not None or dispatcher is not None
+        ):
+            raise ConfigurationError(
+                "checkpoint/resume cannot be combined with the parallel "
+                "decomposition hooks (subtree/dispatcher) — checkpoint "
+                "the coordinating run instead"
+            )
+        if resume is not None:
+            expected = problem_fingerprint(problem, params)
+            if resume.fingerprint != expected:
+                raise CheckpointError(
+                    "checkpoint does not match this problem/parametrization "
+                    f"(snapshot fingerprint {resume.fingerprint[:12]}…, "
+                    f"expected {expected[:12]}…); only resource bounds RB "
+                    "may differ between the checkpointing and resuming runs"
+                )
+            if checkpoint is not None:
+                checkpoint.resume_from(resume)
         rb = params.resources
         bound = params.lower_bound
         elim = params.elimination
         charf = params.characteristic
-        stats = SearchStats()
+        stats = (
+            SearchStats.from_dict(resume.stats)
+            if resume is not None
+            else SearchStats()
+        )
 
         # Observability components, hoisted to locals for the hot loop.
         obs = self.obs
@@ -417,27 +500,39 @@ class BranchAndBound:
         try:
             # Step 1-2: root vertex cost from the upper bound U; the
             # initial solution (if U supplies one) is the incumbent to beat.
-            if subtree is not None:
-                # Sub-search: the incumbent travelled with the spec; the
-                # upper-bound provider already ran in the coordinator.
-                incumbent_cost = subtree.incumbent_cost
+            if resume is not None:
+                # The incumbent (and everything around it) travelled
+                # with the snapshot; U already ran in the original run.
+                incumbent_cost = resume.incumbent_cost
                 initial_solution = None
+                initial_upper_bound = resume.initial_upper_bound
+                best_proc: tuple[int, ...] | None = resume.best_proc
+                best_start: tuple[float, ...] | None = resume.best_start
+                found_cost = resume.found_cost
+                incumbent_source = resume.incumbent_source
             else:
-                incumbent_cost, initial_solution = params.upper_bound.initial(
-                    problem
-                )
-            initial_upper_bound = incumbent_cost
-            if initial_solution is not None:
-                best_proc: tuple[int, ...] | None = initial_solution.proc_of
-                best_start: tuple[float, ...] | None = initial_solution.start
-            else:
-                best_proc = None
-                best_start = None
-            # ``found_cost`` is the cost of the schedule behind
-            # best_proc/best_start; it trails ``incumbent_cost`` only
-            # when an externally polled bound tightened the threshold.
-            found_cost = incumbent_cost
-            incumbent_source = "initial-upper-bound"
+                if subtree is not None:
+                    # Sub-search: the incumbent travelled with the spec;
+                    # the upper-bound provider already ran in the
+                    # coordinator.
+                    incumbent_cost = subtree.incumbent_cost
+                    initial_solution = None
+                else:
+                    incumbent_cost, initial_solution = (
+                        params.upper_bound.initial(problem)
+                    )
+                initial_upper_bound = incumbent_cost
+                if initial_solution is not None:
+                    best_proc = initial_solution.proc_of
+                    best_start = initial_solution.start
+                else:
+                    best_proc = None
+                    best_start = None
+                # ``found_cost`` is the cost of the schedule behind
+                # best_proc/best_start; it trails ``incumbent_cost`` only
+                # when an externally polled bound tightened the threshold.
+                found_cost = incumbent_cost
+                incumbent_source = "initial-upper-bound"
             threshold = pruning_threshold(incumbent_cost, params.inaccuracy)
             if trace is not None:
                 trace.on_start(incumbent_cost)
@@ -483,7 +578,37 @@ class BranchAndBound:
             max_vertices = rb.max_vertices
             untimed = math.isinf(rb.time_limit)
 
-            if subtree is not None:
+            if resume is not None:
+                # Refill the active set from the snapshot.  States are
+                # re-bound to the live problem object (unpickling gave
+                # them an equal but distinct recompilation); vertices
+                # are rebuilt without the fused path's incremental
+                # vectors, which the expander recomputes identically.
+                restored = []
+                for rs, rlb, rseq in resume.frontier:
+                    rs.problem = problem
+                    restored.append(Vertex(rs, rlb, rseq))
+                frontier.restore(restored)
+                seq = resume.seq
+                if len(restored) > stats.peak_active:
+                    stats.peak_active = len(restored)
+                if sink is not None and sink.accepts("resume"):
+                    sink.emit(
+                        "resume",
+                        {
+                            "version": resume.version,
+                            "frontier": len(restored),
+                            "generated": stats.generated,
+                            "explored": stats.explored,
+                            "incumbent": _json_num(incumbent_cost),
+                        },
+                    )
+                if metrics is not None:
+                    metrics.counter(
+                        "bnb_checkpoint_loaded_total",
+                        "Search snapshots resumed from",
+                    ).inc()
+            elif subtree is not None:
                 # Resume mid-tree.  The root was generated (and counted)
                 # by the coordinator, so the local generated counter
                 # starts at zero and the local MAXVERT allowance is the
@@ -496,6 +621,10 @@ class BranchAndBound:
                 else:
                     root = Vertex(rs, subtree.lower_bound, 0)
                 stats.generated = 0
+                seq = 1
+                if not elim.should_prune(root.lower_bound, threshold):
+                    frontier.push(root)
+                    stats.peak_active = 1
             else:
                 if expander is not None:
                     root = expander.root()
@@ -503,13 +632,79 @@ class BranchAndBound:
                     rs = root_state(problem)
                     root = Vertex(rs, bound.evaluate(rs), 0)
                 stats.generated = 1
-            seq = 1
-            if not elim.should_prune(root.lower_bound, threshold):
-                frontier.push(root)
-                stats.peak_active = 1
+                seq = 1
+                if not elim.should_prune(root.lower_bound, threshold):
+                    frontier.push(root)
+                    stats.peak_active = 1
 
             target_reached = False
             early_stop = charf.early_stop_cost
+
+            # Fault-tolerance plumbing: all hoisted to locals so the
+            # default configuration pays one None-check per iteration.
+            fingerprint = None
+            if checkpoint is not None:
+                fingerprint = (
+                    resume.fingerprint
+                    if resume is not None
+                    else problem_fingerprint(problem, params)
+                )
+            stop_is_set = stop.is_set if stop is not None else None
+            unmemed = math.isinf(rb.max_memory_bytes)
+            #: The in-hand vertex at an early stop: popped, unexpanded,
+            #: so still part of the open search (snapshots and the open
+            #: lower bound must include it).
+            pending_vertex = None
+
+            def _snapshot() -> SearchCheckpoint:
+                in_hand = (
+                    [pending_vertex] if pending_vertex is not None else []
+                )
+                counters = stats.as_dict()
+                counters["elapsed"] = stats.time_since_start()
+                return SearchCheckpoint(
+                    fingerprint=fingerprint,
+                    frontier=[
+                        (v.state, v.lower_bound, v.seq)
+                        for v in in_hand + frontier.export()
+                    ],
+                    seq=seq,
+                    incumbent_cost=incumbent_cost,
+                    found_cost=found_cost,
+                    best_proc=best_proc,
+                    best_start=best_start,
+                    incumbent_source=incumbent_source,
+                    initial_upper_bound=initial_upper_bound,
+                    stats=counters,
+                )
+
+            def _limit_exceeded(which: str, detail: str) -> None:
+                # fail_on_exhaustion path: raise, but hand the caller
+                # the anytime result it would otherwise have received.
+                stats.stop_clock()
+                if best_proc is None:
+                    pstatus = SolveStatus.FAILED
+                elif which == "TIMELIMIT":
+                    pstatus = SolveStatus.TIMEOUT
+                elif which == "MEMLIMIT":
+                    pstatus = SolveStatus.MEMORY
+                else:
+                    pstatus = SolveStatus.TRUNCATED
+                partial = BnBResult(
+                    problem=problem,
+                    params=params,
+                    status=pstatus,
+                    best_cost=(
+                        found_cost if best_proc is not None else math.inf
+                    ),
+                    proc_of=best_proc,
+                    start=best_start,
+                    incumbent_source=incumbent_source,
+                    initial_upper_bound=initial_upper_bound,
+                    stats=stats,
+                )
+                raise ResourceLimitExceeded(which, detail, partial=partial)
+
             if lap is not None:
                 lap("setup")
 
@@ -544,6 +739,45 @@ class BranchAndBound:
                     if lap is not None:
                         lap("select")
                     continue
+
+                # Cooperative stop: checked with the vertex in hand but
+                # untouched, so the snapshot/open-bound accounting below
+                # still sees it as part of the open search.
+                if stop_is_set is not None and stop_is_set():
+                    stats.interrupted = True
+                    pending_vertex = vertex
+                    if sink is not None and sink.accepts("resource"):
+                        sink.emit(
+                            "resource",
+                            {"kind": "INTERRUPTED",
+                             "detail": stop.reason or ""},
+                        )
+                    if lap is not None:
+                        lap("select")
+                    break
+
+                if checkpoint is not None and checkpoint.due(stats.explored):
+                    pending_vertex = vertex
+                    snap_path = checkpoint.write(_snapshot())
+                    pending_vertex = None
+                    if sink is not None and sink.accepts("checkpoint"):
+                        sink.emit(
+                            "checkpoint",
+                            {
+                                "version": checkpoint.version - 1,
+                                "explored": stats.explored,
+                                "generated": stats.generated,
+                                "active": len(frontier) + 1,
+                                "path": snap_path,
+                            },
+                        )
+                    if metrics is not None:
+                        metrics.counter(
+                            "bnb_checkpoint_written_total",
+                            "Search snapshots written",
+                        ).inc()
+                    if lap is not None:
+                        lap("checkpoint")
 
                 if dispatcher is not None and vertex.level >= dispatch_depth:
                     # Delegate the whole subtree: the dispatcher returns
@@ -591,7 +825,7 @@ class BranchAndBound:
                         break
                     if stats.generated >= max_vertices:
                         if rb.fail_on_exhaustion:
-                            raise ResourceLimitExceeded(
+                            _limit_exceeded(
                                 "MAXVERT", f"{stats.generated} generated"
                             )
                         stats.truncated = True
@@ -647,9 +881,13 @@ class BranchAndBound:
                     if lap is not None:
                         lap("telemetry")
 
-                if stats.explored & _TIME_CHECK_MASK == 0 and not untimed:
-                    if stats.time_since_start() >= rb.time_limit:
+                if stats.explored & _TIME_CHECK_MASK == 0:
+                    if (
+                        not untimed
+                        and stats.time_since_start() >= rb.time_limit
+                    ):
                         stats.time_limit_hit = True
+                        pending_vertex = vertex
                         if sink is not None and sink.accepts("resource"):
                             sink.emit(
                                 "resource",
@@ -657,8 +895,29 @@ class BranchAndBound:
                                  "detail": f"{rb.time_limit}s"},
                             )
                         if rb.fail_on_exhaustion:
-                            raise ResourceLimitExceeded(
+                            _limit_exceeded(
                                 "TIMELIMIT", f"{rb.time_limit}s"
+                            )
+                        if lap is not None:
+                            lap("select")
+                        break
+                    if (
+                        not unmemed
+                        and current_rss_bytes() >= rb.max_memory_bytes
+                    ):
+                        stats.memory_limit_hit = True
+                        pending_vertex = vertex
+                        if sink is not None and sink.accepts("resource"):
+                            sink.emit(
+                                "resource",
+                                {"kind": "MEMLIMIT",
+                                 "detail":
+                                     f"rss >= {rb.max_memory_bytes:g}B"},
+                            )
+                        if rb.fail_on_exhaustion:
+                            _limit_exceeded(
+                                "MEMLIMIT",
+                                f"rss >= {rb.max_memory_bytes:g}B",
                             )
                         if lap is not None:
                             lap("select")
@@ -882,7 +1141,7 @@ class BranchAndBound:
                                 {"kind": "MAXSZDB",
                                  "detail": f"{len(kept)} children"},
                             )
-                        raise ResourceLimitExceeded(
+                        _limit_exceeded(
                             "MAXSZDB", f"{len(kept)} children"
                         )
                     kept.sort(key=_BY_BOUND)
@@ -926,7 +1185,7 @@ class BranchAndBound:
                                 {"kind": "MAXSZAS",
                                  "detail": f"{active} active"},
                             )
-                        raise ResourceLimitExceeded(
+                        _limit_exceeded(
                             "MAXSZAS", f"{active} active"
                         )
                     dropped = frontier.drop_worst(active - int(rb.max_active))
@@ -947,7 +1206,7 @@ class BranchAndBound:
                              "detail": f"{stats.generated} generated"},
                         )
                     if rb.fail_on_exhaustion:
-                        raise ResourceLimitExceeded(
+                        _limit_exceeded(
                             "MAXVERT", f"{stats.generated} generated"
                         )
                     stats.truncated = True
@@ -965,6 +1224,54 @@ class BranchAndBound:
         status = self._status(
             params, stats, target_reached, best_proc is not None
         )
+
+        # Anytime bookkeeping for early stops: the best open lower bound
+        # (frontier plus the in-hand vertex) bounds how far the incumbent
+        # can sit from the optimum — but only when nothing was dropped
+        # (MAXSZAS/MAXSZDB discards take their subtrees' bounds with
+        # them).
+        open_lower_bound = None
+        stopped_early = (
+            stats.interrupted
+            or stats.time_limit_hit
+            or stats.memory_limit_hit
+            or stats.truncated
+        )
+        if stopped_early and stats.dropped_resource == 0:
+            open_lower_bound = frontier.min_bound()
+            if pending_vertex is not None and (
+                open_lower_bound is None
+                or pending_vertex.lower_bound < open_lower_bound
+            ):
+                open_lower_bound = pending_vertex.lower_bound
+
+        # Final snapshot: an early-stopped run always leaves a resumable
+        # file behind, whatever the periodic cadence last did.
+        checkpoint_path = None
+        if checkpoint is not None:
+            if stopped_early:
+                checkpoint_path = checkpoint.write(_snapshot())
+                if sink is not None and sink.accepts("checkpoint"):
+                    sink.emit(
+                        "checkpoint",
+                        {
+                            "version": checkpoint.version - 1,
+                            "explored": stats.explored,
+                            "generated": stats.generated,
+                            "active": len(frontier)
+                            + (1 if pending_vertex is not None else 0),
+                            "path": checkpoint_path,
+                            "final": True,
+                        },
+                    )
+                if metrics is not None:
+                    metrics.counter(
+                        "bnb_checkpoint_written_total",
+                        "Search snapshots written",
+                    ).inc()
+            elif checkpoint.writes:
+                checkpoint_path = checkpoint.path
+
         if lap is not None:
             lap("finalize")
 
@@ -1019,6 +1326,8 @@ class BranchAndBound:
             initial_upper_bound=initial_upper_bound,
             stats=stats,
             profile=profiler.freeze() if profiler is not None else None,
+            open_lower_bound=open_lower_bound,
+            checkpoint_path=checkpoint_path,
         )
 
     # ------------------------------------------------------------------
@@ -1032,8 +1341,12 @@ class BranchAndBound:
     ) -> SolveStatus:
         if not found:
             return SolveStatus.FAILED
+        if stats.interrupted:
+            return SolveStatus.INTERRUPTED
         if stats.time_limit_hit:
             return SolveStatus.TIMEOUT
+        if stats.memory_limit_hit:
+            return SolveStatus.MEMORY
         if stats.truncated:
             return SolveStatus.TRUNCATED
         if target_reached:

@@ -27,10 +27,10 @@ reproducible counters, but the counters legitimately differ from the
 sequential interleaving (see ``docs/PARALLEL.md`` for the full
 contract).
 
-**Throughput mode** (``deterministic=False``) splits the depth-d
-frontier round-robin across long-lived worker processes and lets them
-race: the incumbent lives in a ``multiprocessing.Value`` that workers
-poll every 64 explored vertices and publish improvements to (a
+**Throughput mode** (``deterministic=False``) hands the depth-d
+frontier shard-by-shard to long-lived supervised worker processes and
+lets them race: the incumbent lives in a ``multiprocessing.Value`` that
+workers poll every 64 explored vertices and publish improvements to (a
 compare-and-set-min under the value's lock), so U/DBAS pruning stays
 effective across shards.  Only the optimal *cost* is guaranteed (any
 complete-search mode finds it: the shard containing an optimal goal
@@ -43,6 +43,22 @@ event streams can be folded into the coordinator's sink with per-worker
 tags (:class:`~repro.obs.TaggedSink`), and the compiled problem ships
 by pickling — it serializes as its source (graph, platform) pair and
 recompiles on the other side.
+
+Fault tolerance
+---------------
+Worker processes die (OOM killers, preemption, plain bugs); the driver
+survives them.  Throughput mode runs its own supervisor: each worker is
+a dedicated process fed shards over a pipe, stamping a heartbeat slot
+on every bound-channel poll.  A dead pipe, a dead process, or a stale
+heartbeat triggers a worker restart; the in-flight shard is re-queued
+with exponential backoff and a bounded attempt budget, after which it
+is *quarantined* (the run completes, reports the loss, and is marked
+TRUNCATED — never silently wrong).  Deterministic mode retries a
+broken process pool the same bounded way, rebuilding the pool and
+re-running the shard exactly; :class:`~repro.errors.WorkerCrashed` is
+raised only when the budget is exhausted.  An injectable
+:class:`FaultPlan` drives the fault-injection test suite (crash a
+worker on a given shard/attempt, hang it, or kill it mid-search).
 """
 
 from __future__ import annotations
@@ -51,10 +67,12 @@ import math
 import multiprocessing
 import os
 import time
-from concurrent.futures import Future, ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
 from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _conn_wait
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, ResourceLimitExceeded, WorkerCrashed
 from ..model.compile import CompiledProblem
 from ..obs import MemorySink, Observability, TaggedSink
 from .elimination import pruning_threshold
@@ -77,9 +95,11 @@ from .transposition import (
 from .vertex import Vertex
 
 __all__ = [
+    "FaultPlan",
     "ParallelBnB",
     "ParallelReport",
     "SharedIncumbent",
+    "ShardFault",
     "default_worker_count",
     "solve_parallel",
 ]
@@ -139,23 +159,136 @@ class SharedIncumbent:
 
 
 # ---------------------------------------------------------------------------
+# Fault injection
+# ---------------------------------------------------------------------------
+
+#: Exit code used by injected crashes, distinct from every real failure
+#: the interpreter produces — a supervisor test can assert the death it
+#: observed was the one it planted.
+_FAULT_EXIT = 57
+
+
+@dataclass(frozen=True)
+class ShardFault:
+    """One planted failure: fires when ``shard`` runs on ``attempt``.
+
+    ``shard`` is the shard index (throughput mode) or the resolution
+    ordinal (deterministic mode); ``-1`` matches any shard.  ``attempt``
+    is 1-based, so the default plants the fault on the first try and
+    lets the retry succeed.
+
+    Kinds:
+
+    * ``"crash"`` — the worker process exits hard (``os._exit``) before
+      touching the shard, as if the OOM killer got it between tasks.
+    * ``"crash-mid"`` — the worker dies *during* the sub-search, after
+      ``after_polls`` bound-channel polls: state is torn mid-expansion,
+      the strictest recovery case.
+    * ``"hang"`` — the worker sleeps ``hang_seconds`` without stamping
+      its heartbeat; only the watchdog can reclaim the shard.
+    """
+
+    kind: str
+    shard: int = -1
+    attempt: int = 1
+    hang_seconds: float = 3600.0
+    after_polls: int = 2
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("crash", "crash-mid", "hang"):
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r} "
+                "(expected crash, crash-mid or hang)"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An injectable set of :class:`ShardFault` entries (tests only).
+
+    The plan ships to workers by pickling; matching is pure, so a
+    respawned worker consults the same plan and the *attempt* number is
+    what distinguishes the retry from the original.
+    """
+
+    faults: tuple[ShardFault, ...] = ()
+
+    def match(self, shard: int, attempt: int) -> ShardFault | None:
+        for fault in self.faults:
+            if fault.shard in (-1, shard) and fault.attempt == attempt:
+                return fault
+        return None
+
+
+class _HeartbeatChannel:
+    """Bound-channel wrapper stamping a liveness beat on every poll.
+
+    The engine polls its bound channel every 64 explored vertices, so
+    the beat doubles as a progress signal: a worker that stops stamping
+    for ``heartbeat_timeout`` seconds is either hung or dead slow, and
+    the supervisor reclaims its shard either way.
+    """
+
+    def __init__(self, inner, beats, slot: int) -> None:
+        self._inner = inner
+        self._beats = beats
+        self._slot = slot
+
+    def poll(self) -> float:
+        self._beats[self._slot] = time.monotonic()
+        return self._inner.poll()
+
+    def publish(self, cost: float) -> bool:
+        return self._inner.publish(cost)
+
+
+class _CrashAfterPolls:
+    """Fault-injection channel: kill the process mid-search."""
+
+    def __init__(self, inner, polls: int) -> None:
+        self._inner = inner
+        self._left = max(1, polls)
+
+    def poll(self) -> float:
+        self._left -= 1
+        if self._left <= 0:
+            os._exit(_FAULT_EXIT)
+        return self._inner.poll()
+
+    def publish(self, cost: float) -> bool:
+        return self._inner.publish(cost)
+
+
+def _fire_fault(fault: ShardFault | None) -> ShardFault | None:
+    """Apply a pre-search fault; return it if it wraps the search itself."""
+    if fault is None:
+        return None
+    if fault.kind == "crash":
+        os._exit(_FAULT_EXIT)
+    if fault.kind == "hang":
+        time.sleep(fault.hang_seconds)
+        return None
+    return fault  # crash-mid: caller wraps the bound channel
+
+
+# ---------------------------------------------------------------------------
 # Worker-process entry points (module-level: must be picklable by name)
 # ---------------------------------------------------------------------------
 
-_WORKER_CHANNEL: SharedIncumbent | None = None
-_WORKER_TT: SharedTranspositionTable | None = None
 
+class _NullChannel:
+    """Inert bound channel: polls ∞, swallows publishes.
 
-def _init_worker(shared=None, tt_handle=None) -> None:
-    """Pool initializer: adopt the inherited shared-incumbent value and
-    attach the shared transposition segment (throughput mode only)."""
-    global _WORKER_CHANNEL, _WORKER_TT
-    _WORKER_CHANNEL = SharedIncumbent(shared) if shared is not None else None
-    _WORKER_TT = (
-        SharedTranspositionTable.from_handle(tt_handle)
-        if tt_handle is not None
-        else None
-    )
+    Used only to give fault injection a mid-search hook in deterministic
+    mode — adopting ∞ and discarding publishes leaves the sub-search
+    bit-identical to running with no channel at all.
+    """
+
+    def poll(self) -> float:
+        return math.inf
+
+    def publish(self, cost: float) -> bool:
+        return False
 
 
 def _run_shard(
@@ -166,6 +299,9 @@ def _run_shard(
     incumbent_cost: float,
     budget: float,
     fused: bool | None,
+    ordinal: int = -1,
+    attempt: int = 1,
+    fault_plan: FaultPlan | None = None,
 ) -> BnBResult:
     """Deterministic-mode worker: one complete sub-search, no sharing.
 
@@ -174,111 +310,115 @@ def _run_shard(
     incumbent — cross-shard bound sharing would make its counters
     depend on scheduling timing.
     """
+    fault = None
+    if fault_plan is not None:
+        fault = _fire_fault(fault_plan.match(ordinal, attempt))
+    channel = None
+    if fault is not None:  # crash-mid: die after N polls of an inert channel
+        channel = _CrashAfterPolls(_NullChannel(), fault.after_polls)
     engine = BranchAndBound(params, fused=fused)
     return engine.solve(
         problem,
         subtree=SubtreeSpec(state, lower_bound, incumbent_cost, budget),
+        bound_channel=channel,
     )
 
 
-@dataclass
-class _BlockOutcome:
-    """What one throughput-mode worker sends back for its shard block."""
-
-    stats: SearchStats
-    best_cost: float
-    proc_of: tuple | None
-    start: tuple | None
-    target_reached: bool
-    shards_run: int
-    shards_stale: int
-    #: ``(shard_index, [(kind, payload), ...])`` per executed shard when
-    #: event collection was requested, else empty.
-    events: list = field(default_factory=list)
-    #: This worker's transposition-table telemetry (process-local view
-    #: of the shared store), when the transposition layer was active.
-    tt: dict | None = None
-
-
-def _run_block(
+def _supervised_worker(
+    conn,
+    slot: int,
+    beats,
+    shared,
     problem: CompiledProblem,
     params: BnBParameters,
-    shards: list,
-    budget: float,
     fused: bool | None,
     collect_events: bool,
-) -> _BlockOutcome:
-    """Throughput-mode worker: run a block of shards sequentially.
+    tt_handle,
+    fault_plan: FaultPlan | None,
+) -> None:
+    """Supervised throughput worker: one shard per pipe message.
 
-    Before each shard the current global incumbent is polled; shards
-    whose bound already meets the threshold are dropped exactly as the
-    sequential sweep would have dropped them (counted as
-    ``pruned_active``).  Each sub-search polls and publishes through the
-    shared channel while it runs.
+    Protocol (all tuples, kind first):
+
+    * recv ``("run", shard_index, state, lower_bound, attempt, budget)``
+      → send ``("stale", shard_index)`` if a polled incumbent already
+      prunes the shard, else ``("done", shard_index, stats, best_cost,
+      proc_of, start, target_reached, events)``.
+    * recv ``("stop",)`` → send ``("bye", tt_telemetry)`` and exit.
+
+    The heartbeat slot is stamped on receipt and then on every
+    bound-channel poll inside the sub-search; a worker that stops
+    stamping is presumed hung and reclaimed by the supervisor.
     """
-    channel = _WORKER_CHANNEL
-    # Bind the dominance rule's transposition member (the rule arrived
-    # pickled without runtime handles) to this process's attachment of
-    # the shared segment, so every shard in the block prunes against —
-    # and feeds — the same global store.
+    channel = SharedIncumbent(shared)
     tt_rule = find_transposition(params.dominance)
-    if tt_rule is not None and _WORKER_TT is not None:
-        tt_rule.bind_shared(_WORKER_TT)
+    if tt_rule is not None and tt_handle is not None:
+        tt_rule.bind_shared(SharedTranspositionTable.from_handle(tt_handle))
     elim = params.elimination
-    stats = SearchStats()
-    best_cost = math.inf
-    best_proc = None
-    best_start = None
-    target = False
-    run = 0
-    stale = 0
-    events: list = []
-    remaining = budget
-    for shard_index, state, lower_bound in shards:
-        incumbent = channel.poll() if channel is not None else math.inf
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            # Supervisor vanished; nothing sensible left to do.
+            return
+        if msg[0] == "stop":
+            try:
+                conn.send(
+                    (
+                        "bye",
+                        tt_rule.telemetry_total()
+                        if tt_rule is not None
+                        else None,
+                    )
+                )
+            except (BrokenPipeError, OSError):
+                pass
+            return
+        _, shard_index, state, lower_bound, attempt, budget = msg
+        beats[slot] = time.monotonic()
+        fault = None
+        if fault_plan is not None:
+            fault = _fire_fault(fault_plan.match(shard_index, attempt))
+        incumbent = channel.poll()
         if elim.should_prune(
             lower_bound, pruning_threshold(incumbent, params.inaccuracy)
         ):
-            stats.pruned_active += 1
-            stale += 1
+            conn.send(("stale", shard_index))
             continue
+        run_channel = _HeartbeatChannel(channel, beats, slot)
+        if fault is not None:  # crash-mid
+            run_channel = _CrashAfterPolls(run_channel, fault.after_polls)
         sink = MemorySink() if collect_events else None
         engine = BranchAndBound(
             params,
             obs=Observability(sink=sink) if sink is not None else None,
             fused=fused,
         )
-        result = engine.solve(
-            problem,
-            subtree=SubtreeSpec(state, lower_bound, incumbent, remaining),
-            bound_channel=channel,
+        try:
+            result = engine.solve(
+                problem,
+                subtree=SubtreeSpec(state, lower_bound, incumbent, budget),
+                bound_channel=run_channel,
+            )
+        except ResourceLimitExceeded as exc:
+            # fail_on_exhaustion semantics must survive supervision: the
+            # exception travels home over the pipe (its __reduce__ drops
+            # the unpicklable partial result) and the supervisor
+            # re-raises it, exactly like the unsupervised pool did.
+            conn.send(("error", shard_index, exc))
+            continue
+        conn.send(
+            (
+                "done",
+                shard_index,
+                result.stats,
+                result.best_cost if result.proc_of is not None else math.inf,
+                result.proc_of,
+                result.start,
+                result.status is SolveStatus.TARGET_REACHED,
+                sink.events if sink is not None else None,
+            )
         )
-        run += 1
-        stats.absorb(result.stats)
-        remaining -= result.stats.generated
-        if result.proc_of is not None and result.best_cost < best_cost:
-            best_cost = result.best_cost
-            best_proc = result.proc_of
-            best_start = result.start
-        if sink is not None:
-            events.append((shard_index, sink.events))
-        if result.status is SolveStatus.TARGET_REACHED:
-            target = True
-            break
-        if remaining <= 0:
-            stats.truncated = True
-            break
-    return _BlockOutcome(
-        stats=stats,
-        best_cost=best_cost,
-        proc_of=best_proc,
-        start=best_start,
-        target_reached=target,
-        shards_run=run,
-        shards_stale=stale,
-        events=events,
-        tt=tt_rule.telemetry_total() if tt_rule is not None else None,
-    )
 
 
 # ---------------------------------------------------------------------------
@@ -316,27 +456,72 @@ class _ReplayDispatcher(SubtreeDispatcher):
     budget is bit-identical to the budgeted search the sequential
     engine would have run.  Anything else re-runs with the exact
     parameters; correctness never depends on speculation.
+
+    The dispatcher owns its executor via a factory: when a worker dies
+    (``BrokenExecutor``) the pool is rebuilt, outstanding speculations
+    are discarded (their futures died with the pool) and the shard in
+    hand is re-run exactly, up to ``max_attempts`` times before
+    :class:`~repro.errors.WorkerCrashed` gives up.  A re-run is
+    bit-identical to the lost run — shards are pure functions of their
+    entering parameters — so crash recovery never perturbs the replay.
     """
 
     def __init__(
         self,
-        executor: ProcessPoolExecutor,
+        executor_factory,
         problem: CompiledProblem,
         params: BnBParameters,
         fused: bool | None,
         depth: int,
         sink=None,
+        max_attempts: int = 3,
+        metrics=None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         self.depth = depth
-        self._executor = executor
+        self._make_executor = executor_factory
+        self._executor = executor_factory()
         self._problem = problem
         self._params = params
         self._fused = fused
         self._sink = sink
+        self._metrics = metrics
+        self._max_attempts = max_attempts
+        self._fault_plan = fault_plan
         self._pending: dict[int, _Speculation] = {}
         self.shards = 0
         self.speculative_hits = 0
         self.reruns = 0
+        self.worker_restarts = 0
+        self.shard_retries = 0
+
+    def shutdown(self) -> None:
+        # Stale speculations for swept shards must not keep workers
+        # busy past the solve.
+        self._executor.shutdown(wait=True, cancel_futures=True)
+
+    def _rebuild(self, shard: int, attempt: int, error) -> None:
+        """Replace the broken pool; drop speculations that died with it."""
+        try:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+        self._pending.clear()
+        self._executor = self._make_executor()
+        self.worker_restarts += 1
+        if self._metrics is not None:
+            self._metrics.counter("bnb_worker_restart_total").inc()
+        sink = self._sink
+        if sink is not None and sink.accepts("worker_restart"):
+            sink.emit(
+                "worker_restart",
+                {
+                    "mode": "deterministic",
+                    "shard": shard,
+                    "attempt": attempt,
+                    "error": f"{type(error).__name__}: {error}",
+                },
+            )
 
     def _submit(
         self,
@@ -344,6 +529,8 @@ class _ReplayDispatcher(SubtreeDispatcher):
         lower_bound: float,
         incumbent_cost: float,
         budget: float,
+        ordinal: int = -1,
+        attempt: int = 1,
     ) -> Future:
         return self._executor.submit(
             _run_shard,
@@ -354,50 +541,64 @@ class _ReplayDispatcher(SubtreeDispatcher):
             incumbent_cost,
             budget,
             self._fused,
+            ordinal,
+            attempt,
+            self._fault_plan,
         )
 
     def offer(
         self, vertex: Vertex, incumbent_cost: float, budget: float
     ) -> None:
         state = _shard_state(vertex)
+        try:
+            future = self._submit(
+                state, vertex.lower_bound, incumbent_cost, budget
+            )
+        except BrokenExecutor as exc:
+            # A crashed speculation broke the pool between resolutions;
+            # recover now and simply skip this speculation.
+            self._rebuild(-1, 1, exc)
+            return
         self._pending[id(vertex)] = _Speculation(
-            self._submit(state, vertex.lower_bound, incumbent_cost, budget),
-            incumbent_cost,
-            budget,
-            state,
-            vertex.lower_bound,
+            future, incumbent_cost, budget, state, vertex.lower_bound
         )
 
     def notify_incumbent(self, cost: float) -> None:
         # Every outstanding speculation with a staler guess is doomed to
         # mismatch at resolution; restart the ones that have not begun
         # running (cancel() succeeds only for queued futures).
-        for key, spec in self._pending.items():
+        for key, spec in list(self._pending.items()):
             if spec.incumbent_cost > cost and spec.future.cancel():
-                self._pending[key] = _Speculation(
-                    self._submit(
+                try:
+                    future = self._submit(
                         spec.state, spec.lower_bound, cost, spec.budget
-                    ),
-                    cost,
-                    spec.budget,
-                    spec.state,
-                    spec.lower_bound,
+                    )
+                except BrokenExecutor as exc:
+                    self._rebuild(-1, 1, exc)
+                    return
+                self._pending[key] = _Speculation(
+                    future, cost, spec.budget, spec.state, spec.lower_bound
                 )
 
     def resolve(
         self, vertex: Vertex, incumbent_cost: float, budget: float
     ) -> BnBResult:
         self.shards += 1
+        ordinal = self.shards - 1
         spec = self._pending.pop(id(vertex), None)
         result = None
         speculative = False
         if spec is not None and spec.incumbent_cost == incumbent_cost:
-            candidate = spec.future.result()
+            try:
+                candidate = spec.future.result()
+            except BrokenExecutor as exc:
+                self._rebuild(ordinal, 1, exc)
+                candidate = None
             # The budget at offer time can only exceed the entering
             # budget (generation is monotone), so an untripped run under
             # it that stayed strictly below the entering budget is
             # identical to the exactly-budgeted run.
-            if candidate.stats.generated < budget:
+            if candidate is not None and candidate.stats.generated < budget:
                 self.speculative_hits += 1
                 result = candidate
                 speculative = True
@@ -405,10 +606,42 @@ class _ReplayDispatcher(SubtreeDispatcher):
             if spec is not None:
                 spec.future.cancel()
                 self.reruns += 1
-            result = self._submit(
-                _shard_state(vertex), vertex.lower_bound, incumbent_cost,
-                budget,
-            ).result()
+            attempt = 1
+            while True:
+                try:
+                    result = self._submit(
+                        _shard_state(vertex),
+                        vertex.lower_bound,
+                        incumbent_cost,
+                        budget,
+                        ordinal,
+                        attempt,
+                    ).result()
+                    break
+                except BrokenExecutor as exc:
+                    # Note: only pool breakage is caught — a worker that
+                    # *raises* (e.g. ResourceLimitExceeded) propagates.
+                    self._rebuild(ordinal, attempt, exc)
+                    if attempt >= self._max_attempts:
+                        raise WorkerCrashed(
+                            f"shard {ordinal} killed its worker on all "
+                            f"{attempt} attempts (last: {exc})",
+                            attempts=attempt,
+                        ) from exc
+                    attempt += 1
+                    self.shard_retries += 1
+                    if self._metrics is not None:
+                        self._metrics.counter("bnb_shard_retry_total").inc()
+                    sink = self._sink
+                    if sink is not None and sink.accepts("shard_retry"):
+                        sink.emit(
+                            "shard_retry",
+                            {
+                                "mode": "deterministic",
+                                "shard": ordinal,
+                                "attempt": attempt,
+                            },
+                        )
         sink = self._sink
         if sink is not None and sink.accepts("shard"):
             sink.emit(
@@ -478,6 +711,44 @@ class _FrontierCollector(SubtreeDispatcher):
 
 
 # ---------------------------------------------------------------------------
+# Throughput-mode supervision
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _WorkerHandle:
+    """One supervised worker process and its command pipe."""
+
+    proc: object
+    conn: object
+    slot: int
+    #: ``(shard, attempt)`` in flight, or None when idle.
+    task: tuple | None = None
+
+
+@dataclass
+class _SuperviseOutcome:
+    """Everything the supervisor learned from one throughput run."""
+
+    best_cost: float = math.inf
+    best_proc: tuple | None = None
+    best_start: tuple | None = None
+    target: bool = False
+    truncated: bool = False
+    shards_stale: int = 0
+    worker_restarts: int = 0
+    shard_retries: int = 0
+    quarantined: list = field(default_factory=list)
+    #: Per-slot merged counters (a restarted slot keeps accumulating).
+    slot_stats: list = field(default_factory=list)
+    #: ``(slot, shard_index, [(kind, payload), ...])`` per executed shard.
+    events: list = field(default_factory=list)
+    #: Per-worker transposition telemetry collected at shutdown; crashed
+    #: workers lose theirs (documented undercount).
+    worker_tt: list = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
 # The driver
 # ---------------------------------------------------------------------------
 
@@ -499,6 +770,13 @@ class ParallelReport:
     reruns: int = 0
     #: Throughput mode: per-worker merged counters, in worker order.
     worker_stats: tuple = ()
+    #: Worker processes replaced after a crash, hang or pool breakage.
+    worker_restarts: int = 0
+    #: Shards re-queued (with backoff) after their worker died.
+    shard_retries: int = 0
+    #: Shard indices abandoned after ``max_shard_attempts`` failures;
+    #: non-empty quarantine forces a TRUNCATED result status.
+    quarantined: tuple = ()
     #: Merged transposition-table telemetry (coordinator + workers) when
     #: the transposition layer was active, else None.  Counter keys are
     #: summed across processes (each global event happens in exactly one
@@ -531,12 +809,28 @@ class ParallelBnB:
         obs: Observability | None = None,
         collect_worker_events: bool = False,
         mp_context=None,
+        max_shard_attempts: int = 3,
+        retry_backoff: float = 0.05,
+        heartbeat_timeout: float = 30.0,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
         if split_depth < 1:
             raise ConfigurationError(
                 f"split_depth must be >= 1, got {split_depth}"
+            )
+        if max_shard_attempts < 1:
+            raise ConfigurationError(
+                f"max_shard_attempts must be >= 1, got {max_shard_attempts}"
+            )
+        if retry_backoff < 0:
+            raise ConfigurationError(
+                f"retry_backoff must be >= 0, got {retry_backoff}"
+            )
+        if heartbeat_timeout <= 0:
+            raise ConfigurationError(
+                f"heartbeat_timeout must be > 0, got {heartbeat_timeout}"
             )
         self.params = params or BnBParameters()
         self.workers = workers if workers is not None else default_worker_count()
@@ -546,6 +840,10 @@ class ParallelBnB:
         self.obs = obs
         self.collect_worker_events = collect_worker_events
         self._mp_context = mp_context
+        self.max_shard_attempts = max_shard_attempts
+        self.retry_backoff = retry_backoff
+        self.heartbeat_timeout = heartbeat_timeout
+        self.fault_plan = fault_plan
         self.last_report: ParallelReport | None = None
 
     # ------------------------------------------------------------------
@@ -569,7 +867,9 @@ class ParallelBnB:
 
     def _solve_deterministic(self, problem: CompiledProblem) -> BnBResult:
         rb = self.params.resources
-        for name in ("time_limit", "max_active", "max_children"):
+        for name in (
+            "time_limit", "max_active", "max_children", "max_memory_bytes",
+        ):
             if not math.isinf(getattr(rb, name)):
                 raise ConfigurationError(
                     "deterministic parallel mode requires unbounded "
@@ -588,20 +888,25 @@ class ParallelBnB:
                 "sequentially)"
             )
         sink = self.obs.sink if self.obs is not None else None
-        executor = ProcessPoolExecutor(
-            max_workers=self.workers, mp_context=self._ctx()
+        metrics = self.obs.metrics if self.obs is not None else None
+
+        def make_executor() -> ProcessPoolExecutor:
+            return ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=self._ctx()
+            )
+
+        dispatcher = _ReplayDispatcher(
+            make_executor, problem, self.params, self.fused,
+            self.split_depth, sink,
+            max_attempts=self.max_shard_attempts,
+            metrics=metrics,
+            fault_plan=self.fault_plan,
         )
         try:
-            dispatcher = _ReplayDispatcher(
-                executor, problem, self.params, self.fused,
-                self.split_depth, sink,
-            )
             engine = BranchAndBound(self.params, obs=self.obs, fused=self.fused)
             result = engine.solve(problem, dispatcher=dispatcher)
         finally:
-            # Stale speculations for swept shards must not keep workers
-            # busy past the solve.
-            executor.shutdown(wait=True, cancel_futures=True)
+            dispatcher.shutdown()
         self.last_report = ParallelReport(
             mode="deterministic",
             workers=self.workers,
@@ -609,6 +914,8 @@ class ParallelBnB:
             shards=dispatcher.shards,
             speculative_hits=dispatcher.speculative_hits,
             reruns=dispatcher.reruns,
+            worker_restarts=dispatcher.worker_restarts,
+            shard_retries=dispatcher.shard_retries,
         )
         return result
 
@@ -682,66 +989,32 @@ class ParallelBnB:
         best_proc = shallow.proc_of
         best_start = shallow.start
         target = False
-        worker_stats: list[SearchStats] = []
-        outcomes: list[_BlockOutcome] = []
+        worker_stats: tuple = ()
+        sup: _SuperviseOutcome | None = None
         if live and budget > 0:
-            blocks: list[list] = [[] for _ in range(self.workers)]
-            for i, s in enumerate(live):
-                blocks[i % self.workers].append(
-                    (s.index, s.state, s.lower_bound)
-                )
-            blocks = [b for b in blocks if b]
-            ctx = self._ctx()
-            shared = ctx.Value("d", incumbent0)
-            executor = ProcessPoolExecutor(
-                max_workers=len(blocks),
-                mp_context=ctx,
-                initializer=_init_worker,
-                initargs=(
-                    shared,
-                    shared_tt.handle() if shared_tt is not None else None,
-                ),
+            sup = self._supervise(
+                problem, live, budget, incumbent0, shared_tt
             )
-            try:
-                futures = [
-                    executor.submit(
-                        _run_block,
-                        problem,
-                        params,
-                        block,
-                        budget,
-                        self.fused,
-                        self.collect_worker_events,
-                    )
-                    for block in blocks
-                ]
-                outcomes = [f.result() for f in futures]
-            finally:
-                executor.shutdown(wait=True, cancel_futures=True)
-            for outcome in outcomes:
-                merged.absorb(outcome.stats)
-                worker_stats.append(outcome.stats)
-                target = target or outcome.target_reached
-                if (
-                    outcome.proc_of is not None
-                    and outcome.best_cost < best_cost
-                ):
-                    best_cost = outcome.best_cost
-                    best_proc = outcome.proc_of
-                    best_start = outcome.start
+            for slot_stats in sup.slot_stats:
+                merged.absorb(slot_stats)
+            worker_stats = tuple(sup.slot_stats)
+            target = sup.target
+            if sup.truncated:
+                merged.truncated = True
+            if sup.best_proc is not None and sup.best_cost < best_cost:
+                best_cost = sup.best_cost
+                best_proc = sup.best_proc
+                best_start = sup.best_start
         elif budget <= 0:
             merged.truncated = True
 
         sink = self.obs.sink if self.obs is not None else None
-        if sink is not None and self.collect_worker_events:
-            for worker_id, outcome in enumerate(outcomes):
-                for shard_index, shard_events in outcome.events:
-                    tagged = TaggedSink(
-                        sink, worker=worker_id, shard=shard_index
-                    )
-                    for kind, payload in shard_events:
-                        if tagged.accepts(kind):
-                            tagged.emit(kind, payload)
+        if sink is not None and self.collect_worker_events and sup is not None:
+            for slot, shard_index, shard_events in sup.events:
+                tagged = TaggedSink(sink, worker=slot, shard=shard_index)
+                for kind, payload in shard_events:
+                    if tagged.accepts(kind):
+                        tagged.emit(kind, payload)
 
         merged.elapsed = time.perf_counter() - t0
         found = best_proc is not None
@@ -754,10 +1027,10 @@ class ParallelBnB:
         tt_stats = None
         if tt_rule is not None:
             tt_stats = tt_rule.telemetry_total(tt_mark)
-            for outcome in outcomes:
-                if not outcome.tt:
+            for worker_tt in sup.worker_tt if sup is not None else ():
+                if not worker_tt:
                     continue
-                for k, v in outcome.tt.items():
+                for k, v in worker_tt.items():
                     if k == "tt_capacity":
                         tt_stats[k] = v
                     else:
@@ -771,8 +1044,11 @@ class ParallelBnB:
             split_depth=self.split_depth,
             shards=len(shards),
             shards_stale=(len(shards) - len(live))
-            + sum(o.shards_stale for o in outcomes),
-            worker_stats=tuple(worker_stats),
+            + (sup.shards_stale if sup is not None else 0),
+            worker_stats=worker_stats,
+            worker_restarts=sup.worker_restarts if sup is not None else 0,
+            shard_retries=sup.shard_retries if sup is not None else 0,
+            quarantined=tuple(sup.quarantined) if sup is not None else (),
             tt_stats=tt_stats,
         )
         return BnBResult(
@@ -786,6 +1062,232 @@ class ParallelBnB:
             initial_upper_bound=shallow.initial_upper_bound,
             stats=merged,
         )
+
+    def _supervise(
+        self,
+        problem: CompiledProblem,
+        live: list[_Shard],
+        budget: float,
+        incumbent0: float,
+        shared_tt,
+    ) -> _SuperviseOutcome:
+        """Run the live shards under worker supervision.
+
+        Shards are handed to idle workers one at a time (dynamic load
+        balancing — no static blocks to strand behind a slow shard).  A
+        worker that dies, breaks its pipe, or stops stamping its
+        heartbeat is replaced; its shard is re-queued with exponential
+        backoff (``retry_backoff * 2**(attempt-1)``), and after
+        ``max_shard_attempts`` failures the shard is quarantined: the
+        run finishes without it, reports it, and is marked TRUNCATED.
+        The incumbent can never be lost to a crash — improvements are
+        published to the shared value the moment a worker finds them.
+        """
+        ctx = self._ctx()
+        nslots = max(1, min(self.workers, len(live)))
+        shared = ctx.Value("d", incumbent0)
+        beats = ctx.Array("d", nslots, lock=False)
+        tt_handle = shared_tt.handle() if shared_tt is not None else None
+        out = _SuperviseOutcome(
+            slot_stats=[SearchStats() for _ in range(nslots)]
+        )
+        sink = self.obs.sink if self.obs is not None else None
+        metrics = self.obs.metrics if self.obs is not None else None
+        #: ``(shard, attempt, eligible_at)`` — eligible_at implements the
+        #: retry backoff without ever blocking healthy workers.
+        pending: deque = deque((s, 1, 0.0) for s in live)
+        remaining = budget
+        stop = False
+
+        def spawn(slot: int) -> _WorkerHandle:
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_supervised_worker,
+                args=(
+                    child, slot, beats, shared, problem, self.params,
+                    self.fused, self.collect_worker_events, tt_handle,
+                    self.fault_plan,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            beats[slot] = time.monotonic()
+            return _WorkerHandle(proc=proc, conn=parent, slot=slot)
+
+        def next_task():
+            now = time.monotonic()
+            for _ in range(len(pending)):
+                shard, attempt, eligible = pending.popleft()
+                if eligible <= now:
+                    return shard, attempt
+                pending.append((shard, attempt, eligible))
+            return None
+
+        def reclaim(worker: _WorkerHandle, cause: str) -> _WorkerHandle:
+            """Restart a dead/hung worker's slot; requeue or quarantine
+            the shard it was holding."""
+            shard, attempt = worker.task
+            worker.task = None
+            out.worker_restarts += 1
+            if metrics is not None:
+                metrics.counter("bnb_worker_restart_total").inc()
+            if sink is not None and sink.accepts("worker_restart"):
+                sink.emit(
+                    "worker_restart",
+                    {
+                        "mode": "throughput",
+                        "slot": worker.slot,
+                        "shard": shard.index,
+                        "attempt": attempt,
+                        "cause": cause,
+                    },
+                )
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            if attempt >= self.max_shard_attempts:
+                out.quarantined.append(shard.index)
+                out.truncated = True  # search incomplete: never report OPTIMAL
+                if sink is not None and sink.accepts("quarantine"):
+                    sink.emit(
+                        "quarantine",
+                        {
+                            "shard": shard.index,
+                            "attempts": attempt,
+                            "cause": cause,
+                        },
+                    )
+            else:
+                delay = self.retry_backoff * (2 ** (attempt - 1))
+                pending.append((shard, attempt + 1, time.monotonic() + delay))
+                out.shard_retries += 1
+                if metrics is not None:
+                    metrics.counter("bnb_shard_retry_total").inc()
+                if sink is not None and sink.accepts("shard_retry"):
+                    sink.emit(
+                        "shard_retry",
+                        {
+                            "shard": shard.index,
+                            "attempt": attempt + 1,
+                            "delay": delay,
+                            "cause": cause,
+                        },
+                    )
+            return spawn(worker.slot)
+
+        workers = [spawn(i) for i in range(nslots)]
+        try:
+            while True:
+                for i, worker in enumerate(workers):
+                    if worker.task is not None or stop:
+                        continue
+                    task = next_task()
+                    if task is None:
+                        break
+                    shard, attempt = task
+                    worker.task = (shard, attempt)
+                    beats[worker.slot] = time.monotonic()
+                    try:
+                        worker.conn.send(
+                            (
+                                "run", shard.index, shard.state,
+                                shard.lower_bound, attempt, remaining,
+                            )
+                        )
+                    except (BrokenPipeError, OSError):
+                        workers[i] = reclaim(worker, "pipe closed")
+                busy = [w for w in workers if w.task is not None]
+                if not busy:
+                    if stop or not pending:
+                        break
+                    time.sleep(0.01)  # everything pending is backing off
+                    continue
+                ready = _conn_wait([w.conn for w in busy], timeout=0.05)
+                now = time.monotonic()
+                for i, worker in enumerate(workers):
+                    if worker.task is None:
+                        continue
+                    if worker.conn in ready:
+                        try:
+                            msg = worker.conn.recv()
+                        except (EOFError, OSError):
+                            workers[i] = reclaim(worker, "worker died")
+                            continue
+                        kind = msg[0]
+                        if kind == "stale":
+                            # Count exactly like the sequential sweep
+                            # dropping a now-dominated active vertex.
+                            out.shards_stale += 1
+                            out.slot_stats[worker.slot].pruned_active += 1
+                            worker.task = None
+                        elif kind == "error":
+                            raise msg[2]
+                        elif kind == "done":
+                            (
+                                _, shard_index, wstats, bcost, bproc,
+                                bstart, treached, shard_events,
+                            ) = msg
+                            out.slot_stats[worker.slot].absorb(wstats)
+                            remaining -= wstats.generated
+                            if bproc is not None and bcost < out.best_cost:
+                                out.best_cost = bcost
+                                out.best_proc = bproc
+                                out.best_start = bstart
+                            if shard_events is not None:
+                                out.events.append(
+                                    (worker.slot, shard_index, shard_events)
+                                )
+                            if treached:
+                                out.target = True
+                                stop = True
+                            if remaining <= 0:
+                                out.truncated = True
+                                stop = True
+                            worker.task = None
+                    elif not worker.proc.is_alive():
+                        workers[i] = reclaim(
+                            worker, f"exit code {worker.proc.exitcode}"
+                        )
+                    elif now - beats[worker.slot] > self.heartbeat_timeout:
+                        worker.proc.terminate()
+                        worker.proc.join(timeout=5.0)
+                        workers[i] = reclaim(worker, "heartbeat timeout")
+            if pending and not out.target:
+                # Budget ran out with shards still queued: they are
+                # deliberately unexplored, exactly like the sequential
+                # engine truncating its sweep.
+                out.truncated = True
+        finally:
+            for worker in workers:
+                try:
+                    worker.conn.send(("stop",))
+                except (BrokenPipeError, OSError):
+                    pass
+            deadline = time.monotonic() + 5.0
+            for worker in workers:
+                try:
+                    while worker.conn.poll(
+                        max(0.0, deadline - time.monotonic())
+                    ):
+                        msg = worker.conn.recv()
+                        if msg[0] == "bye":
+                            if msg[1]:
+                                out.worker_tt.append(msg[1])
+                            break
+                except (EOFError, OSError):
+                    pass
+                try:
+                    worker.conn.close()
+                except OSError:
+                    pass
+            for worker in workers:
+                worker.proc.join(timeout=2.0)
+                if worker.proc.is_alive():
+                    worker.proc.terminate()
+                    worker.proc.join(timeout=2.0)
+        return out
 
 
 def solve_parallel(

@@ -84,6 +84,26 @@ class Frontier(ABC):
     def __bool__(self) -> bool:
         return len(self) > 0
 
+    def restore(self, vertices: list[Vertex]) -> None:
+        """Refill an empty frontier from an :meth:`export` snapshot.
+
+        ``vertices`` is in pop order, so ``restore`` must arrange that
+        popping yields them in that same order.  Pushing in sequence is
+        correct for every discipline except LIFO, which overrides.
+        """
+        for vertex in vertices:
+            self.push(vertex)
+
+    def min_bound(self) -> float | None:
+        """Smallest lower bound among live vertices (None when empty).
+
+        The best *open* bound: on an early stop it bounds how far the
+        incumbent can be from optimal.  O(n) scan — called once per
+        solve at most, never on the hot path.
+        """
+        bounds = [v.lower_bound for v in self.export()]
+        return min(bounds) if bounds else None
+
 
 class _ListFrontier(Frontier):
     """Shared list-backed implementation for LIFO and FIFO."""
@@ -124,6 +144,11 @@ class _LIFOFrontier(_ListFrontier):
 
     def export(self) -> list[Vertex]:
         return list(reversed(self._items))
+
+    def restore(self, vertices: list[Vertex]) -> None:
+        # LIFO pops from the right, so pop order is reversed storage
+        # order; pushing an export() back would flip the search order.
+        self._items = deque(reversed(vertices))
 
 
 class _FIFOFrontier(_ListFrontier):

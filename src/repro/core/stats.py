@@ -46,13 +46,22 @@ class SearchStats:
     incumbent_updates: int = 0
     #: Largest active-set size observed.
     peak_active: int = 0
-    #: Wall-clock duration of the solve, in seconds.
+    #: Wall-clock duration of the solve, in seconds.  For a resumed run
+    #: this includes the time accumulated before the checkpoint (see
+    #: ``_elapsed_base``), so anytime plots stay monotone across kills.
     elapsed: float = 0.0
     #: Flags raised during the run.
     time_limit_hit: bool = False
     truncated: bool = False
+    #: The loop was stopped cooperatively (SIGINT/SIGTERM/StopToken).
+    interrupted: bool = False
+    #: The resident-set ceiling (MEMLIMIT) tripped.
+    memory_limit_hit: bool = False
     _t0: float = field(default=0.0, repr=False)
     _stopped: bool = field(default=False, repr=False)
+    #: Seconds already spent before this process's clock started (set
+    #: when resuming from a checkpoint).
+    _elapsed_base: float = field(default=0.0, repr=False)
 
     # ------------------------------------------------------------------
 
@@ -65,11 +74,11 @@ class SearchStats:
         on the normal path and in a ``finally:`` (exception mid-solve)
         without the second call inflating the measurement."""
         if not self._stopped:
-            self.elapsed = time.perf_counter() - self._t0
+            self.elapsed = self._elapsed_base + time.perf_counter() - self._t0
             self._stopped = True
 
     def time_since_start(self) -> float:
-        return time.perf_counter() - self._t0
+        return self._elapsed_base + time.perf_counter() - self._t0
 
     def absorb(self, other: "SearchStats", *, active_base: int = 0) -> None:
         """Fold a sub-search's counters into this run's totals.
@@ -98,6 +107,8 @@ class SearchStats:
             self.peak_active = peak
         self.time_limit_hit = self.time_limit_hit or other.time_limit_hit
         self.truncated = self.truncated or other.truncated
+        self.interrupted = self.interrupted or other.interrupted
+        self.memory_limit_hit = self.memory_limit_hit or other.memory_limit_hit
 
     @property
     def pruned_total(self) -> int:
@@ -130,12 +141,49 @@ class SearchStats:
             "elapsed": self.elapsed,
             "time_limit_hit": self.time_limit_hit,
             "truncated": self.truncated,
+            "interrupted": self.interrupted,
+            "memory_limit_hit": self.memory_limit_hit,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SearchStats":
+        """Rebuild counters from an :meth:`as_dict` snapshot.
+
+        Used when resuming from a checkpoint.  The stop-reason flags are
+        deliberately *not* restored — whatever ended the previous run
+        (a MAXVERT cap, a SIGTERM) says nothing about how this one will
+        end — except ``truncated`` when vertices were irrecoverably
+        dropped by MAXSZAS/MAXSZDB, which does taint every continuation.
+        The recorded ``elapsed`` becomes the resumed clock's base so the
+        total spans both runs.
+        """
+        stats = cls()
+        for key in (
+            "generated",
+            "explored",
+            "pruned_children",
+            "pruned_active",
+            "pruned_dominated",
+            "pruned_duplicate",
+            "pruned_infeasible",
+            "dropped_resource",
+            "goals_evaluated",
+            "incumbent_updates",
+            "peak_active",
+        ):
+            setattr(stats, key, int(data.get(key, 0)))
+        stats.truncated = stats.dropped_resource > 0
+        stats._elapsed_base = float(data.get("elapsed", 0.0))
+        return stats
 
     def summary(self) -> str:
         flags = []
         if self.time_limit_hit:
             flags.append("TIMELIMIT")
+        if self.memory_limit_hit:
+            flags.append("MEMLIMIT")
+        if self.interrupted:
+            flags.append("INTERRUPTED")
         if self.truncated:
             flags.append("TRUNCATED")
         tail = f" [{' '.join(flags)}]" if flags else ""

@@ -20,8 +20,11 @@ __all__ = [
     "DeadlineAssignmentError",
     "SearchError",
     "ResourceLimitExceeded",
+    "WorkerCrashed",
     "ConfigurationError",
     "SerializationError",
+    "ProblemFormatError",
+    "CheckpointError",
 ]
 
 
@@ -130,11 +133,21 @@ class ResourceLimitExceeded(SearchError):
     The engine normally *degrades* on resource exhaustion (returning the
     best solution found so far, per the paper's RB semantics); this is
     only raised when ``ResourceBounds.fail_on_exhaustion`` is set.
+
+    ``partial`` carries the anytime :class:`~repro.core.engine.BnBResult`
+    at the moment the bound tripped — the best incumbent found so far,
+    its schedule, and the run's statistics — so callers that still catch
+    the exception can recover the paid-for work instead of losing it.
+    It is ``None`` only when the engine could not assemble one, and it
+    is deliberately dropped when the exception crosses a process
+    boundary (a partial result pins the whole compiled problem, which
+    the coordinator already has).
     """
 
-    def __init__(self, which: str, detail: str = "") -> None:
+    def __init__(self, which: str, detail: str = "", partial=None) -> None:
         self.which = which
         self.detail = detail
+        self.partial = partial
         msg = f"resource bound exceeded: {which}"
         if detail:
             msg += f" ({detail})"
@@ -145,8 +158,27 @@ class ResourceLimitExceeded(SearchError):
         # here the already-formatted message — which would double-wrap
         # the prefix and drop ``which``.  Replay the real constructor
         # arguments instead (workers raise this across process
-        # boundaries).
+        # boundaries); ``partial`` stays behind on purpose.
         return (type(self), (self.which, self.detail))
+
+
+class WorkerCrashed(SearchError):
+    """A parallel worker process died and retries were exhausted.
+
+    Raised by the parallel driver when a shard's worker keeps dying
+    (or its process pool breaks) beyond the configured attempt budget.
+    """
+
+    def __init__(self, detail: str, attempts: int = 0) -> None:
+        self.detail = detail
+        self.attempts = attempts
+        msg = f"worker crashed: {detail}"
+        if attempts:
+            msg += f" (after {attempts} attempts)"
+        super().__init__(msg)
+
+    def __reduce__(self):
+        return (type(self), (self.detail, self.attempts))
 
 
 class ConfigurationError(ReproError, ValueError):
@@ -155,3 +187,36 @@ class ConfigurationError(ReproError, ValueError):
 
 class SerializationError(ReproError):
     """Serialized data could not be parsed or written."""
+
+
+class ProblemFormatError(SerializationError):
+    """A problem-input file (STG, JSON graph, …) is malformed.
+
+    Subclasses :class:`SerializationError`, so existing handlers keep
+    working, and adds structured ``path``/``line`` context so tooling
+    (and humans) can locate the defect without re-parsing the file.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: str | None = None,
+        line: int | None = None,
+    ) -> None:
+        self.path = path
+        self.line = line
+        self.reason = message
+        where = path or "<input>"
+        if line is not None:
+            where += f", line {line}"
+        super().__init__(f"{where}: {message}")
+
+
+class CheckpointError(ReproError):
+    """A search checkpoint could not be written, read, or applied.
+
+    Raised on corrupt/truncated snapshot files, unsupported format
+    versions, and fingerprint mismatches (resuming against a different
+    problem or parametrization).
+    """

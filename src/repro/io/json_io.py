@@ -13,7 +13,7 @@ from pathlib import Path
 from typing import Any
 
 from ..analysis.aggregate import Series, SeriesPoint
-from ..errors import SerializationError
+from ..errors import ProblemFormatError, SerializationError
 from ..experiments.runner import ExperimentOutput
 from ..model.channel import Channel
 from ..model.platform import Platform
@@ -86,34 +86,63 @@ def graph_to_dict(graph: TaskGraph) -> dict[str, Any]:
     }
 
 
-def graph_from_dict(data: dict[str, Any]) -> TaskGraph:
-    if data.get("format") != _GRAPH_FORMAT:
-        raise SerializationError(
-            f"expected format {_GRAPH_FORMAT!r}, got {data.get('format')!r}"
+def graph_from_dict(
+    data: dict[str, Any], source: str | None = None
+) -> TaskGraph:
+    """Build a graph from its dict form.
+
+    Every malformed entry raises
+    :class:`~repro.errors.ProblemFormatError` naming the offending item
+    (``tasks[3]`` / ``channels[0]``) so a hand-edited workload file can
+    be fixed without bisecting it; ``source`` (the file path, when
+    loaded from disk) prefixes the message.
+    """
+
+    def fail(message: str) -> ProblemFormatError:
+        return ProblemFormatError(message, path=source)
+
+    if not isinstance(data, dict):
+        raise ProblemFormatError(
+            f"expected a JSON object, got {type(data).__name__}",
+            path=source,
         )
-    try:
-        tasks = [
-            Task(
-                name=t["name"],
-                wcet=float(t["wcet"]),
-                phase=float(t.get("phase", 0.0)),
-                relative_deadline=_unnum(t.get("relative_deadline", "inf")),
-                period=_unnum(t.get("period", "inf")),
+    if data.get("format") != _GRAPH_FORMAT:
+        raise ProblemFormatError(
+            f"expected format {_GRAPH_FORMAT!r}, got {data.get('format')!r}",
+            path=source,
+        )
+    tasks = []
+    for i, t in enumerate(data.get("tasks", [])):
+        try:
+            tasks.append(
+                Task(
+                    name=t["name"],
+                    wcet=float(t["wcet"]),
+                    phase=float(t.get("phase", 0.0)),
+                    relative_deadline=_unnum(
+                        t.get("relative_deadline", "inf")
+                    ),
+                    period=_unnum(t.get("period", "inf")),
+                )
             )
-            for t in data["tasks"]
-        ]
-        channels = [
-            Channel(
-                src=c["src"],
-                dst=c["dst"],
-                message_size=float(c.get("message_size", 0.0)),
-                arrival=float(c.get("arrival", 0.0)),
-                relative_deadline=_unnum(c.get("relative_deadline", "inf")),
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise fail(f"malformed task graph: tasks[{i}]: {exc}") from exc
+    channels = []
+    for i, c in enumerate(data.get("channels", [])):
+        try:
+            channels.append(
+                Channel(
+                    src=c["src"],
+                    dst=c["dst"],
+                    message_size=float(c.get("message_size", 0.0)),
+                    arrival=float(c.get("arrival", 0.0)),
+                    relative_deadline=_unnum(
+                        c.get("relative_deadline", "inf")
+                    ),
+                )
             )
-            for c in data.get("channels", [])
-        ]
-    except (KeyError, TypeError, ValueError) as exc:
-        raise SerializationError(f"malformed task graph: {exc}") from exc
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise fail(f"malformed task graph: channels[{i}]: {exc}") from exc
     return TaskGraph(tasks, channels, name=data.get("name", "taskgraph"))
 
 
@@ -123,10 +152,20 @@ def save_graph(graph: TaskGraph, path: str | Path) -> None:
 
 def load_graph(path: str | Path) -> TaskGraph:
     try:
-        data = json.loads(Path(path).read_text())
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise ProblemFormatError(
+            f"cannot read graph file: {exc}", path=str(path)
+        ) from exc
+    try:
+        data = json.loads(text)
     except json.JSONDecodeError as exc:
-        raise SerializationError(f"invalid JSON in {path}: {exc}") from exc
-    return graph_from_dict(data)
+        raise ProblemFormatError(
+            f"invalid JSON in {path}: {exc.msg}",
+            path=str(path),
+            line=exc.lineno,
+        ) from exc
+    return graph_from_dict(data, source=str(path))
 
 
 # ---------------------------------------------------------------------------

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from ..errors import SerializationError
+from ..errors import ProblemFormatError
 from ..model.channel import Channel
 from ..model.task import Task
 from ..model.taskgraph import TaskGraph
@@ -44,78 +44,96 @@ def parse_stg(
     text: str,
     name: str = "stg",
     keep_dummies_as: float | None = None,
+    source: str | None = None,
 ) -> TaskGraph:
-    """Parse STG text into a :class:`TaskGraph`."""
-    tokens_lines: list[list[str]] = []
-    for raw in text.splitlines():
+    """Parse STG text into a :class:`TaskGraph`.
+
+    ``source`` names the input in error messages (:func:`load_stg`
+    passes the file path); every malformed construct raises
+    :class:`~repro.errors.ProblemFormatError` carrying the offending
+    1-based line number.
+    """
+
+    def fail(message: str, line: int | None = None) -> ProblemFormatError:
+        return ProblemFormatError(message, path=source, line=line)
+
+    tokens_lines: list[tuple[int, list[str]]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
         if line:
-            tokens_lines.append(line.split())
+            tokens_lines.append((lineno, line.split()))
     if not tokens_lines:
-        raise SerializationError("empty STG input")
+        raise fail("empty STG input")
+    first_line, first_tokens = tokens_lines[0]
     try:
-        declared = int(tokens_lines[0][0])
+        declared = int(first_tokens[0])
     except ValueError as exc:
-        raise SerializationError(
-            f"first STG line must be the task count, got {tokens_lines[0]!r}"
+        raise fail(
+            f"first STG line must be the task count, got {first_tokens!r}",
+            first_line,
         ) from exc
 
-    entries: dict[int, tuple[float, list[int]]] = {}
-    for tokens in tokens_lines[1:]:
+    #: tid -> (cost, predecessor ids, source line)
+    entries: dict[int, tuple[float, list[int], int]] = {}
+    for lineno, tokens in tokens_lines[1:]:
         if len(tokens) < 3:
-            raise SerializationError(f"malformed STG task line: {tokens!r}")
+            raise fail(f"malformed STG task line: {tokens!r}", lineno)
         try:
             tid = int(tokens[0])
             cost = float(tokens[1])
             npred = int(tokens[2])
             preds = [int(x) for x in tokens[3 : 3 + npred]]
         except ValueError as exc:
-            raise SerializationError(
-                f"malformed STG task line: {tokens!r}"
+            raise fail(
+                f"malformed STG task line: {tokens!r}", lineno
             ) from exc
         if len(preds) != npred:
-            raise SerializationError(
+            raise fail(
                 f"task {tid}: declared {npred} predecessors, "
-                f"got {len(preds)}"
+                f"got {len(preds)}",
+                lineno,
             )
         if tid in entries:
-            raise SerializationError(f"duplicate STG task id {tid}")
-        entries[tid] = (cost, preds)
+            raise fail(f"duplicate STG task id {tid}", lineno)
+        entries[tid] = (cost, preds, lineno)
 
     if len(entries) not in (declared, declared + 2):
         # Accept both the "n excludes dummies" and "n includes dummies"
         # conventions, which both occur in the wild.
         if len(entries) != declared:
-            raise SerializationError(
-                f"STG declares {declared} tasks but lists {len(entries)}"
+            raise fail(
+                f"STG declares {declared} tasks but lists {len(entries)}",
+                first_line,
             )
 
     dummies = {
-        tid for tid, (cost, _) in entries.items() if cost == 0.0
+        tid for tid, (cost, _, _) in entries.items() if cost == 0.0
     }
     if keep_dummies_as is not None:
         if keep_dummies_as <= 0:
-            raise SerializationError("keep_dummies_as must be positive")
+            raise fail("keep_dummies_as must be positive")
         dummies = set()
 
     graph = TaskGraph(name=name)
     for tid in sorted(entries):
         if tid in dummies:
             continue
-        cost, _ = entries[tid]
+        cost = entries[tid][0]
         wcet = cost if cost > 0 else float(keep_dummies_as)  # type: ignore[arg-type]
         graph.add_task(Task(name=f"n{tid}", wcet=wcet))
 
     def real_preds(tid: int, seen: frozenset[int] = frozenset()) -> set[int]:
         """Predecessors with dummies transitively collapsed."""
         out: set[int] = set()
+        lineno = entries[tid][2]
         for p in entries[tid][1]:
             if p not in entries:
-                raise SerializationError(
-                    f"task {tid} references unknown predecessor {p}"
+                raise fail(
+                    f"task {tid} references unknown predecessor {p}",
+                    lineno,
                 )
             if p in seen:
-                raise SerializationError(f"cycle through STG task {p}")
+                raise fail(f"cycle through STG task {p}", lineno)
             if p in dummies:
                 out |= real_preds(p, seen | {p})
             else:
@@ -170,9 +188,15 @@ def format_stg(graph: TaskGraph, with_dummies: bool = True) -> str:
 
 
 def load_stg(path: str | Path, **kwargs) -> TaskGraph:
-    """Read an STG file."""
+    """Read an STG file; parse errors carry the path and line number."""
     p = Path(path)
-    return parse_stg(p.read_text(), name=p.stem, **kwargs)
+    try:
+        text = p.read_text()
+    except OSError as exc:
+        raise ProblemFormatError(
+            f"cannot read STG file: {exc}", path=str(p)
+        ) from exc
+    return parse_stg(text, name=p.stem, source=str(p), **kwargs)
 
 
 def save_stg(graph: TaskGraph, path: str | Path, **kwargs) -> None:

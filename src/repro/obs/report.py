@@ -41,6 +41,18 @@ class TraceReport:
     resources: list[dict[str, Any]] = field(default_factory=list)
     #: The post-solve transposition-table telemetry event, if present.
     tt: dict[str, Any] | None = None
+    #: Checkpoint-written events, in file order.
+    checkpoints: list[dict[str, Any]] = field(default_factory=list)
+    #: The resume event, if this run restarted from a snapshot.
+    resume: dict[str, Any] | None = None
+    #: Worker-restart events from the parallel supervisor.
+    worker_restarts: list[dict[str, Any]] = field(default_factory=list)
+    #: Shard-retry events (requeues after a worker death).
+    shard_retries: list[dict[str, Any]] = field(default_factory=list)
+    #: Quarantine events (shards abandoned after repeated failures).
+    quarantines: list[dict[str, Any]] = field(default_factory=list)
+    #: Wall-clock seconds from solve start to the first incumbent.
+    first_incumbent_elapsed: float | None = None
     #: Lines that failed to parse as JSON objects.
     malformed_lines: int = 0
 
@@ -94,6 +106,11 @@ def _parse(fh: IO[str], path: str) -> TraceReport:
             report.incumbents.append(
                 (int(record.get("generated", 0)), float(record["cost"]))
             )
+            if (
+                report.first_incumbent_elapsed is None
+                and record.get("elapsed") is not None
+            ):
+                report.first_incumbent_elapsed = float(record["elapsed"])
         elif kind == "explore":
             report.explores.append(
                 (
@@ -108,6 +125,16 @@ def _parse(fh: IO[str], path: str) -> TraceReport:
             report.resources.append(record)
         elif kind == "tt":
             report.tt = record
+        elif kind == "checkpoint":
+            report.checkpoints.append(record)
+        elif kind == "resume":
+            report.resume = record
+        elif kind == "worker_restart":
+            report.worker_restarts.append(record)
+        elif kind == "shard_retry":
+            report.shard_retries.append(record)
+        elif kind == "quarantine":
+            report.quarantines.append(record)
     return report
 
 
@@ -131,6 +158,58 @@ def _simple_table(rows: list[tuple[str, ...]]) -> str:
         if i == 0:
             lines.append("  ".join("-" * w for w in widths))
     return "\n".join(lines)
+
+
+def _render_robustness(report: TraceReport) -> list[str]:
+    """The fault-tolerance section: empty when the run had none of it."""
+    any_fault = (
+        report.checkpoints
+        or report.resume is not None
+        or report.worker_restarts
+        or report.shard_retries
+        or report.quarantines
+    )
+    if not any_fault and report.first_incumbent_elapsed is None:
+        return []
+    out = ["robustness:"]
+    if report.first_incumbent_elapsed is not None:
+        out.append(
+            "  time to first incumbent: "
+            f"{report.first_incumbent_elapsed:.3f}s"
+        )
+    if report.checkpoints:
+        last = report.checkpoints[-1]
+        out.append(
+            f"  checkpoints written: {len(report.checkpoints)} "
+            f"(last: version {last.get('version', '?')} at "
+            f"{last.get('explored', '?')} explored)"
+        )
+    if report.resume is not None:
+        res = report.resume
+        out.append(
+            f"  resumed from: version {res.get('version', '?')} "
+            f"({res.get('explored', '?')} explored / "
+            f"{res.get('generated', '?')} generated before the restart)"
+        )
+    if report.worker_restarts:
+        causes = sorted(
+            {str(r.get("cause", "?")) for r in report.worker_restarts}
+        )
+        out.append(
+            f"  worker restarts: {len(report.worker_restarts)} "
+            f"({', '.join(causes)})"
+        )
+    if report.shard_retries:
+        out.append(f"  shard retries: {len(report.shard_retries)}")
+    if report.quarantines:
+        shards = ", ".join(
+            str(q.get("shard", "?")) for q in report.quarantines
+        )
+        out.append(
+            f"  quarantined shards: {len(report.quarantines)} "
+            f"({shards}) — result is a bound, not proven optimal"
+        )
+    return out
 
 
 def render_trace_report(report: TraceReport, max_profile_rows: int = 20) -> str:
@@ -191,6 +270,11 @@ def render_trace_report(report: TraceReport, max_profile_rows: int = 20) -> str:
             kind = rec.get("kind", "?")
             detail = rec.get("detail", "")
             out.append(f"  {kind} {detail}".rstrip())
+
+    robustness = _render_robustness(report)
+    if robustness:
+        out.append("")
+        out.extend(robustness)
 
     stats_for_pruning = (report.summary or {}).get("stats") or {}
     pruned_total = sum(

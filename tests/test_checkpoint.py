@@ -1,0 +1,353 @@
+"""Checkpoint/resume and graceful-shutdown tests.
+
+The load-bearing guarantee is the *kill-resume differential*: for every
+tested ⟨B,S,E,L⟩ cell, running to completion and running-capped → final
+snapshot → resume must produce the same cost and schedule, and (without
+a transposition layer, which is deliberately dropped from snapshots)
+exactly the same generated/explored counters.  The rest of the file
+covers the format layer (atomic writes, versioning, corruption,
+fingerprint binding) and the cooperative-stop path, and ends with the
+real thing: SIGKILLing a live CLI solve and resuming it.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+
+import pytest
+
+from faultlib import (
+    hard_graph,
+    hard_problem,
+    kill_when_file_appears,
+    parse_lmax,
+    run_cli,
+    spawn_cli,
+)
+from repro.core import (
+    BnBParameters,
+    BranchAndBound,
+    ResourceBounds,
+    SolveStatus,
+)
+from repro.core.bounds import LB2
+from repro.core.checkpoint import (
+    CHECKPOINT_FORMAT,
+    Checkpointer,
+    StopToken,
+    graceful_interrupts,
+    load_checkpoint,
+    problem_fingerprint,
+    write_checkpoint,
+)
+from repro.core.selection import FIFOSelection
+from repro.errors import CheckpointError
+from repro.io import save_graph
+
+PROBLEM = hard_problem(seed=0)
+
+
+# ---------------------------------------------------------------------------
+# Fingerprints
+# ---------------------------------------------------------------------------
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        params = BnBParameters()
+        assert problem_fingerprint(PROBLEM, params) == problem_fingerprint(
+            PROBLEM, params
+        )
+
+    def test_search_shaping_parameters_change_it(self):
+        base = problem_fingerprint(PROBLEM, BnBParameters.paper_lifo())
+        assert base != problem_fingerprint(PROBLEM, BnBParameters.paper_llb())
+        assert base != problem_fingerprint(PROBLEM, BnBParameters.paper_lb0())
+
+    def test_problem_changes_it(self):
+        params = BnBParameters()
+        assert problem_fingerprint(PROBLEM, params) != problem_fingerprint(
+            hard_problem(seed=4), params
+        )
+
+    def test_resource_bounds_do_not_change_it(self):
+        # RB is excluded on purpose: the runbook is "resume the capped
+        # run with bigger limits", which must not invalidate snapshots.
+        params = BnBParameters()
+        capped = params.evolve(
+            resources=ResourceBounds(max_vertices=10, time_limit=1.0)
+        )
+        assert problem_fingerprint(PROBLEM, params) == problem_fingerprint(
+            PROBLEM, capped
+        )
+
+
+# ---------------------------------------------------------------------------
+# File format
+# ---------------------------------------------------------------------------
+
+
+def _solve_capped_with_checkpoint(params, cap, path, every=50):
+    capped = params.evolve(resources=ResourceBounds(max_vertices=cap))
+    result = BranchAndBound(capped).solve(
+        PROBLEM, checkpoint=Checkpointer(str(path), every=every)
+    )
+    return result
+
+
+class TestFormat:
+    def test_roundtrip_preserves_the_snapshot(self, tmp_path):
+        path = tmp_path / "cp.pkl"
+        result = _solve_capped_with_checkpoint(BnBParameters(), 400, path)
+        assert result.status is SolveStatus.TRUNCATED
+        assert result.checkpoint_path == str(path)
+        snap = load_checkpoint(str(path))
+        assert snap.format == CHECKPOINT_FORMAT
+        assert snap.frontier
+        assert snap.fingerprint == problem_fingerprint(
+            PROBLEM, BnBParameters()
+        )
+        # The cap is checked per expansion, so the final batch of
+        # children may overshoot it by at most one expansion's worth.
+        assert snap.stats["generated"] <= 400 + PROBLEM.n * 2
+
+    def test_write_is_atomic_and_leaves_no_temp_files(self, tmp_path):
+        path = tmp_path / "cp.pkl"
+        _solve_capped_with_checkpoint(BnBParameters(), 400, path, every=25)
+        leftovers = [p for p in os.listdir(tmp_path) if p != "cp.pkl"]
+        assert leftovers == []
+
+    def test_versions_are_monotone(self, tmp_path):
+        path = tmp_path / "cp.pkl"
+        _solve_capped_with_checkpoint(BnBParameters(), 800, path, every=25)
+        snap = load_checkpoint(str(path))
+        # explored ~200+ at cap 800, every=25 -> several periodic writes
+        # before the final one; the surviving file carries the last.
+        assert snap.version >= 1
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_checkpoint(str(tmp_path / "nope.pkl"))
+
+    def test_truncated_file_is_reported_corrupt(self, tmp_path):
+        path = tmp_path / "cp.pkl"
+        _solve_capped_with_checkpoint(BnBParameters(), 400, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(CheckpointError, match="corrupt"):
+            load_checkpoint(str(path))
+
+    def test_foreign_pickle_is_rejected(self, tmp_path):
+        path = tmp_path / "cp.pkl"
+        path.write_bytes(pickle.dumps({"not": "a checkpoint"}))
+        with pytest.raises(CheckpointError, match="not a search checkpoint"):
+            load_checkpoint(str(path))
+
+    def test_unsupported_format_version_is_rejected(self, tmp_path):
+        path = tmp_path / "cp.pkl"
+        _solve_capped_with_checkpoint(BnBParameters(), 400, path)
+        snap = load_checkpoint(str(path))
+        snap.format = "repro/checkpoint-v999"
+        write_checkpoint(snap, str(path))
+        with pytest.raises(CheckpointError, match="unsupported"):
+            load_checkpoint(str(path))
+
+    def test_checkpointer_validates_interval(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            Checkpointer(str(tmp_path / "cp.pkl"), every=0)
+
+    def test_due_baselines_at_the_first_observation(self):
+        cp = Checkpointer("unused.pkl", every=10)
+        # A resumed run's first call must not immediately re-write what
+        # it just read: the first observation only sets the baseline.
+        assert cp.due(500) is False
+        assert cp.due(505) is False
+        assert cp.due(510) is True
+        assert cp.due(511) is False
+        assert cp.due(520) is True
+
+
+# ---------------------------------------------------------------------------
+# The kill-resume differential
+# ---------------------------------------------------------------------------
+
+#: ⟨B,S,E,L⟩ cells under differential test.  Kept to distinct frontier
+#: disciplines (LIFO list vs. heap) and bound/branching variants so the
+#: restore path is exercised for every Frontier implementation.
+CELLS = [
+    pytest.param(BnBParameters.paper_lifo(), id="BFn-LIFO-UDBAS-LB1"),
+    pytest.param(BnBParameters.paper_llb(), id="BFn-LLB-UDBAS-LB1"),
+    pytest.param(BnBParameters.paper_lb0(), id="BFn-LIFO-UDBAS-LB0"),
+    pytest.param(
+        BnBParameters(selection=FIFOSelection()), id="BFn-FIFO-UDBAS-LB1"
+    ),
+    pytest.param(BnBParameters(lower_bound=LB2()), id="BFn-LIFO-UDBAS-LB2"),
+]
+
+
+@pytest.mark.parametrize("params", CELLS)
+def test_kill_resume_differential(params, tmp_path):
+    straight = BranchAndBound(params).solve(PROBLEM)
+    assert straight.stats.explored > 50, "cell too trivial to test resume"
+
+    path = tmp_path / "cp.pkl"
+    cap = max(50, straight.stats.generated // 2)
+    capped = BranchAndBound(
+        params.evolve(resources=ResourceBounds(max_vertices=cap))
+    ).solve(PROBLEM, checkpoint=Checkpointer(str(path), every=40))
+    assert capped.status is SolveStatus.TRUNCATED
+    assert capped.checkpoint_path == str(path)
+
+    resumed = BranchAndBound(params).solve(
+        PROBLEM, resume=load_checkpoint(str(path))
+    )
+    assert resumed.status == straight.status
+    assert resumed.best_cost == straight.best_cost
+    assert resumed.proc_of == straight.proc_of
+    assert resumed.start == straight.start
+    # No transposition layer in these cells: the resumed run replays the
+    # remaining tree exactly, so the counters match to the vertex.
+    assert resumed.stats.generated == straight.stats.generated
+    assert resumed.stats.explored == straight.stats.explored
+
+
+def test_kill_resume_differential_with_transposition(tmp_path):
+    # The TT is deliberately not snapshotted (dropping it is sound but
+    # duplicates may be re-explored), so this cell asserts the cost and
+    # schedule contract only, plus the direction of the counter drift.
+    params = BnBParameters().with_transposition()
+    straight = BranchAndBound(params).solve(PROBLEM)
+    path = tmp_path / "cp.pkl"
+    cap = max(50, straight.stats.generated // 2)
+    capped = BranchAndBound(
+        params.evolve(resources=ResourceBounds(max_vertices=cap))
+    ).solve(PROBLEM, checkpoint=Checkpointer(str(path), every=40))
+    assert capped.status is SolveStatus.TRUNCATED
+
+    resumed = BranchAndBound(params).solve(
+        PROBLEM, resume=load_checkpoint(str(path))
+    )
+    assert resumed.best_cost == straight.best_cost
+    assert resumed.stats.generated >= straight.stats.generated
+
+
+def test_resume_rejects_a_different_parametrization(tmp_path):
+    path = tmp_path / "cp.pkl"
+    _solve_capped_with_checkpoint(BnBParameters.paper_lifo(), 400, path)
+    snap = load_checkpoint(str(path))
+    with pytest.raises(CheckpointError, match="does not match"):
+        BranchAndBound(BnBParameters.paper_llb()).solve(PROBLEM, resume=snap)
+
+
+def test_resume_rejects_a_different_problem(tmp_path):
+    path = tmp_path / "cp.pkl"
+    _solve_capped_with_checkpoint(BnBParameters(), 400, path)
+    snap = load_checkpoint(str(path))
+    with pytest.raises(CheckpointError, match="does not match"):
+        BranchAndBound(BnBParameters()).solve(
+            hard_problem(seed=4), resume=snap
+        )
+
+
+# ---------------------------------------------------------------------------
+# Cooperative stop
+# ---------------------------------------------------------------------------
+
+
+class TestGracefulStop:
+    def test_preset_token_returns_anytime_result(self):
+        token = StopToken()
+        token.set("test")
+        result = BranchAndBound(BnBParameters()).solve(PROBLEM, stop=token)
+        assert result.status is SolveStatus.INTERRUPTED
+        # The EDF initial incumbent is never lost, and the open bound
+        # turns the early stop into a quantified optimality gap.
+        assert result.found_solution
+        assert result.open_lower_bound is not None
+        assert result.optimality_gap >= 0.0
+        result.schedule().validate()
+
+    def test_stop_writes_a_final_checkpoint(self, tmp_path):
+        token = StopToken()
+        token.set("test")
+        path = tmp_path / "cp.pkl"
+        result = BranchAndBound(BnBParameters()).solve(
+            PROBLEM,
+            stop=token,
+            checkpoint=Checkpointer(str(path), every=10_000),
+        )
+        assert result.status is SolveStatus.INTERRUPTED
+        assert result.checkpoint_path == str(path)
+        resumed = BranchAndBound(BnBParameters()).solve(
+            PROBLEM, resume=load_checkpoint(str(path))
+        )
+        straight = BranchAndBound(BnBParameters()).solve(PROBLEM)
+        assert resumed.best_cost == straight.best_cost
+        assert resumed.stats.generated == straight.stats.generated
+
+    def test_sigint_sets_the_token(self):
+        token = StopToken()
+        with graceful_interrupts(token):
+            signal.raise_signal(signal.SIGINT)
+            assert token.is_set()
+            assert token.reason == "SIGINT"
+        # Handlers restored: a fresh token context is independent.
+        assert signal.getsignal(signal.SIGINT) is not None
+
+    def test_sigterm_sets_the_token(self):
+        token = StopToken()
+        with graceful_interrupts(token):
+            signal.raise_signal(signal.SIGTERM)
+            assert token.is_set()
+            assert token.reason == "SIGTERM"
+
+
+# ---------------------------------------------------------------------------
+# The real thing: SIGKILL a live CLI solve, resume it
+# ---------------------------------------------------------------------------
+
+
+def test_sigkill_mid_run_then_resume_matches_straight_run(tmp_path):
+    graph_path = tmp_path / "g.json"
+    save_graph(hard_graph(seed=0), graph_path)
+    cp = tmp_path / "cp.pkl"
+
+    straight = run_cli(["solve", str(graph_path), "-m", "2"])
+    assert straight.returncode == 0, straight.stderr
+    want = parse_lmax(straight.stdout)
+
+    proc = spawn_cli(
+        [
+            "solve", str(graph_path), "-m", "2",
+            "--checkpoint", str(cp), "--checkpoint-every", "25",
+        ]
+    )
+    try:
+        kill_when_file_appears(proc, cp, timeout=60.0)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+    assert cp.exists() and cp.stat().st_size > 0
+
+    resumed = run_cli(
+        ["solve", str(graph_path), "-m", "2", "--resume", str(cp)]
+    )
+    assert resumed.returncode == 0, resumed.stderr
+    assert "resumed:" in resumed.stdout
+    assert parse_lmax(resumed.stdout) == want
+
+
+def test_cli_rejects_checkpoint_with_workers(tmp_path):
+    graph_path = tmp_path / "g.json"
+    save_graph(hard_graph(seed=0), graph_path)
+    out = run_cli(
+        [
+            "solve", str(graph_path), "-m", "2",
+            "--workers", "2", "--checkpoint", str(tmp_path / "cp.pkl"),
+        ]
+    )
+    assert out.returncode == 2
+    assert "in-process engine" in out.stderr

@@ -76,8 +76,11 @@ class TestSolve:
         assert "p0:" in out  # gantt
 
     def test_solve_missing_file_errors(self, capsys):
-        with pytest.raises(FileNotFoundError):
-            main(["solve", "/nonexistent/g.json"])
+        # A missing input is a clean diagnostic (exit 2), not a traceback.
+        assert main(["solve", "/nonexistent/g.json"]) == 2
+        err = capsys.readouterr().err
+        assert "/nonexistent/g.json" in err
+        assert "cannot read" in err
 
     def test_solve_bad_rule_rejected_by_argparse(self, graph_file):
         with pytest.raises(SystemExit):

@@ -1,0 +1,150 @@
+"""Corrupt-input fixtures for the hardened IO layer.
+
+Every malformed file must produce a :class:`ProblemFormatError` that
+(a) names the file, (b) points at the offending line or entry, and
+(c) stays catchable as the :class:`SerializationError` it subclasses —
+no raw ``KeyError``/``ValueError``/``JSONDecodeError`` may escape a
+loader for any input, however mangled.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ProblemFormatError, SerializationError
+from repro.io import load_graph, load_stg, save_graph
+from repro.io.json_io import graph_from_dict
+from repro.io.stg import parse_stg
+from repro.workload import generate_task_graph, tiny_spec
+
+
+def _valid_graph_dict():
+    return {
+        "format": "repro/taskgraph-v1",
+        "name": "g",
+        "tasks": [
+            {"name": "a", "wcet": 1.0},
+            {"name": "b", "wcet": 2.0},
+        ],
+        "channels": [{"src": "a", "dst": "b", "message_size": 1.0}],
+    }
+
+
+class TestJsonGraphCorruption:
+    def test_invalid_json_reports_path_and_line(self, tmp_path):
+        path = tmp_path / "g.json"
+        path.write_text('{\n  "format": "repro/taskgraph-v1",\n  oops\n}\n')
+        with pytest.raises(ProblemFormatError) as exc:
+            load_graph(path)
+        assert exc.value.path == str(path)
+        assert exc.value.line == 3
+        assert str(path) in str(exc.value)
+        assert "line 3" in str(exc.value)
+        assert "invalid JSON" in str(exc.value)
+
+    def test_missing_file_is_a_clean_error(self, tmp_path):
+        with pytest.raises(ProblemFormatError, match="cannot read"):
+            load_graph(tmp_path / "nope.json")
+
+    def test_wrong_format_marker(self, tmp_path):
+        path = tmp_path / "g.json"
+        data = _valid_graph_dict()
+        data["format"] = "repro/taskgraph-v99"
+        path.write_text(json.dumps(data))
+        with pytest.raises(ProblemFormatError) as exc:
+            load_graph(path)
+        assert exc.value.path == str(path)
+        assert "expected format" in str(exc.value)
+
+    def test_top_level_must_be_an_object(self):
+        with pytest.raises(ProblemFormatError, match="expected a JSON object"):
+            graph_from_dict([1, 2, 3])
+
+    def test_malformed_task_names_its_index(self, tmp_path):
+        path = tmp_path / "g.json"
+        data = _valid_graph_dict()
+        del data["tasks"][1]["wcet"]
+        path.write_text(json.dumps(data))
+        with pytest.raises(ProblemFormatError) as exc:
+            load_graph(path)
+        assert "tasks[1]" in str(exc.value)
+        assert exc.value.path == str(path)
+
+    def test_non_numeric_wcet_names_its_index(self):
+        data = _valid_graph_dict()
+        data["tasks"][0]["wcet"] = "fast"
+        with pytest.raises(ProblemFormatError, match=r"tasks\[0\]"):
+            graph_from_dict(data)
+
+    def test_malformed_channel_names_its_index(self):
+        data = _valid_graph_dict()
+        del data["channels"][0]["dst"]
+        with pytest.raises(ProblemFormatError, match=r"channels\[0\]"):
+            graph_from_dict(data)
+
+    def test_errors_remain_catchable_as_serialization_errors(self):
+        with pytest.raises(SerializationError):
+            graph_from_dict({"format": "bogus"})
+
+    def test_round_trip_of_a_real_graph_still_works(self, tmp_path):
+        g = generate_task_graph(tiny_spec(), seed=0)
+        path = tmp_path / "g.json"
+        save_graph(g, path)
+        loaded = load_graph(path)
+        assert loaded.task_names == g.task_names
+
+
+class TestStgCorruption:
+    def test_malformed_task_line_carries_its_line_number(self):
+        text = "2\n1 10 0\nnot a task line\n"
+        with pytest.raises(ProblemFormatError) as exc:
+            parse_stg(text, source="bench.stg")
+        assert exc.value.line == 3
+        assert exc.value.path == "bench.stg"
+        assert "bench.stg, line 3" in str(exc.value)
+
+    def test_non_numeric_task_count(self):
+        with pytest.raises(ProblemFormatError) as exc:
+            parse_stg("lots\n1 10 0\n")
+        assert exc.value.line == 1
+
+    def test_unknown_predecessor_points_at_the_referencing_line(self):
+        text = "2\n1 10 0\n2 20 1 7\n"
+        with pytest.raises(ProblemFormatError) as exc:
+            parse_stg(text)
+        assert "unknown predecessor 7" in str(exc.value)
+        assert exc.value.line == 3
+
+    def test_duplicate_task_id(self):
+        text = "2\n1 10 0\n1 20 0\n"
+        with pytest.raises(ProblemFormatError) as exc:
+            parse_stg(text)
+        assert "duplicate" in str(exc.value)
+        assert exc.value.line == 3
+
+    def test_predecessor_count_mismatch(self):
+        text = "2\n1 10 0\n2 20 3 1\n"
+        with pytest.raises(ProblemFormatError) as exc:
+            parse_stg(text)
+        assert "declared 3 predecessors" in str(exc.value)
+        assert exc.value.line == 3
+
+    def test_comments_do_not_shift_reported_line_numbers(self):
+        text = "# header\n\n2\n# interlude\n1 10 0\nbroken\n"
+        with pytest.raises(ProblemFormatError) as exc:
+            parse_stg(text)
+        assert exc.value.line == 6
+
+    def test_missing_file_is_a_clean_error(self, tmp_path):
+        with pytest.raises(ProblemFormatError, match="cannot read STG"):
+            load_stg(tmp_path / "nope.stg")
+
+    def test_load_stg_prefixes_the_path(self, tmp_path):
+        path = tmp_path / "bad.stg"
+        path.write_text("2\n1 10 0\n2 20 1 9\n")
+        with pytest.raises(ProblemFormatError) as exc:
+            load_stg(path)
+        assert exc.value.path == str(path)
+        assert str(path) in str(exc.value)
