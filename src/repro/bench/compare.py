@@ -1,0 +1,228 @@
+"""Machine-checkable diffs between committed ``BENCH_*.json`` reports.
+
+The repository accumulates one benchmark report per performance PR
+(``BENCH_PR2.json`` …), each with its own schema.  ``repro bench
+--compare OLD.json NEW.json`` turns that trajectory into a gate:
+per-cell wall-clock and vertex-count ratios, geometric means over the
+shared cells, and a nonzero exit when a cell regresses beyond
+threshold.
+
+Schemas differ, so extraction is tolerant: a cell's canonical seconds
+is the first of ``opt_seconds`` (PR 2), ``seq_seconds`` (PR 3),
+``base_seconds`` (PR 6), ``seconds``, or the nested ``base.seconds``
+(PR 4); vertex counts come from ``generated`` (top level or under
+``base``).  Wall-clock ratios are only meaningful when both files were
+measured on comparable hardware — vertex counts are deterministic and
+therefore the harder signal.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..errors import ReproError
+
+__all__ = ["BenchComparison", "compare_benchmarks", "render_comparison"]
+
+_SECONDS_KEYS = ("opt_seconds", "seq_seconds", "base_seconds", "seconds")
+
+
+def _extract_cells(report: dict) -> dict[str, dict]:
+    cells: dict[str, dict] = {}
+    for inst in report.get("instances", []):
+        if not isinstance(inst, dict):
+            continue
+        name = inst.get("name")
+        if not name:
+            continue
+        base = inst.get("base") if isinstance(inst.get("base"), dict) else {}
+        seconds = None
+        for key in _SECONDS_KEYS:
+            value = inst.get(key)
+            if isinstance(value, (int, float)):
+                seconds = float(value)
+                break
+        if seconds is None and isinstance(base.get("seconds"), (int, float)):
+            seconds = float(base["seconds"])
+        generated = inst.get("generated")
+        if generated is None:
+            generated = base.get("generated")
+        if seconds is None and generated is None:
+            continue
+        cells[name] = {"seconds": seconds, "generated": generated}
+    return cells
+
+
+def _geomean(values: list[float]) -> float | None:
+    import math
+
+    positive = [v for v in values if v > 0]
+    if not positive:
+        return None
+    return math.exp(sum(math.log(v) for v in positive) / len(positive))
+
+
+@dataclass
+class BenchComparison:
+    """The diff of two bench reports over their shared cells."""
+
+    old_path: str
+    new_path: str
+    old_schema: str
+    new_schema: str
+    #: Per shared cell: name, old/new seconds and generated, ratios.
+    cells: list[dict] = field(default_factory=list)
+    #: Cells present in only one file (never a regression by itself).
+    only_old: list[str] = field(default_factory=list)
+    only_new: list[str] = field(default_factory=list)
+    geomean_time_ratio: float | None = None
+    geomean_vertex_ratio: float | None = None
+    #: Human-readable descriptions of every threshold breach.
+    regressions: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def compare_benchmarks(
+    old_path: str,
+    new_path: str,
+    *,
+    time_threshold: float = 0.20,
+    vertex_threshold: float = 0.01,
+) -> BenchComparison:
+    """Diff two bench JSON files; thresholds are fractional increases.
+
+    ``time_threshold`` tolerates wall-clock noise (machines differ);
+    ``vertex_threshold`` is tight because vertex counts are
+    deterministic — any growth means the search genuinely does more
+    work.  Raises :class:`~repro.errors.ReproError` on unreadable files
+    or zero shared cells (a comparison that checks nothing must not
+    pass silently).
+    """
+    reports = []
+    for path in (old_path, new_path):
+        try:
+            with open(path) as fh:
+                reports.append(json.load(fh))
+        except (OSError, ValueError) as exc:
+            raise ReproError(f"cannot read bench report {path}: {exc}") from exc
+    old_report, new_report = reports
+    old_cells = _extract_cells(old_report)
+    new_cells = _extract_cells(new_report)
+    shared = sorted(set(old_cells) & set(new_cells))
+    if not shared:
+        raise ReproError(
+            f"no shared bench cells between {old_path} "
+            f"({len(old_cells)} cells) and {new_path} "
+            f"({len(new_cells)} cells)"
+        )
+
+    comparison = BenchComparison(
+        old_path=old_path,
+        new_path=new_path,
+        old_schema=str(old_report.get("schema", "?")),
+        new_schema=str(new_report.get("schema", "?")),
+        only_old=sorted(set(old_cells) - set(new_cells)),
+        only_new=sorted(set(new_cells) - set(old_cells)),
+    )
+    time_ratios: list[float] = []
+    vertex_ratios: list[float] = []
+    for name in shared:
+        old = old_cells[name]
+        new = new_cells[name]
+        cell = {"name": name}
+        if old["seconds"] and new["seconds"]:
+            ratio = new["seconds"] / old["seconds"]
+            cell["old_seconds"] = old["seconds"]
+            cell["new_seconds"] = new["seconds"]
+            cell["time_ratio"] = round(ratio, 3)
+            time_ratios.append(ratio)
+            if ratio > 1 + time_threshold:
+                comparison.regressions.append(
+                    f"{name}: wall-clock {old['seconds']:.3f}s -> "
+                    f"{new['seconds']:.3f}s ({ratio:.2f}x, threshold "
+                    f"{1 + time_threshold:.2f}x)"
+                )
+        if old["generated"] and new["generated"]:
+            vratio = new["generated"] / old["generated"]
+            cell["old_generated"] = old["generated"]
+            cell["new_generated"] = new["generated"]
+            cell["vertex_ratio"] = round(vratio, 4)
+            vertex_ratios.append(vratio)
+            if vratio > 1 + vertex_threshold:
+                comparison.regressions.append(
+                    f"{name}: generated {old['generated']:,} -> "
+                    f"{new['generated']:,} ({vratio:.3f}x, threshold "
+                    f"{1 + vertex_threshold:.3f}x)"
+                )
+        comparison.cells.append(cell)
+    comparison.geomean_time_ratio = _geomean(time_ratios)
+    comparison.geomean_vertex_ratio = _geomean(vertex_ratios)
+    return comparison
+
+
+def render_comparison(comparison: BenchComparison) -> str:
+    """The text ``repro bench --compare`` prints."""
+    out = [
+        f"bench compare: {comparison.old_path} ({comparison.old_schema}) "
+        f"-> {comparison.new_path} ({comparison.new_schema})",
+        f"shared cells: {len(comparison.cells)}",
+    ]
+    rows = [("cell", "old s", "new s", "time", "old gen", "new gen", "gen")]
+    for cell in comparison.cells:
+        rows.append(
+            (
+                cell["name"],
+                f"{cell['old_seconds']:.3f}"
+                if "old_seconds" in cell
+                else "-",
+                f"{cell['new_seconds']:.3f}"
+                if "new_seconds" in cell
+                else "-",
+                f"{cell['time_ratio']:.2f}x"
+                if "time_ratio" in cell
+                else "-",
+                f"{cell['old_generated']:,}"
+                if "old_generated" in cell
+                else "-",
+                f"{cell['new_generated']:,}"
+                if "new_generated" in cell
+                else "-",
+                f"{cell['vertex_ratio']:.3f}x"
+                if "vertex_ratio" in cell
+                else "-",
+            )
+        )
+    out.append(_table(rows))
+    if comparison.geomean_time_ratio is not None:
+        out.append(
+            f"geomean wall-clock ratio: {comparison.geomean_time_ratio:.3f}x"
+        )
+    if comparison.geomean_vertex_ratio is not None:
+        out.append(
+            f"geomean vertex ratio: {comparison.geomean_vertex_ratio:.4f}x"
+        )
+    for name in comparison.only_old:
+        out.append(f"note: {name} only in {comparison.old_path}")
+    for name in comparison.only_new:
+        out.append(f"note: {name} only in {comparison.new_path}")
+    if comparison.regressions:
+        out.append("")
+        out.append(f"REGRESSIONS ({len(comparison.regressions)}):")
+        out.extend(f"  {line}" for line in comparison.regressions)
+    else:
+        out.append("no regressions beyond threshold")
+    return "\n".join(out)
+
+
+def _table(rows: list[tuple[str, ...]]) -> str:
+    widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
+    lines = []
+    for i, row in enumerate(rows):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -86,6 +86,8 @@ __all__ = [
     "run_parallel_suite",
     "run_transposition_instance",
     "run_transposition_suite",
+    "run_live_overhead_instance",
+    "run_live_overhead_suite",
     "check_against_golden",
     "golden_from_report",
 ]
@@ -739,6 +741,132 @@ def run_transposition_suite(
         "machine": _platform.machine(),
         "instances": rows,
         "summary": summary,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Live-monitor overhead suite (``repro bench --live``)
+# ---------------------------------------------------------------------------
+
+
+def run_live_overhead_instance(
+    inst: BenchInstance,
+    repeats: int = 3,
+    interval: float = 1.0,
+) -> dict:
+    """Time one cell bare vs with a :class:`~repro.obs.LiveMonitor`.
+
+    The monitored run must be the *same search*: identical generated /
+    explored counts and best cost, or the cell fails — a monitor that
+    changes the search is a bug, not overhead.  The live sink rejects
+    the sampled hot-path kinds, so the engine keeps the fused path; the
+    residual cost is the ``accepts()`` predicate plus one sampled
+    snapshot per ``interval`` seconds.
+    """
+    from ..obs import LiveMonitor
+
+    problem = inst.problem()
+    params = inst.params()
+
+    base, base_s = _timed_solve(params, problem, fused=True, repeats=repeats)
+
+    best = math.inf
+    live_result = None
+    samples = 0
+    for _ in range(repeats):
+        monitor = LiveMonitor(interval=interval)
+        solver = BranchAndBound(
+            params, obs=Observability(live=monitor), fused=True
+        )
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            t0 = time.perf_counter()
+            live_result = solver.solve(problem)
+            dt = time.perf_counter() - t0
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        gc.collect()
+        if dt < best:
+            best = dt
+            samples = monitor.samples
+
+    bare = (base.stats.generated, base.stats.explored, base.best_cost)
+    monitored = (live_result.stats.generated, live_result.stats.explored,
+                 live_result.best_cost)
+    if bare != monitored:
+        raise ReproError(
+            f"live bench {inst.name}: monitored search diverged from "
+            f"the bare one: {bare} != {monitored}"
+        )
+
+    overhead = (best / base_s - 1.0) if base_s > 0 else None
+    return {
+        "name": inst.name,
+        "preset": inst.preset,
+        "processors": inst.processors,
+        "tasks": problem.n,
+        "capped": inst.max_vertices,
+        "generated": base.stats.generated,
+        "explored": base.stats.explored,
+        "best_cost": base.best_cost,
+        "base_seconds": round(base_s, 6),
+        "live_seconds": round(best, 6),
+        "overhead": round(overhead, 4) if overhead is not None else None,
+        "samples": samples,
+    }
+
+
+def run_live_overhead_suite(
+    quick: bool = False,
+    repeats: int = 3,
+    interval: float = 1.0,
+    budget: float = 0.02,
+) -> dict:
+    """Measure monitor overhead across the suite (``BENCH_PR6.json``).
+
+    ``budget`` is the acceptance gate from the PR contract: the geomean
+    of per-cell wall-clock ratios (live/bare) must stay within
+    ``1 + budget``.  The report records both the geomean and the
+    verdict; the CLI exits nonzero when the budget is blown.  Regenerate
+    the committed report with::
+
+        repro bench --live --out BENCH_PR6.json
+    """
+    instances = QUICK_INSTANCES if quick else BENCH_INSTANCES
+    rows = [
+        run_live_overhead_instance(inst, repeats=repeats, interval=interval)
+        for inst in instances
+    ]
+    ratios = [
+        row["live_seconds"] / row["base_seconds"]
+        for row in rows
+        if row["base_seconds"] > 0
+    ]
+    geomean = _geomean(ratios)
+    overhead = (geomean - 1.0) if geomean is not None else None
+    return {
+        "schema": "repro-bench-pr6/1",
+        "quick": quick,
+        "repeats": repeats,
+        "interval": interval,
+        "python": sys.version.split()[0],
+        "machine": _platform.machine(),
+        "instances": rows,
+        "summary": {
+            "cells": len(rows),
+            "geomean_time_ratio": (
+                round(geomean, 4) if geomean is not None else None
+            ),
+            "geomean_overhead": (
+                round(overhead, 4) if overhead is not None else None
+            ),
+            "budget": budget,
+            "within_budget": (
+                overhead is not None and overhead <= budget
+            ),
+        },
     }
 
 

@@ -64,12 +64,15 @@ from .analysis.gantt import render_gantt
 from .core.trace import TraceRecorder
 from .obs import (
     JsonlSink,
+    LiveMonitor,
     MetricsRegistry,
+    MonitorServer,
     Observability,
     PhaseProfiler,
     ProgressReporter,
     load_trace,
     render_trace_report,
+    write_flight_dump,
 )
 from .io.dot import graph_to_dot
 from .io.json_io import save_experiment, save_graph, load_graph
@@ -222,6 +225,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit heartbeat progress lines to stderr during the solve",
     )
     slv.add_argument(
+        "--serve-status", type=int, nargs="?", const=0, default=None,
+        metavar="PORT",
+        help="serve a live solve monitor over HTTP on 127.0.0.1 while "
+        "the search runs: GET /status (JSON snapshot), /metrics "
+        "(Prometheus), /events (SSE), / (dashboard); PORT defaults to "
+        "an ephemeral one, printed to stderr",
+    )
+    slv.add_argument(
+        "--flight-recorder", type=_positive_int, default=None, metavar="N",
+        help="keep the last N solve events in a crash flight recorder, "
+        "dumped to <checkpoint>.flight.json (or repro-flight.json) when "
+        "the run is interrupted, hits the memory limit, or crashes",
+    )
+    slv.add_argument(
         "--workers", type=_workers_arg, default=0,
         help="solve in parallel across this many worker processes "
         "(an integer, or 'auto' for one per CPU; default 0 = in-process)",
@@ -312,6 +329,33 @@ def build_parser() -> argparse.ArgumentParser:
     ben.add_argument(
         "--split-depth", type=_positive_int, default=2,
         help="frontier split depth for the parallel suite (default 2)",
+    )
+    ben.add_argument(
+        "--live", action="store_true",
+        help="run the live-monitor overhead suite instead: each cell "
+             "bare vs with LiveMonitor attached, gated on a geomean "
+             "overhead budget (BENCH_PR6)",
+    )
+    ben.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="sampling interval for the live overhead suite (default 1.0)",
+    )
+    ben.add_argument(
+        "--compare", nargs=2, metavar=("OLD.json", "NEW.json"),
+        default=None,
+        help="diff two committed bench reports instead of running "
+             "anything: per-cell wall-clock and vertex ratios, geomean "
+             "summary, nonzero exit on regression",
+    )
+    ben.add_argument(
+        "--time-threshold", type=float, default=0.20,
+        help="fractional wall-clock increase tolerated per cell by "
+             "--compare (default 0.20)",
+    )
+    ben.add_argument(
+        "--vertex-threshold", type=float, default=0.01,
+        help="fractional generated-vertex increase tolerated per cell "
+             "by --compare (default 0.01; counts are deterministic)",
     )
     ben.add_argument(
         "--check", action="store_true",
@@ -430,6 +474,12 @@ def _cmd_solve(args) -> int:
         )
         args.trace_csv = None
     trace = TraceRecorder() if args.trace_csv else None
+    serving = args.serve_status is not None
+    live = (
+        LiveMonitor(ring_size=args.flight_recorder or 256)
+        if serving or args.flight_recorder
+        else None
+    )
     obs = Observability(
         sink=(
             JsonlSink(args.trace_jsonl, sample_every=args.trace_sample)
@@ -437,8 +487,11 @@ def _cmd_solve(args) -> int:
             else None
         ),
         profiler=PhaseProfiler() if args.profile else None,
-        metrics=MetricsRegistry() if args.metrics_out else None,
+        metrics=(
+            MetricsRegistry() if (args.metrics_out or serving) else None
+        ),
         progress=ProgressReporter() if args.progress else None,
+        live=live,
     )
     if args.workers and (args.checkpoint or args.resume):
         raise ConfigurationError(
@@ -448,6 +501,14 @@ def _cmd_solve(args) -> int:
         )
     parallel = None
     snapshot = load_checkpoint(args.resume) if args.resume else None
+    server = None
+    if serving:
+        server = MonitorServer(
+            live.bus, metrics=obs.metrics, port=args.serve_status
+        )
+        server.start()
+        print(f"monitor: {server.url}/ (status, metrics, events)",
+              file=sys.stderr)
     try:
         if args.workers:
             from .core.parallel import ParallelBnB
@@ -480,8 +541,30 @@ def _cmd_solve(args) -> int:
                     resume=snapshot,
                     stop=token,
                 )
+    except BaseException:
+        # A crash is exactly what the flight recorder exists for: dump
+        # the event ring before the traceback unwinds, then re-raise.
+        if live is not None:
+            path = write_flight_dump(
+                live, checkpoint_path=args.checkpoint, reason="crash"
+            )
+            if path:
+                print(f"flight recorder: wrote {path}", file=sys.stderr)
+        raise
     finally:
+        if server is not None:
+            server.stop()
         obs.close()
+    if live is not None and result.status in (
+        SolveStatus.INTERRUPTED, SolveStatus.MEMORY
+    ):
+        path = write_flight_dump(
+            live,
+            checkpoint_path=args.checkpoint,
+            reason=result.status.value,
+        )
+        if path:
+            print(f"flight recorder: wrote {path}", file=sys.stderr)
     print(f"parameters: {params.describe()}")
     if snapshot is not None:
         stats0 = snapshot.stats
@@ -557,10 +640,14 @@ def _cmd_bench(args) -> int:
         write_json,
     )
 
+    if args.compare:
+        return _cmd_bench_compare(args)
     if args.parallel:
         return _cmd_bench_parallel(args)
     if args.transposition:
         return _cmd_bench_transposition(args)
+    if args.live:
+        return _cmd_bench_live(args)
     baseline = load_baseline(args.baseline or BASELINE_PATH)
     if args.baseline and baseline is None:
         print(
@@ -707,6 +794,55 @@ def _cmd_bench_transposition(args) -> int:
         write_json(report, args.out)
         print(f"wrote {args.out}")
     return 0
+
+
+def _cmd_bench_compare(args) -> int:
+    from .bench import compare_benchmarks, render_comparison
+
+    old_path, new_path = args.compare
+    comparison = compare_benchmarks(
+        old_path,
+        new_path,
+        time_threshold=args.time_threshold,
+        vertex_threshold=args.vertex_threshold,
+    )
+    print(render_comparison(comparison))
+    return 0 if comparison.ok else 1
+
+
+def _cmd_bench_live(args) -> int:
+    from .bench import run_live_overhead_suite, write_json
+
+    report = run_live_overhead_suite(
+        quick=args.quick,
+        repeats=args.repeats or 3,
+        interval=args.interval,
+    )
+    header = (
+        f"{'instance':28s} {'gen':>9s} {'bare s':>8s} {'live s':>8s} "
+        f"{'overhead':>8s} {'samples':>7s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in report["instances"]:
+        ov = row["overhead"]
+        ov_s = f"{ov * 100:>7.2f}%" if ov is not None else f"{'-':>8s}"
+        print(
+            f"{row['name']:28s} {row['generated']:>9d} "
+            f"{row['base_seconds']:>8.3f} {row['live_seconds']:>8.3f} "
+            f"{ov_s} {row['samples']:>7d}"
+        )
+    s = report["summary"]
+    if s["geomean_overhead"] is not None:
+        print(
+            f"geomean overhead: {s['geomean_overhead'] * 100:.2f}% "
+            f"(budget {s['budget'] * 100:.0f}%) -> "
+            f"{'OK' if s['within_budget'] else 'OVER BUDGET'}"
+        )
+    if args.out:
+        write_json(report, args.out)
+        print(f"wrote {args.out}")
+    return 0 if s["within_budget"] else 1
 
 
 def _cmd_experiment(args) -> int:

@@ -449,16 +449,32 @@ class BranchAndBound:
 
         # Observability components, hoisted to locals for the hot loop.
         obs = self.obs
-        sink = obs.sink if obs is not None else None
+        user_sink = obs.sink if obs is not None else None
+        live = obs.live if obs is not None else None
+        # The live monitor rides the event stream for low-frequency
+        # kinds (its sink rejects explore/prune/goal before payloads
+        # are built); the fused-path decision below deliberately keys
+        # off ``user_sink`` so attaching a monitor never changes the
+        # search's performance class.
+        sink = user_sink if live is None else live.compose_sink(user_sink)
+        # A sink that rejects every sampled kind *statically* (the live
+        # monitor's — no per-event state backs the answer) is dropped
+        # from the per-vertex emit checks entirely; low-frequency events
+        # still go through ``sink``.  Composites wrapping a user sink do
+        # not set the flag, so stateful sampling still sees every event.
+        hot_sink = (
+            None
+            if sink is None or getattr(sink, "rejects_sampled_kinds", False)
+            else sink
+        )
         profiler = obs.profiler if obs is not None else None
         metrics = obs.metrics if obs is not None else None
         progress = obs.progress if obs is not None else None
         trace = self.trace
         telem = (
             trace is not None
-            or sink is not None
+            or hot_sink is not None
             or metrics is not None
-            or progress is not None
         )
 
         if profiler is not None:
@@ -558,7 +574,7 @@ class BranchAndBound:
 
             use_fused = self.fused
             if use_fused is None:
-                use_fused = sink is None and profiler is None
+                use_fused = user_sink is None and profiler is None
             expander = (
                 FusedExpander(
                     problem, prepared, bound, charf, dominance, elim,
@@ -730,11 +746,12 @@ class BranchAndBound:
                             lap("select")
                         break
                     stats.pruned_active += 1
-                    if sink is not None and sink.accepts("prune"):
-                        sink.emit(
+                    if hot_sink is not None and hot_sink.accepts("prune"):
+                        hot_sink.emit(
                             "prune",
                             {"cause": "stale-active",
-                             "lb": vertex.lower_bound},
+                             "lb": vertex.lower_bound,
+                             "level": vertex.level},
                         )
                     if lap is not None:
                         lap("select")
@@ -848,8 +865,8 @@ class BranchAndBound:
                             vertex.lower_bound,
                             active_size,
                         )
-                    if sink is not None and sink.accepts("explore"):
-                        sink.emit(
+                    if hot_sink is not None and hot_sink.accepts("explore"):
+                        hot_sink.emit(
                             "explore",
                             {
                                 "step": stats.explored,
@@ -866,17 +883,46 @@ class BranchAndBound:
                             h_gap.observe(
                                 incumbent_cost - vertex.lower_bound
                             )
-                    if (
-                        progress is not None
-                        and stats.explored & _PROGRESS_CHECK_MASK == 0
-                    ):
+                    if lap is not None:
+                        lap("telemetry")
+
+                # Live monitor and progress heartbeat ride one masked
+                # check (not ``telem``: a monitor alone must not put the
+                # per-vertex telemetry block on the hot path).
+                if (
+                    (live is not None or progress is not None)
+                    and stats.explored & _PROGRESS_CHECK_MASK == 0
+                ):
+                    if live is not None:
+                        live.on_sample(
+                            stats=stats,
+                            incumbent=incumbent_cost,
+                            frontier=frontier,
+                            vertex_lb=vertex.lower_bound,
+                            stop_on_bound=stop_on_bound,
+                            dominance=dominance,
+                        )
+                    if progress is not None:
+                        # Under best-first selection the in-hand bound
+                        # is the minimum open bound, so the gap in the
+                        # heartbeat is exact; otherwise reuse the live
+                        # monitor's last sampled gap when one exists.
+                        if stop_on_bound and not math.isinf(incumbent_cost):
+                            hb_gap = max(
+                                0.0, incumbent_cost - vertex.lower_bound
+                            )
+                        elif live is not None:
+                            hb_gap = live.last_gap
+                        else:
+                            hb_gap = None
                         progress.maybe_emit(
                             explored=stats.explored,
                             generated=stats.generated,
-                            active=active_size,
+                            active=len(frontier),
                             incumbent=incumbent_cost,
                             max_vertices=rb.max_vertices,
                             time_limit=rb.time_limit,
+                            gap=hb_gap,
                         )
                     if lap is not None:
                         lap("telemetry")
@@ -960,27 +1006,29 @@ class BranchAndBound:
                     stats.goals_evaluated += n_goals
                     stats.pruned_infeasible += n_infeasible
                     stats.pruned_dominated += n_dominated
-                    if sink is not None:
+                    if hot_sink is not None:
                         # Event parity is coarse on the fused path:
                         # per-child goal/prune events are aggregated.
-                        if n_goals and sink.accepts("goal"):
-                            sink.emit(
+                        if n_goals and hot_sink.accepts("goal"):
+                            hot_sink.emit(
                                 "goal",
                                 {"generated": stats.generated,
                                  "count": n_goals,
                                  "cost": _json_num(best_goal_cost)},
                             )
-                        if n_infeasible and sink.accepts("prune"):
-                            sink.emit(
+                        if n_infeasible and hot_sink.accepts("prune"):
+                            hot_sink.emit(
                                 "prune",
                                 {"cause": "infeasible",
-                                 "count": n_infeasible},
+                                 "count": n_infeasible,
+                                 "level": vertex.level + 1},
                             )
-                        if n_dominated and sink.accepts("prune"):
-                            sink.emit(
+                        if n_dominated and hot_sink.accepts("prune"):
+                            hot_sink.emit(
                                 "prune",
                                 {"cause": "dominated",
-                                 "count": n_dominated},
+                                 "count": n_dominated,
+                                 "level": vertex.level + 1},
                             )
                     if lap is not None:
                         lap("expand")
@@ -1009,8 +1057,11 @@ class BranchAndBound:
                             if child_lb < best_goal_cost:
                                 best_goal_cost = child_lb
                                 best_goal_state = child_state
-                            if sink is not None and sink.accepts("goal"):
-                                sink.emit(
+                            if (
+                                hot_sink is not None
+                                and hot_sink.accepts("goal")
+                            ):
+                                hot_sink.emit(
                                     "goal",
                                     {"generated": stats.generated,
                                      "cost": _json_num(child_lb)},
@@ -1020,11 +1071,15 @@ class BranchAndBound:
                             continue
                         if not charf.admits(child_state, child_lb):
                             stats.pruned_infeasible += 1
-                            if sink is not None and sink.accepts("prune"):
-                                sink.emit(
+                            if (
+                                hot_sink is not None
+                                and hot_sink.accepts("prune")
+                            ):
+                                hot_sink.emit(
                                     "prune",
                                     {"cause": "infeasible",
-                                     "lb": _json_num(child_lb)},
+                                     "lb": _json_num(child_lb),
+                                     "level": vertex.level + 1},
                                 )
                             if lap is not None:
                                 lap("filter")
@@ -1033,11 +1088,15 @@ class BranchAndBound:
                             lap("filter")
                         if dominance.is_dominated(child_state):
                             stats.pruned_dominated += 1
-                            if sink is not None and sink.accepts("prune"):
-                                sink.emit(
+                            if (
+                                hot_sink is not None
+                                and hot_sink.accepts("prune")
+                            ):
+                                hot_sink.emit(
                                     "prune",
                                     {"cause": "dominated",
-                                     "lb": _json_num(child_lb)},
+                                     "lb": _json_num(child_lb),
+                                     "level": vertex.level + 1},
                                 )
                             if lap is not None:
                                 lap("dominance")
@@ -1085,11 +1144,11 @@ class BranchAndBound:
                         swept = frontier.prune_above(threshold)
                         stats.pruned_active += swept
                         if (
-                            sink is not None
+                            hot_sink is not None
                             and swept
-                            and sink.accepts("prune")
+                            and hot_sink.accepts("prune")
                         ):
-                            sink.emit(
+                            hot_sink.emit(
                                 "prune",
                                 {"cause": "active-sweep", "count": swept},
                             )
@@ -1108,10 +1167,11 @@ class BranchAndBound:
                 # they count here.
                 if precheck_pruned:
                     stats.pruned_children += precheck_pruned
-                    if sink is not None and sink.accepts("prune"):
-                        sink.emit(
+                    if hot_sink is not None and hot_sink.accepts("prune"):
+                        hot_sink.emit(
                             "prune",
-                            {"cause": "bound", "count": precheck_pruned},
+                            {"cause": "bound", "count": precheck_pruned,
+                             "level": vertex.level + 1},
                         )
                 if fused_precheck and not threshold_tightened:
                     # Pre-checked children are already strictly below
@@ -1123,11 +1183,15 @@ class BranchAndBound:
                     for child in children:
                         if elim.should_prune(child.lower_bound, threshold):
                             stats.pruned_children += 1
-                            if sink is not None and sink.accepts("prune"):
-                                sink.emit(
+                            if (
+                                hot_sink is not None
+                                and hot_sink.accepts("prune")
+                            ):
+                                hot_sink.emit(
                                     "prune",
                                     {"cause": "bound",
-                                     "lb": _json_num(child.lower_bound)},
+                                     "lb": _json_num(child.lower_bound),
+                                     "level": vertex.level + 1},
                                 )
                         else:
                             kept.append(child)
@@ -1312,6 +1376,30 @@ class BranchAndBound:
             )
         if progress is not None:
             progress.finish(f"{status.value}; {stats.summary()}")
+        if live is not None:
+            # Terminal snapshot: short solves may never hit the sampling
+            # interval, but /status must still show how the run ended.
+            if best_proc is not None and open_lower_bound is not None:
+                final_gap = max(0.0, found_cost - open_lower_bound)
+            elif status is SolveStatus.OPTIMAL:
+                final_gap = 0.0
+            else:
+                final_gap = None
+            live.last_gap = final_gap
+            live.bus.update(
+                gap=final_gap,
+                phase="done",
+                result_status=status.value,
+                elapsed=round(stats.elapsed, 3),
+                explored=stats.explored,
+                generated=stats.generated,
+                active=len(frontier),
+                incumbent=(
+                    _json_num(found_cost) if best_proc is not None else None
+                ),
+                open_lower_bound=open_lower_bound,
+                vps=round(stats.vertices_per_second or 0.0, 1),
+            )
         if lap is not None:
             lap("telemetry")
 

@@ -242,6 +242,57 @@ class _HeartbeatChannel:
         return self._inner.publish(cost)
 
 
+class _StatsReportingChannel:
+    """Bound-channel wrapper shipping periodic WorkerStats frames.
+
+    Piggybacks on the engine's bound poll (every 64 explored vertices):
+    when ``interval`` seconds have passed it sends ``("stats",
+    shard_index, approx_explored, windowed_vps)`` up the supervision
+    pipe.  Counts are approximate — one poll ≈ 64 explored vertices;
+    the engine's exact counters are invisible mid-solve and the exact
+    stats still arrive with the shard's ``done`` message.  Sends share
+    the worker's single thread with result sends, so frames never
+    interleave mid-message.
+    """
+
+    #: The engine polls its bound channel every 64 explored vertices.
+    _VERTICES_PER_POLL = 64
+
+    def __init__(self, inner, conn, shard_index: int, interval: float) -> None:
+        self._inner = inner
+        self._conn = conn
+        self._shard = shard_index
+        self._interval = interval
+        self._polls = 0
+        self._last_t = time.monotonic()
+        self._last_polls = 0
+
+    def poll(self) -> float:
+        self._polls += 1
+        now = time.monotonic()
+        if now - self._last_t >= self._interval:
+            window = now - self._last_t
+            delta = self._polls - self._last_polls
+            vps = delta * self._VERTICES_PER_POLL / window if window > 0 else 0.0
+            self._last_t = now
+            self._last_polls = self._polls
+            try:
+                self._conn.send(
+                    (
+                        "stats",
+                        self._shard,
+                        self._polls * self._VERTICES_PER_POLL,
+                        vps,
+                    )
+                )
+            except (BrokenPipeError, OSError):
+                pass  # supervisor gone; the search still finishes
+        return self._inner.poll()
+
+    def publish(self, cost: float) -> bool:
+        return self._inner.publish(cost)
+
+
 class _CrashAfterPolls:
     """Fault-injection channel: kill the process mid-search."""
 
@@ -335,6 +386,7 @@ def _supervised_worker(
     collect_events: bool,
     tt_handle,
     fault_plan: FaultPlan | None,
+    stats_interval: float | None = None,
 ) -> None:
     """Supervised throughput worker: one shard per pipe message.
 
@@ -345,6 +397,11 @@ def _supervised_worker(
       prunes the shard, else ``("done", shard_index, stats, best_cost,
       proc_of, start, target_reached, events)``.
     * recv ``("stop",)`` → send ``("bye", tt_telemetry)`` and exit.
+
+    With ``stats_interval`` set (the coordinator has a live monitor
+    attached) the worker additionally ships ``("stats", shard_index,
+    approx_explored, vps)`` frames mid-shard at that cadence — see
+    :class:`_StatsReportingChannel`.
 
     The heartbeat slot is stamped on receipt and then on every
     bound-channel poll inside the sub-search; a worker that stops
@@ -386,6 +443,10 @@ def _supervised_worker(
             conn.send(("stale", shard_index))
             continue
         run_channel = _HeartbeatChannel(channel, beats, slot)
+        if stats_interval is not None:
+            run_channel = _StatsReportingChannel(
+                run_channel, conn, shard_index, stats_interval
+            )
         if fault is not None:  # crash-mid
             run_channel = _CrashAfterPolls(run_channel, fault.after_polls)
         sink = MemorySink() if collect_events else None
@@ -1019,6 +1080,21 @@ class ParallelBnB:
         merged.elapsed = time.perf_counter() - t0
         found = best_proc is not None
         status = BranchAndBound._status(params, merged, target, found)
+        monitor = self.obs.live if self.obs is not None else None
+        if monitor is not None:
+            monitor.bus.update(
+                phase="done",
+                result_status=status.value,
+                incumbent=best_cost if found else None,
+                explored=merged.explored,
+                generated=merged.generated,
+                elapsed=round(merged.elapsed, 3),
+                vps=round(merged.vertices_per_second or 0.0, 1),
+            )
+            monitor.bus.record_event(
+                "parallel_done",
+                {"status": status.value, "workers": self.workers},
+            )
         incumbent_source = (
             "search"
             if found and best_cost < shallow.initial_upper_bound
@@ -1091,8 +1167,21 @@ class ParallelBnB:
         out = _SuperviseOutcome(
             slot_stats=[SearchStats() for _ in range(nslots)]
         )
-        sink = self.obs.sink if self.obs is not None else None
+        user_sink = self.obs.sink if self.obs is not None else None
+        monitor = self.obs.live if self.obs is not None else None
+        progress = self.obs.progress if self.obs is not None else None
+        # Coordinator events (worker_restart/shard_retry/quarantine)
+        # mirror into the live bus exactly like engine events do.
+        sink = (
+            user_sink if monitor is None
+            else monitor.compose_sink(user_sink)
+        )
         metrics = self.obs.metrics if self.obs is not None else None
+        stats_interval = monitor.interval if monitor is not None else None
+        restarts_by_slot = [0] * nslots
+        sup_t0 = time.monotonic()
+        next_coord_sample = 0.0
+        last_incumbent_seen = incumbent0
         #: ``(shard, attempt, eligible_at)`` — eligible_at implements the
         #: retry backoff without ever blocking healthy workers.
         pending: deque = deque((s, 1, 0.0) for s in live)
@@ -1106,7 +1195,7 @@ class ParallelBnB:
                 args=(
                     child, slot, beats, shared, problem, self.params,
                     self.fused, self.collect_worker_events, tt_handle,
-                    self.fault_plan,
+                    self.fault_plan, stats_interval,
                 ),
                 daemon=True,
             )
@@ -1130,6 +1219,11 @@ class ParallelBnB:
             shard, attempt = worker.task
             worker.task = None
             out.worker_restarts += 1
+            restarts_by_slot[worker.slot] += 1
+            if monitor is not None:
+                monitor.on_worker_down(
+                    worker.slot, restarts_by_slot[worker.slot]
+                )
             if metrics is not None:
                 metrics.counter("bnb_worker_restart_total").inc()
             if sink is not None and sink.accepts("worker_restart"):
@@ -1216,6 +1310,19 @@ class ParallelBnB:
                             workers[i] = reclaim(worker, "worker died")
                             continue
                         kind = msg[0]
+                        if kind == "stats":
+                            # Mid-shard WorkerStats frame: per-worker
+                            # gauges only; the shard stays in flight.
+                            _, shard_index, explored_approx, vps = msg
+                            if monitor is not None:
+                                monitor.on_worker_frame(
+                                    worker.slot,
+                                    shard=shard_index,
+                                    explored=explored_approx,
+                                    vps=vps,
+                                    restarts=restarts_by_slot[worker.slot],
+                                )
+                            continue
                         if kind == "stale":
                             # Count exactly like the sequential sweep
                             # dropping a now-dominated active vertex.
@@ -1254,6 +1361,81 @@ class ParallelBnB:
                         worker.proc.terminate()
                         worker.proc.join(timeout=5.0)
                         workers[i] = reclaim(worker, "heartbeat timeout")
+                if (monitor is not None or progress is not None) and (
+                    time.monotonic() >= next_coord_sample
+                ):
+                    # Coordinator-side sample: aggregate worker gauges,
+                    # the open shard bound (pending + in-flight shards
+                    # bound everything the run has not yet explored) and
+                    # the shared incumbent into the bus and heartbeat.
+                    next_coord_sample = time.monotonic() + (
+                        monitor.interval
+                        if monitor is not None
+                        else progress.interval
+                    )
+                    alive_count = sum(
+                        1 for w in workers if w.proc.is_alive()
+                    )
+                    inc_now = shared.value
+                    open_lb = None
+                    for shard, _attempt, _eligible in pending:
+                        if open_lb is None or shard.lower_bound < open_lb:
+                            open_lb = shard.lower_bound
+                    for w in workers:
+                        if w.task is not None:
+                            lb = w.task[0].lower_bound
+                            if open_lb is None or lb < open_lb:
+                                open_lb = lb
+                    gap = None
+                    if open_lb is not None and not math.isinf(inc_now):
+                        gap = max(0.0, inc_now - open_lb)
+                    explored_done = sum(s.explored for s in out.slot_stats)
+                    generated_done = sum(
+                        s.generated for s in out.slot_stats
+                    )
+                    if monitor is not None:
+                        if inc_now < last_incumbent_seen:
+                            last_incumbent_seen = inc_now
+                            monitor.bus.record_event(
+                                "incumbent",
+                                {
+                                    "cost": inc_now,
+                                    "elapsed": round(
+                                        time.monotonic() - sup_t0, 3
+                                    ),
+                                    "source": "worker",
+                                },
+                            )
+                        _, vps_total = monitor.bus.worker_totals()
+                        elapsed_sup = time.monotonic() - sup_t0
+                        monitor.bus.update(
+                            phase="solving",
+                            incumbent=(
+                                None if math.isinf(inc_now) else inc_now
+                            ),
+                            open_lower_bound=open_lb,
+                            gap=gap,
+                            vps=round(vps_total, 1),
+                            workers_alive=alive_count,
+                            queue_depth=len(pending),
+                            explored=explored_done,
+                            generated=generated_done,
+                            elapsed=round(elapsed_sup, 3),
+                        )
+                        monitor.bus.add_sample(elapsed_sup, gap, vps_total)
+                        monitor.last_gap = gap
+                    if progress is not None:
+                        progress.maybe_emit(
+                            explored=explored_done,
+                            generated=generated_done,
+                            active=len(pending)
+                            + sum(
+                                1 for w in workers if w.task is not None
+                            ),
+                            incumbent=inc_now,
+                            gap=gap,
+                            workers_alive=alive_count,
+                        )
             if pending and not out.target:
                 # Budget ran out with shards still queued: they are
                 # deliberately unexplored, exactly like the sequential

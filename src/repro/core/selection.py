@@ -101,8 +101,22 @@ class Frontier(ABC):
         incumbent can be from optimal.  O(n) scan — called once per
         solve at most, never on the hot path.
         """
-        bounds = [v.lower_bound for v in self.export()]
-        return min(bounds) if bounds else None
+        best: float | None = None
+        for v in self.iter_open():
+            if best is None or v.lower_bound < best:
+                best = v.lower_bound
+        return best
+
+    def iter_open(self):
+        """Yield every live vertex, in no particular order.
+
+        A single unordered O(n) pass with no sorting and no allocation
+        proportional to the frontier — the cheap primitive behind
+        :meth:`min_bound` and the live monitor's sampled depth profile.
+        Lazy-deletion implementations must skip stale and tombstoned
+        entries.  Must not be interleaved with mutations.
+        """
+        yield from self.export()
 
 
 class _ListFrontier(Frontier):
@@ -136,6 +150,9 @@ class _ListFrontier(Frontier):
 
     def __len__(self) -> int:
         return len(self._items)
+
+    def iter_open(self):
+        yield from self._items
 
 
 class _LIFOFrontier(_ListFrontier):
@@ -285,6 +302,13 @@ class _LLBFrontier(Frontier):
 
     def __len__(self) -> int:
         return self._live
+
+    def iter_open(self):
+        dead = self._dead
+        threshold = self._threshold
+        for e in self._heap:
+            if e[0] < threshold and (not dead or id(e[-1]) not in dead):
+                yield e[-1]
 
 
 class SelectionRule(ABC):

@@ -10,6 +10,11 @@ attachable to a solve via the :class:`Observability` bundle:
 * :mod:`repro.obs.metrics` — counter/gauge/histogram registry with
   Prometheus-textfile and JSON exporters;
 * :mod:`repro.obs.progress` — heartbeat progress lines for long solves;
+* :mod:`repro.obs.live` — in-process telemetry bus for live monitoring
+  (sampled solve snapshots, per-worker gauges, the crash flight
+  recorder);
+* :mod:`repro.obs.serve` — stdlib HTTP/SSE server over the bus
+  (``/status``, ``/metrics``, ``/events``, and an HTML dashboard);
 * :mod:`repro.obs.report` — offline rendering of JSONL traces
   (the ``repro report`` subcommand).
 
@@ -37,6 +42,7 @@ from .events import (
     MultiSink,
     TaggedSink,
 )
+from .live import LiveMonitor, TelemetryBus, WorkerStats, write_flight_dump
 from .metrics import (
     DEFAULT_GAP_BUCKETS,
     DEFAULT_SIZE_BUCKETS,
@@ -48,6 +54,7 @@ from .metrics import (
 from .profile import PHASES, PhaseBreakdown, PhaseProfiler
 from .progress import ProgressReporter, format_progress_line
 from .report import TraceReport, load_trace, render_trace_report
+from .serve import MonitorServer
 
 __all__ = [
     "Observability",
@@ -74,6 +81,12 @@ __all__ = [
     # progress
     "ProgressReporter",
     "format_progress_line",
+    # live monitoring
+    "LiveMonitor",
+    "TelemetryBus",
+    "WorkerStats",
+    "MonitorServer",
+    "write_flight_dump",
     # report
     "TraceReport",
     "load_trace",
@@ -96,6 +109,7 @@ class Observability:
     profiler: PhaseProfiler | None = None
     metrics: MetricsRegistry | None = None
     progress: ProgressReporter | None = None
+    live: LiveMonitor | None = None
 
     @property
     def enabled(self) -> bool:
@@ -104,6 +118,7 @@ class Observability:
             or self.profiler is not None
             or self.metrics is not None
             or self.progress is not None
+            or self.live is not None
         )
 
     def close(self) -> None:

@@ -38,13 +38,19 @@ def format_progress_line(
     incumbent: float,
     vertices_per_second: float,
     eta: float | None,
+    gap: float | None = None,
+    workers_alive: int | None = None,
 ) -> str:
     inc = "-" if math.isinf(incumbent) else f"{incumbent:g}"
+    gap_s = "" if gap is None else f" gap={gap:g}"
+    workers_s = (
+        "" if workers_alive is None else f" workers={workers_alive}"
+    )
     eta_s = "" if eta is None else f" eta={eta:.1f}s"
     return (
         f"[repro] {elapsed:.1f}s explored={explored:,} "
-        f"generated={generated:,} active={active:,} incumbent={inc} "
-        f"{vertices_per_second:,.0f} v/s{eta_s}"
+        f"generated={generated:,} active={active:,} incumbent={inc}"
+        f"{gap_s}{workers_s} {vertices_per_second:,.0f} v/s{eta_s}"
     )
 
 
@@ -89,10 +95,15 @@ class ProgressReporter:
         incumbent: float,
         max_vertices: float = math.inf,
         time_limit: float = math.inf,
+        gap: float | None = None,
+        workers_alive: int | None = None,
     ) -> bool:
         """Emit a heartbeat if ``interval`` seconds have passed.
 
         Returns True when a line was emitted (tests key off this).
+        ``gap`` (the live optimality gap) and ``workers_alive`` (the
+        parallel coordinator's live worker count) appear in the line
+        only when the caller can supply them.
         """
         now = time.perf_counter()
         if now - self._last < self.interval:
@@ -110,6 +121,8 @@ class ProgressReporter:
                 incumbent=incumbent,
                 vertices_per_second=vps,
                 eta=eta,
+                gap=gap,
+                workers_alive=workers_alive,
             )
         )
         self.lines_emitted += 1

@@ -33,6 +33,14 @@ class TraceReport:
     summary: dict[str, Any] | None = None
     #: (generated, cost) incumbent improvements, in file order.
     incumbents: list[tuple[int, float]] = field(default_factory=list)
+    #: (elapsed, generated, cost) for incumbent events carrying a
+    #: timestamp — the improvement timeline.
+    incumbent_timeline: list[tuple[float, int, float]] = field(
+        default_factory=list
+    )
+    #: (cause, level, count) from sampled prune events; ``level`` is
+    #: None for events that span depths (active-sweep).
+    prunes: list[tuple[str, int | None, int]] = field(default_factory=list)
     #: (t, generated, level, lower_bound, active) sampled explore events.
     explores: list[tuple[float, int, int, float, int]] = field(
         default_factory=list
@@ -67,6 +75,46 @@ class TraceReport:
             profile.append((0, float(self.start["initial_bound"])))
         profile.extend(self.incumbents)
         return profile
+
+    def pruning_by_depth(self) -> dict[str, dict[int, int]]:
+        """``cause -> {level: count}`` from the sampled prune events.
+
+        Counts are post-sampling (what the trace actually holds), so
+        with ``--trace-sample > 1`` they attribute *where* pruning
+        happens rather than totalling it — the summary's exact counters
+        remain the totals of record.
+        """
+        out: dict[str, dict[int, int]] = {}
+        for cause, level, count in self.prunes:
+            if level is None:
+                continue
+            per_level = out.setdefault(cause, {})
+            per_level[level] = per_level.get(level, 0) + count
+        return out
+
+    def explored_by_level(self) -> dict[int, int]:
+        """``level -> sampled explore-event count`` (branching shape)."""
+        out: dict[int, int] = {}
+        for _t, _generated, level, _lb, _active in self.explores:
+            out[level] = out.get(level, 0) + 1
+        return out
+
+    def branching_decay(self) -> list[tuple[int, int, float | None]]:
+        """(level, sampled explores, growth vs previous level).
+
+        The growth column is the per-level ratio of sampled explore
+        counts — a proxy for how fast pruning collapses the effective
+        branching factor as the search deepens.
+        """
+        by_level = self.explored_by_level()
+        rows: list[tuple[int, int, float | None]] = []
+        prev: int | None = None
+        for level in sorted(by_level):
+            count = by_level[level]
+            growth = count / prev if prev else None
+            rows.append((level, count, growth))
+            prev = count
+        return rows
 
     def phase_breakdown(self) -> PhaseBreakdown | None:
         if self.summary is None or not self.summary.get("profile"):
@@ -103,14 +151,25 @@ def _parse(fh: IO[str], path: str) -> TraceReport:
         elif kind == "summary":
             report.summary = record
         elif kind == "incumbent":
-            report.incumbents.append(
-                (int(record.get("generated", 0)), float(record["cost"]))
+            generated = int(record.get("generated", 0))
+            cost = float(record["cost"])
+            report.incumbents.append((generated, cost))
+            if record.get("elapsed") is not None:
+                elapsed = float(record["elapsed"])
+                report.incumbent_timeline.append(
+                    (elapsed, generated, cost)
+                )
+                if report.first_incumbent_elapsed is None:
+                    report.first_incumbent_elapsed = elapsed
+        elif kind == "prune":
+            level = record.get("level")
+            report.prunes.append(
+                (
+                    str(record.get("cause", "?")),
+                    int(level) if level is not None else None,
+                    int(record.get("count", 1)),
+                )
             )
-            if (
-                report.first_incumbent_elapsed is None
-                and record.get("elapsed") is not None
-            ):
-                report.first_incumbent_elapsed = float(record["elapsed"])
         elif kind == "explore":
             report.explores.append(
                 (
@@ -212,6 +271,73 @@ def _render_robustness(report: TraceReport) -> list[str]:
     return out
 
 
+def _render_analytics(report: TraceReport, max_rows: int = 20) -> list[str]:
+    """Search-tree analytics: where vertices went, rule by depth band."""
+    out: list[str] = []
+
+    timeline = report.incumbent_timeline
+    if timeline:
+        out.append("")
+        out.append("incumbent timeline:")
+        rows = [("elapsed", "generated", "cost")]
+        shown = timeline
+        omitted = 0
+        if len(shown) > max_rows:
+            shown = timeline[: max_rows - 1] + [timeline[-1]]
+            omitted = len(timeline) - len(shown)
+        rows += [
+            (f"{t:.3f}s", f"{g:,}", f"{c:g}") for t, g, c in shown
+        ]
+        out.append(_simple_table(rows))
+        if omitted:
+            out.append(f"(… {omitted} intermediate improvements omitted)")
+
+    by_depth = report.pruning_by_depth()
+    if by_depth:
+        levels = [
+            level for per in by_depth.values() for level in per
+        ]
+        max_level = max(levels)
+        band = max(1, -(-(max_level + 1) // 6))  # ceil: at most 6 bands
+        causes = sorted(
+            by_depth, key=lambda c: -sum(by_depth[c].values())
+        )
+        out.append("")
+        out.append("pruning by depth band (sampled events):")
+        rows = [("levels",) + tuple(causes)]
+        for lo in range(0, max_level + 1, band):
+            hi = min(lo + band - 1, max_level)
+            label = f"{lo}" if lo == hi else f"{lo}-{hi}"
+            cells = []
+            for cause in causes:
+                per = by_depth[cause]
+                total = sum(
+                    count
+                    for level, count in per.items()
+                    if lo <= level <= hi
+                )
+                cells.append(f"{total:,}" if total else "-")
+            rows.append((label,) + tuple(cells))
+        out.append(_simple_table(rows))
+
+    decay = report.branching_decay()
+    if len(decay) > 1:
+        out.append("")
+        out.append("branching-factor decay (sampled explores per level):")
+        rows = [("level", "explored", "growth")]
+        for level, count, growth in decay:
+            rows.append(
+                (
+                    str(level),
+                    f"{count:,}",
+                    "-" if growth is None else f"{growth:.2f}x",
+                )
+            )
+        out.append(_simple_table(rows))
+
+    return out
+
+
 def render_trace_report(report: TraceReport, max_profile_rows: int = 20) -> str:
     """Human-readable rendering of one trace (anytime + phases + stats)."""
     out: list[str] = [f"trace: {report.path}"]
@@ -291,6 +417,8 @@ def render_trace_report(report: TraceReport, max_profile_rows: int = 20) -> str:
                     (label, f"{count:,}", f"{count / pruned_total:.1%}")
                 )
         out.append(_simple_table(rows))
+
+    out.extend(_render_analytics(report, max_rows=max_profile_rows))
 
     if report.tt is not None:
         tt = report.tt

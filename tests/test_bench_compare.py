@@ -1,0 +1,145 @@
+"""Tests for ``repro bench --compare`` (schema-tolerant report diffs)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import compare_benchmarks, render_comparison
+from repro.cli import main
+from repro.errors import ReproError
+
+
+def _write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def pr2_style(cells):
+    return {
+        "schema": "repro-bench-pr2/1",
+        "instances": [
+            {"name": n, "opt_seconds": s, "generated": g}
+            for n, s, g in cells
+        ],
+    }
+
+
+def pr4_style(cells):
+    return {
+        "schema": "repro-bench-pr4/1",
+        "instances": [
+            {"name": n, "base": {"seconds": s, "generated": g}}
+            for n, s, g in cells
+        ],
+    }
+
+
+class TestCompare:
+    def test_identical_reports_have_unit_ratios(self, tmp_path):
+        report = pr2_style([("a", 1.0, 100), ("b", 2.0, 200)])
+        old = _write(tmp_path, "old.json", report)
+        new = _write(tmp_path, "new.json", report)
+        cmp = compare_benchmarks(old, new)
+        assert cmp.ok
+        assert cmp.geomean_time_ratio == pytest.approx(1.0)
+        assert cmp.geomean_vertex_ratio == pytest.approx(1.0)
+        assert len(cmp.cells) == 2
+
+    def test_cross_schema_extraction(self, tmp_path):
+        old = _write(
+            tmp_path, "old.json", pr2_style([("a", 1.0, 100)])
+        )
+        new = _write(
+            tmp_path, "new.json", pr4_style([("a", 1.5, 100)])
+        )
+        cmp = compare_benchmarks(old, new, time_threshold=1.0)
+        assert cmp.ok
+        assert cmp.cells[0]["time_ratio"] == pytest.approx(1.5)
+        assert cmp.cells[0]["vertex_ratio"] == pytest.approx(1.0)
+
+    def test_time_regression_detected(self, tmp_path):
+        old = _write(tmp_path, "old.json", pr2_style([("a", 1.0, 100)]))
+        new = _write(tmp_path, "new.json", pr2_style([("a", 1.5, 100)]))
+        cmp = compare_benchmarks(old, new, time_threshold=0.20)
+        assert not cmp.ok
+        assert "wall-clock" in cmp.regressions[0]
+
+    def test_vertex_regression_is_tight(self, tmp_path):
+        # 2% more vertices at equal seconds: deterministic counts grew,
+        # which the default 1% threshold must flag.
+        old = _write(tmp_path, "old.json", pr2_style([("a", 1.0, 1000)]))
+        new = _write(tmp_path, "new.json", pr2_style([("a", 1.0, 1020)]))
+        cmp = compare_benchmarks(old, new)
+        assert not cmp.ok
+        assert "generated" in cmp.regressions[0]
+
+    def test_faster_and_fewer_is_never_a_regression(self, tmp_path):
+        old = _write(tmp_path, "old.json", pr2_style([("a", 2.0, 1000)]))
+        new = _write(tmp_path, "new.json", pr2_style([("a", 1.0, 900)]))
+        assert compare_benchmarks(old, new).ok
+
+    def test_disjoint_cells_noted_not_compared(self, tmp_path):
+        old = _write(
+            tmp_path, "old.json",
+            pr2_style([("a", 1.0, 10), ("gone", 1.0, 10)]),
+        )
+        new = _write(
+            tmp_path, "new.json",
+            pr2_style([("a", 1.0, 10), ("fresh", 1.0, 10)]),
+        )
+        cmp = compare_benchmarks(old, new)
+        assert cmp.only_old == ["gone"]
+        assert cmp.only_new == ["fresh"]
+        assert [c["name"] for c in cmp.cells] == ["a"]
+
+    def test_no_shared_cells_is_an_error(self, tmp_path):
+        old = _write(tmp_path, "old.json", pr2_style([("a", 1.0, 10)]))
+        new = _write(tmp_path, "new.json", pr2_style([("b", 1.0, 10)]))
+        with pytest.raises(ReproError, match="no shared bench cells"):
+            compare_benchmarks(old, new)
+
+    def test_unreadable_file_is_an_error(self, tmp_path):
+        old = _write(tmp_path, "old.json", pr2_style([("a", 1.0, 10)]))
+        with pytest.raises(ReproError, match="cannot read"):
+            compare_benchmarks(old, str(tmp_path / "missing.json"))
+
+    def test_render_mentions_geomeans_and_verdict(self, tmp_path):
+        old = _write(tmp_path, "old.json", pr2_style([("a", 1.0, 100)]))
+        new = _write(tmp_path, "new.json", pr2_style([("a", 1.0, 100)]))
+        text = render_comparison(compare_benchmarks(old, new))
+        assert "geomean wall-clock ratio: 1.000x" in text
+        assert "geomean vertex ratio: 1.0000x" in text
+        assert "no regressions beyond threshold" in text
+
+
+class TestCompareCli:
+    def test_clean_compare_exits_zero(self, tmp_path, capsys):
+        report = pr2_style([("a", 1.0, 100)])
+        old = _write(tmp_path, "old.json", report)
+        new = _write(tmp_path, "new.json", report)
+        assert main(["bench", "--compare", old, new]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        old = _write(tmp_path, "old.json", pr2_style([("a", 1.0, 100)]))
+        new = _write(tmp_path, "new.json", pr2_style([("a", 9.0, 100)]))
+        assert main(["bench", "--compare", old, new]) == 1
+        assert "REGRESSIONS" in capsys.readouterr().out
+
+    def test_thresholds_are_flags(self, tmp_path):
+        old = _write(tmp_path, "old.json", pr2_style([("a", 1.0, 100)]))
+        new = _write(tmp_path, "new.json", pr2_style([("a", 1.5, 100)]))
+        assert main([
+            "bench", "--compare", old, new, "--time-threshold", "0.6",
+        ]) == 0
+
+    def test_committed_reports_actually_compare(self):
+        # The repo's own BENCH files are the real consumers: PR 2 and
+        # PR 3 share every cell name, so the tool must diff them.
+        assert main([
+            "bench", "--compare", "BENCH_PR2.json", "BENCH_PR3.json",
+            "--time-threshold", "1000", "--vertex-threshold", "1000",
+        ]) == 0

@@ -130,3 +130,36 @@ def test_golden_round_trip_and_drift():
     )
     drift = check_against_golden(report, golden)
     assert any("c: no golden entry" in d for d in drift)
+
+
+def test_live_overhead_instance_parity_and_fields():
+    from repro.bench.harness import run_live_overhead_instance
+
+    # The smallest committed cell (367 generated vertices): parity is
+    # the real assertion — the monitored solve must be the same search.
+    inst = next(
+        i for i in BENCH_INSTANCES if i.name == "paper-s13-m2-lifo-lb1"
+    )
+    row = run_live_overhead_instance(inst, repeats=1, interval=0.0)
+    assert row["name"] == inst.name
+    assert row["generated"] > 0
+    assert row["base_seconds"] > 0 and row["live_seconds"] > 0
+    assert row["samples"] >= 1  # interval=0 samples every check-in
+    assert row["overhead"] is not None
+
+
+def test_live_overhead_suite_report_shape(monkeypatch):
+    import repro.bench.harness as harness
+
+    monkeypatch.setattr(
+        harness, "QUICK_INSTANCES",
+        tuple(i for i in BENCH_INSTANCES
+              if i.name == "paper-s13-m2-lifo-lb1"),
+    )
+    report = harness.run_live_overhead_suite(quick=True, repeats=1)
+    assert report["schema"] == "repro-bench-pr6/1"
+    summary = report["summary"]
+    assert summary["cells"] == 1
+    assert summary["budget"] == 0.02
+    assert summary["geomean_time_ratio"] is not None
+    assert isinstance(summary["within_budget"], bool)

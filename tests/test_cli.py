@@ -154,3 +154,26 @@ class TestNewFeatures:
     def test_scaling_experiment_registered(self, capsys):
         assert main(["list"]) == 0
         assert "scaling" in capsys.readouterr().out
+
+
+class TestSolveLiveMonitor:
+    def test_serve_status_prints_url_and_solves(self, graph_file, capsys):
+        rc = main(["solve", graph_file, "--serve-status"])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "monitor: http://127.0.0.1:" in err
+
+    def test_serve_status_accepts_explicit_port(self, graph_file):
+        args = build_parser().parse_args(
+            ["solve", graph_file, "--serve-status", "8123"]
+        )
+        assert args.serve_status == 8123
+
+    def test_flight_recorder_quiet_on_clean_finish(
+        self, graph_file, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(tmp_path)
+        rc = main(["solve", graph_file, "--flight-recorder", "32"])
+        assert rc == 0
+        # A clean solve dumps nothing: the recorder is crash-only.
+        assert not (tmp_path / "repro-flight.json").exists()

@@ -119,3 +119,43 @@ class TestEngineHeartbeat:
         BranchAndBound(BnBParameters()).solve(hard_problem)
         captured = capsys.readouterr()
         assert "[repro]" not in captured.err
+
+
+class TestGapAndWorkersFields:
+    def test_gap_and_workers_rendered_when_known(self):
+        line = format_progress_line(
+            elapsed=2.0,
+            explored=100,
+            generated=200,
+            active=10,
+            incumbent=3.5,
+            vertices_per_second=100.0,
+            eta=None,
+            gap=0.75,
+            workers_alive=4,
+        )
+        assert " gap=0.75" in line
+        assert " workers=4" in line
+
+    def test_fields_absent_when_unknown(self):
+        line = format_progress_line(
+            elapsed=2.0,
+            explored=100,
+            generated=200,
+            active=10,
+            incumbent=3.5,
+            vertices_per_second=100.0,
+            eta=None,
+        )
+        assert "gap=" not in line
+        assert "workers=" not in line
+
+    def test_maybe_emit_forwards_gap(self):
+        lines = []
+        reporter = ProgressReporter(interval=0.0, emit=lines.append)
+        reporter.maybe_emit(
+            explored=64, generated=100, active=5, incumbent=2.0,
+            gap=0.5, workers_alive=2,
+        )
+        assert lines and "gap=0.5" in lines[0]
+        assert "workers=2" in lines[0]

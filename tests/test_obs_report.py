@@ -1,0 +1,148 @@
+"""Search-tree analytics in ``repro report`` (PR 6 additions).
+
+Two layers: golden-output tests on a hand-written synthetic trace
+(every number in the rendered tables is checked against arithmetic done
+by eye), and an end-to-end pass over a real traced solve asserting the
+analytics sections appear and agree with the engine's counters.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+from faultlib import hard_problem
+from repro.core import BnBParameters, BranchAndBound
+from repro.obs import JsonlSink, Observability, load_trace, render_trace_report
+
+SYNTHETIC_EVENTS = [
+    {"ev": "start", "n": 5, "m": 2, "initial_bound": 4.0},
+    {"ev": "explore", "t": 0.0, "generated": 1, "level": 0, "lb": 1.0,
+     "active": 1},
+    {"ev": "explore", "t": 0.1, "generated": 3, "level": 1, "lb": 1.5,
+     "active": 2},
+    {"ev": "explore", "t": 0.2, "generated": 5, "level": 1, "lb": 1.6,
+     "active": 2},
+    {"ev": "explore", "t": 0.3, "generated": 7, "level": 2, "lb": 2.0,
+     "active": 3},
+    {"ev": "incumbent", "generated": 7, "cost": 3.0, "elapsed": 0.25},
+    {"ev": "prune", "cause": "bound", "level": 1, "count": 4},
+    {"ev": "prune", "cause": "bound", "level": 2, "count": 2},
+    {"ev": "prune", "cause": "infeasible", "level": 2},
+    {"ev": "prune", "cause": "stale-active", "count": 3},
+    {"ev": "incumbent", "generated": 11, "cost": 2.5, "elapsed": 0.4},
+    {"ev": "summary", "status": "optimal", "best_cost": 2.5,
+     "stats": {"pruned_children": 6, "pruned_infeasible": 1,
+               "pruned_active": 3}},
+]
+
+
+def synthetic_report():
+    text = "\n".join(json.dumps(e) for e in SYNTHETIC_EVENTS) + "\n"
+    return load_trace(io.StringIO(text))
+
+
+class TestTraceReportAnalytics:
+    def test_incumbent_timeline_parsed(self):
+        report = synthetic_report()
+        assert report.incumbent_timeline == [
+            (0.25, 7, 3.0), (0.4, 11, 2.5)
+        ]
+        assert report.first_incumbent_elapsed == 0.25
+
+    def test_prunes_parsed_with_optional_level_and_count(self):
+        report = synthetic_report()
+        assert ("bound", 1, 4) in report.prunes
+        assert ("bound", 2, 2) in report.prunes
+        assert ("infeasible", 2, 1) in report.prunes
+        assert ("stale-active", None, 3) in report.prunes
+
+    def test_pruning_by_depth_skips_unattributed_events(self):
+        by_depth = synthetic_report().pruning_by_depth()
+        assert by_depth == {
+            "bound": {1: 4, 2: 2},
+            "infeasible": {2: 1},
+        }
+
+    def test_explored_by_level_and_branching_decay(self):
+        report = synthetic_report()
+        assert report.explored_by_level() == {0: 1, 1: 2, 2: 1}
+        decay = report.branching_decay()
+        assert decay[0] == (0, 1, None)
+        assert decay[1] == (1, 2, 2.0)
+        assert decay[2] == (2, 1, 0.5)
+
+
+class TestRenderedAnalytics:
+    def test_golden_sections_rendered(self):
+        text = render_trace_report(synthetic_report())
+        assert "incumbent timeline:" in text
+        assert "0.250s" in text and "0.400s" in text
+        assert "pruning by depth band (sampled events):" in text
+        assert "branching-factor decay (sampled explores per level):" in text
+        assert "2.00x" in text and "0.50x" in text
+
+    def test_depth_band_table_golden(self):
+        text = render_trace_report(synthetic_report())
+        lines = text.splitlines()
+        i = lines.index("pruning by depth band (sampled events):")
+        # Causes ordered by total pruned, descending: bound(6) then
+        # infeasible(1); levels 0..2 in one-band-wide rows.
+        header = lines[i + 1].split()
+        assert header == ["levels", "bound", "infeasible"]
+        table = [line.split() for line in lines[i + 3: i + 6]]
+        assert table == [
+            ["0", "-", "-"],
+            ["1", "4", "-"],
+            ["2", "2", "1"],
+        ]
+
+    def test_timeline_elides_middle_rows(self):
+        events = [{"ev": "start", "initial_bound": 99.0}]
+        for i in range(30):
+            events.append({
+                "ev": "incumbent", "generated": i + 1,
+                "cost": 99.0 - i, "elapsed": 0.01 * i,
+            })
+        text = "\n".join(json.dumps(e) for e in events) + "\n"
+        rendered = render_trace_report(load_trace(io.StringIO(text)))
+        assert "intermediate improvements omitted" in rendered
+        # The last improvement always survives the elision.
+        assert "70" in rendered
+
+    def test_analytics_absent_on_empty_trace(self):
+        report = load_trace(io.StringIO(""))
+        text = render_trace_report(report)
+        assert "incumbent timeline:" not in text
+        assert "pruning by depth band" not in text
+        assert "branching-factor decay" not in text
+
+
+class TestRealSolveTrace:
+    def test_traced_solve_renders_analytics(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(str(path))
+        obs = Observability(sink=sink)
+        result = BranchAndBound(BnBParameters(), obs=obs).solve(
+            hard_problem(seed=5)
+        )
+        obs.close()
+        report = load_trace(str(path))
+        text = render_trace_report(report)
+        # Seed 5 improves its incumbent mid-search, so the timeline and
+        # both tree-shape sections must materialize from a real trace.
+        assert report.incumbent_timeline
+        assert "incumbent timeline:" in text
+        assert "pruning by depth band (sampled events):" in text
+        assert "branching-factor decay" in text
+        # Sampled prune events with depth attribution never exceed the
+        # engine's exact counters.
+        stats = result.stats
+        exact = (stats.pruned_children + stats.pruned_infeasible
+                 + stats.pruned_dominated + stats.pruned_duplicate)
+        attributed = sum(
+            count
+            for per in report.pruning_by_depth().values()
+            for count in per.values()
+        )
+        assert attributed <= exact
