@@ -97,6 +97,85 @@ def test_compile_problem(benchmark):
     benchmark(compile_problem, graph, plat)
 
 
+# ---------------------------------------------------------------------------
+# Batch kernels (array engine hot path)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def batch_inputs(prob, midstate):
+    """One realistic expansion batch: every ready task x every proc."""
+    import numpy as np
+
+    from repro.core.arena import ArenaProblem
+
+    ap = ArenaProblem(prob)
+    tasks = np.asarray(midstate.ready_tasks(), dtype=np.int64)
+    procs = np.arange(prob.m, dtype=np.int64)
+    proc_row = np.asarray(midstate.proc_of, dtype=np.int8)
+    finish_row = np.asarray(midstate.finish, dtype=np.float64)
+    avail_row = np.asarray(midstate.avail, dtype=np.float64)
+    return ap, proc_row, finish_row, avail_row, tasks, procs
+
+
+@pytest.mark.benchmark(group="micro-batch")
+def test_batch_earliest_starts(benchmark, batch_inputs):
+    from repro.core.expand import batch_earliest_starts
+
+    ap, proc_row, finish_row, avail_row, tasks, procs = batch_inputs
+    S, F = benchmark(
+        batch_earliest_starts, ap, proc_row, finish_row, avail_row,
+        tasks, procs,
+    )
+    assert S.shape == (len(tasks), len(procs))
+    assert (F >= S).all()
+
+
+@pytest.mark.benchmark(group="micro-batch")
+def test_batch_admission(benchmark, batch_inputs):
+    import math
+
+    from repro.core.expand import batch_admission, batch_earliest_starts
+
+    ap, proc_row, finish_row, avail_row, tasks, procs = batch_inputs
+    S, F = batch_earliest_starts(
+        ap, proc_row, finish_row, avail_row, tasks, procs
+    )
+    skip, floor = benchmark(
+        batch_admission, ap, S, F, tasks, -math.inf, math.inf, True,
+        ap.domain.exact,
+    )
+    assert skip.shape == floor.shape == S.shape
+
+
+@pytest.mark.benchmark(group="micro-batch")
+def test_batch_bound_repair(benchmark, batch_inputs):
+    """lmin update + LB1 fast-path classification for one batch."""
+    import numpy as np
+
+    from repro.core.expand import batch_lb_fast, batch_lmin
+
+    ap, proc_row, finish_row, avail_row, tasks, procs = batch_inputs
+    est_tasks = avail_row.min() + ap.wcet[tasks] * 0.0
+    F = (avail_row.min() + ap.wcet[tasks])[:, None].repeat(
+        len(procs), axis=1
+    )
+    floor = F - 1.0
+    parent_lmin = float(avail_row.min())
+    nmin = int(np.count_nonzero(avail_row == parent_lmin))
+    lmin2 = float(np.partition(avail_row, 1)[1]) if len(avail_row) > 1 \
+        else parent_lmin
+
+    def repair():
+        lmin, changed = batch_lmin(avail_row, parent_lmin, nmin, lmin2, F)
+        return batch_lb_fast(
+            est_tasks, F, floor.copy(), True, changed, F, lmin
+        )
+
+    fast, _ = benchmark(repair)
+    assert fast.shape == F.shape
+
+
 @pytest.mark.benchmark(group="micro")
 def test_full_solve_small_instance(benchmark):
     """End-to-end solve of one fixed moderately hard instance."""
@@ -107,6 +186,25 @@ def test_full_solve_small_instance(benchmark):
     prob = compile_problem(graph, shared_bus_platform(2))
     params = BnBParameters.paper_default(
         resources=ResourceBounds(max_vertices=100_000)
+    )
+
+    def solve_once():
+        return BranchAndBound(params).solve(prob)
+
+    result = benchmark(solve_once)
+    assert result.found_solution
+
+
+@pytest.mark.benchmark(group="micro")
+@pytest.mark.parametrize("engine", ["array", "array-numpy"])
+def test_full_solve_small_instance_array(benchmark, engine):
+    """The same instance through the array engines (compare groups)."""
+    from repro.workload import scaled_spec
+
+    graph = generate_task_graph(scaled_spec(), seed=11)
+    prob = compile_problem(graph, shared_bus_platform(2))
+    params = BnBParameters.paper_default(
+        resources=ResourceBounds(max_vertices=100_000), engine=engine
     )
 
     def solve_once():

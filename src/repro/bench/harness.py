@@ -88,9 +88,37 @@ __all__ = [
     "run_transposition_suite",
     "run_live_overhead_instance",
     "run_live_overhead_suite",
+    "run_array_instance",
+    "run_array_suite",
+    "pin_thread_env",
     "check_against_golden",
     "golden_from_report",
 ]
+
+#: BLAS/OpenMP pool-size variables pinned by :func:`pin_thread_env`.
+_THREAD_ENV_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+)
+
+
+def pin_thread_env() -> dict[str, str]:
+    """Pin numpy/BLAS thread pools for stable single-core timings.
+
+    Vectorized kernels would otherwise let the BLAS runtime spin up a
+    pool sized to the machine, adding run-to-run noise (and cross-core
+    migration stalls) to benchmarks whose claim is explicitly
+    *single-core* throughput.  Values already exported by the caller
+    win — ``setdefault`` only fills the gaps — and the effective
+    settings are returned so every bench report can record the
+    environment it was measured under.
+    """
+    for var in _THREAD_ENV_VARS:
+        os.environ.setdefault(var, "1")
+    return {var: os.environ[var] for var in _THREAD_ENV_VARS}
 
 #: Per-solve safety cap for exhaustive cells; they are sized to finish
 #: well under it, so their counts are never truncated.
@@ -865,6 +893,158 @@ def run_live_overhead_suite(
             "budget": budget,
             "within_budget": (
                 overhead is not None and overhead <= budget
+            ),
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# Array-engine suite (``repro bench --array``)
+# ---------------------------------------------------------------------------
+
+
+def _solve_fingerprint(result) -> tuple:
+    return (
+        result.stats.generated,
+        result.stats.explored,
+        result.stats.goals_evaluated,
+        result.stats.pruned_children,
+        result.stats.pruned_active,
+        result.best_cost,
+        result.proc_of,
+        result.start,
+    )
+
+
+def run_array_instance(inst: BenchInstance, repeats: int = 3) -> dict:
+    """Benchmark one cell across all three engine implementations.
+
+    Four solves per cell: the unfused reference oracle (the PR 3
+    exhaustive ground truth), the PR 2 fused object engine (the
+    throughput baseline this PR is measured against), the numpy batch
+    expander (``engine='array-numpy'``, the arena-only ablation arm)
+    and the full array engine with the compiled chunk driver
+    (``engine='array'``).  All four must report identical counters,
+    cost and schedule — any divergence is a :class:`ReproError`, not a
+    number in a table.
+    """
+    problem = inst.problem()
+    params = inst.params()
+
+    ref, ref_s = _timed_solve(params, problem, fused=False, repeats=1)
+    obj, obj_s = _timed_solve(params, problem, fused=True, repeats=repeats)
+    npy, npy_s = _timed_solve(
+        params.evolve(engine="array-numpy"), problem, fused=True,
+        repeats=repeats,
+    )
+    arr, arr_s = _timed_solve(
+        params.evolve(engine="array"), problem, fused=True, repeats=repeats
+    )
+
+    oracle = _solve_fingerprint(ref)
+    for label, res in (("object", obj), ("array-numpy", npy),
+                       ("array", arr)):
+        if _solve_fingerprint(res) != oracle:
+            raise ReproError(
+                f"array bench {inst.name}: {label} engine diverged from "
+                f"the reference oracle: {oracle[:6]} != "
+                f"{_solve_fingerprint(res)[:6]}"
+            )
+    if ref.stats.time_limit_hit:
+        raise ReproError(
+            f"array bench {inst.name}: reference run hit the time limit; "
+            "wall-clock truncation is not search-order deterministic"
+        )
+    if ref.stats.truncated and inst.max_vertices is None:
+        raise ReproError(
+            f"array bench {inst.name}: reference run hit a resource cap; "
+            "instance is too large to serve as an exhaustive oracle"
+        )
+
+    gen = arr.stats.generated
+    return {
+        "name": inst.name,
+        "profile": inst.profile,
+        "seed": inst.seed,
+        "processors": inst.processors,
+        "preset": inst.preset,
+        "tasks": problem.n,
+        "capped": inst.max_vertices,
+        "generated": gen,
+        "explored": arr.stats.explored,
+        "best_cost": arr.best_cost,
+        "ref_seconds": round(ref_s, 6),
+        "object_seconds": round(obj_s, 6),
+        "numpy_seconds": round(npy_s, 6),
+        # ``opt_seconds`` is the canonical key ``--compare`` extracts, so
+        # diffs against BENCH_PR2.json read fused-object -> array.
+        "opt_seconds": round(arr_s, 6),
+        "object_vertices_per_sec": round(gen / obj_s) if obj_s > 0 else None,
+        "numpy_vertices_per_sec": round(gen / npy_s) if npy_s > 0 else None,
+        "opt_vertices_per_sec": round(gen / arr_s) if arr_s > 0 else None,
+        "speedup_vs_object": (
+            round(obj_s / arr_s, 3) if arr_s > 0 else None
+        ),
+        "numpy_speedup_vs_object": (
+            round(obj_s / npy_s, 3) if npy_s > 0 else None
+        ),
+    }
+
+
+def run_array_suite(
+    quick: bool = False,
+    repeats: int = 3,
+    target: float = 3.0,
+) -> dict:
+    """Run the array-engine suite; returns the JSON-ready report.
+
+    Every cell is quadruple-solved and parity-gated (see
+    :func:`run_array_instance`); the summary carries the ablation
+    geomeans — arena + numpy batching alone vs arena + batching + the
+    compiled chunk driver, both against the PR 2 fused object engine —
+    and the verdict against ``target`` (the PR contract's >= 3x geomean
+    single-core throughput).  The committed ``BENCH_PR7.json`` is this
+    suite's reference report; regenerate it with::
+
+        repro bench --array --out BENCH_PR7.json
+    """
+    thread_env = pin_thread_env()
+    instances = QUICK_INSTANCES if quick else BENCH_INSTANCES
+    rows = [run_array_instance(inst, repeats=repeats) for inst in instances]
+    array_ratios = [
+        r["speedup_vs_object"] for r in rows if r["speedup_vs_object"]
+    ]
+    numpy_ratios = [
+        r["numpy_speedup_vs_object"] for r in rows
+        if r["numpy_speedup_vs_object"]
+    ]
+    geomean_array = _geomean(array_ratios)
+    geomean_numpy = _geomean(numpy_ratios)
+    return {
+        "schema": "repro-bench-pr7/1",
+        "quick": quick,
+        "repeats": repeats,
+        "python": sys.version.split()[0],
+        "machine": _platform.machine(),
+        "thread_env": thread_env,
+        "instances": rows,
+        "summary": {
+            "cells": len(rows),
+            "parity_gated_cells": len(rows),
+            "total_generated": sum(r["generated"] for r in rows),
+            "ablation": {
+                "arena_numpy_speedup_geomean": (
+                    round(geomean_numpy, 3)
+                    if geomean_numpy is not None else None
+                ),
+                "arena_native_speedup_geomean": (
+                    round(geomean_array, 3)
+                    if geomean_array is not None else None
+                ),
+            },
+            "target_speedup": target,
+            "target_met": (
+                geomean_array is not None and geomean_array >= target
             ),
         },
     }

@@ -52,7 +52,7 @@ from .core.transposition import (
     TranspositionDominance,
     find_transposition,
 )
-from .core.params import BnBParameters
+from .core.params import ENGINES, BnBParameters
 from .core.resources import ResourceBounds
 from .core.selection import SELECTION_RULES
 from .errors import ConfigurationError, ReproError
@@ -166,6 +166,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--tt-policy", choices=TT_POLICIES, default="depth",
         help="replacement policy once the table fills (default depth: "
         "keep shallow entries, whose subtrees are largest)",
+    )
+    slv.add_argument(
+        "--engine", choices=ENGINES, default="object",
+        help="search-core implementation: 'array' (struct-of-arrays "
+        "arena + compiled chunk driver where eligible), 'array-numpy' "
+        "(arena + numpy batch expansion only) or 'object' (default); "
+        "results are identical across engines",
     )
     slv.add_argument("--br", type=float, default=0.0, help="inaccuracy limit")
     slv.add_argument("--time-limit", type=float, default=None)
@@ -331,6 +338,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="frontier split depth for the parallel suite (default 2)",
     )
     ben.add_argument(
+        "--array", action="store_true",
+        help="run the array-engine suite instead: every cell "
+             "quadruple-solved (reference oracle, fused object engine, "
+             "numpy batch expander, compiled chunk driver) with all "
+             "four parity-gated, plus the ablation speedup geomeans "
+             "(BENCH_PR7)",
+    )
+    ben.add_argument(
+        "--target-speedup", type=float, default=3.0,
+        help="geomean array-vs-object speedup the --array suite must "
+             "reach for a zero exit (default 3.0, the PR contract)",
+    )
+    ben.add_argument(
         "--live", action="store_true",
         help="run the live-monitor overhead suite instead: each cell "
              "bare vs with LiveMonitor attached, gated on a geomean "
@@ -464,6 +484,7 @@ def _cmd_solve(args) -> int:
         lower_bound=LOWER_BOUNDS[args.bound](),
         inaccuracy=args.br,
         resources=ResourceBounds(**rb_kwargs),
+        engine=args.engine,
         **dom_kwargs,
     )
     if args.trace_csv and args.workers:
@@ -636,10 +657,16 @@ def _cmd_bench(args) -> int:
         golden_from_report,
         load_baseline,
         load_golden,
+        pin_thread_env,
         run_suite,
         write_json,
     )
 
+    # Satellite contract: every timed suite runs with the BLAS/OpenMP
+    # pools pinned (single-core numbers must not depend on machine-wide
+    # thread defaults).  --compare only reads files, so it is exempt.
+    if not args.compare:
+        pin_thread_env()
     if args.compare:
         return _cmd_bench_compare(args)
     if args.parallel:
@@ -648,6 +675,8 @@ def _cmd_bench(args) -> int:
         return _cmd_bench_transposition(args)
     if args.live:
         return _cmd_bench_live(args)
+    if args.array:
+        return _cmd_bench_array(args)
     baseline = load_baseline(args.baseline or BASELINE_PATH)
     if args.baseline and baseline is None:
         print(
@@ -658,6 +687,7 @@ def _cmd_bench(args) -> int:
     report = run_suite(
         quick=args.quick, repeats=args.repeats or 3, baseline=baseline
     )
+    report["thread_env"] = pin_thread_env()
     header = (
         f"{'instance':28s} {'gen':>9s} {'ref s':>8s} {'opt s':>8s} "
         f"{'speedup':>7s} {'opt v/s':>9s} {'vs pre-PR':>9s}"
@@ -703,13 +733,14 @@ def _cmd_bench(args) -> int:
 
 
 def _cmd_bench_parallel(args) -> int:
-    from .bench import run_parallel_suite, write_json
+    from .bench import pin_thread_env, run_parallel_suite, write_json
 
     report = run_parallel_suite(
         quick=args.quick,
         split_depth=args.split_depth,
         repeats=args.repeats or 1,
     )
+    report["thread_env"] = pin_thread_env()
     header = (
         f"{'instance':28s} {'gen':>9s} {'seq s':>8s} {'det s':>8s} "
         f"{'replay':>12s} {'thr@4 s':>8s} {'speedup':>7s}"
@@ -750,7 +781,7 @@ def _cmd_bench_parallel(args) -> int:
 
 
 def _cmd_bench_transposition(args) -> int:
-    from .bench import run_transposition_suite, write_json
+    from .bench import pin_thread_env, run_transposition_suite, write_json
 
     report = run_transposition_suite(
         quick=args.quick,
@@ -758,6 +789,7 @@ def _cmd_bench_transposition(args) -> int:
         policy=args.tt_policy,
         repeats=args.repeats or 3,
     )
+    report["thread_env"] = pin_thread_env()
     header = (
         f"{'instance':28s} {'base gen':>9s} {'tt gen':>9s} {'reduct':>7s} "
         f"{'base s':>8s} {'tt s':>8s} {'ratio':>6s} {'dups':>8s}"
@@ -796,6 +828,48 @@ def _cmd_bench_transposition(args) -> int:
     return 0
 
 
+def _cmd_bench_array(args) -> int:
+    from .bench import run_array_suite, write_json
+
+    report = run_array_suite(
+        quick=args.quick,
+        repeats=args.repeats or 3,
+        target=args.target_speedup,
+    )
+    header = (
+        f"{'instance':28s} {'gen':>9s} {'obj s':>8s} {'numpy s':>8s} "
+        f"{'array s':>8s} {'arr v/s':>10s} {'numpy x':>8s} {'array x':>8s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in report["instances"]:
+        print(
+            f"{row['name']:28s} {row['generated']:>9d} "
+            f"{row['object_seconds']:>8.3f} {row['numpy_seconds']:>8.3f} "
+            f"{row['opt_seconds']:>8.3f} {row['opt_vertices_per_sec']:>10d} "
+            f"{row['numpy_speedup_vs_object']:>7.2f}x "
+            f"{row['speedup_vs_object']:>7.2f}x"
+            f"{'  [capped]' if row['capped'] else ''}"
+        )
+    s = report["summary"]
+    ab = s["ablation"]
+    print(
+        f"{s['cells']} cells quadruple-solved, all parity-gated against "
+        f"the reference oracle"
+    )
+    print(
+        f"ablation geomeans vs fused object engine: arena+numpy "
+        f"{ab['arena_numpy_speedup_geomean']:.2f}x, arena+native driver "
+        f"{ab['arena_native_speedup_geomean']:.2f}x "
+        f"(target {s['target_speedup']:.1f}x -> "
+        f"{'MET' if s['target_met'] else 'MISSED'})"
+    )
+    if args.out:
+        write_json(report, args.out)
+        print(f"wrote {args.out}")
+    return 0 if s["target_met"] else 1
+
+
 def _cmd_bench_compare(args) -> int:
     from .bench import compare_benchmarks, render_comparison
 
@@ -811,13 +885,14 @@ def _cmd_bench_compare(args) -> int:
 
 
 def _cmd_bench_live(args) -> int:
-    from .bench import run_live_overhead_suite, write_json
+    from .bench import pin_thread_env, run_live_overhead_suite, write_json
 
     report = run_live_overhead_suite(
         quick=args.quick,
         repeats=args.repeats or 3,
         interval=args.interval,
     )
+    report["thread_env"] = pin_thread_env()
     header = (
         f"{'instance':28s} {'gen':>9s} {'bare s':>8s} {'live s':>8s} "
         f"{'overhead':>8s} {'samples':>7s}"

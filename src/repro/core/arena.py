@@ -1,0 +1,515 @@
+"""Struct-of-arrays search arena backing the ``--engine array`` core.
+
+Instead of one :class:`~repro.core.state.SearchState` object per vertex
+(14 slots, 4 tuples, ~0.5 us of allocator work each), the arena stores
+every live vertex as a *row index* into preallocated numpy columns:
+
+* bit-packed ``scheduled``/``ready`` masks (``uint64`` — the model caps
+  ``n`` at 62, so one word suffices);
+* per-task ``proc_of``/``start``/``finish`` rows and the per-processor
+  ``avail`` (finish-time) vector;
+* scalar columns for level, running max-lateness, cached ``min(avail)``
+  and the last placement;
+* optional ``est``/``estart`` rows carrying the incremental LB0/LB1
+  evaluator state (omitted for the trivial bound).
+
+Rows are recycled through an explicit free stack, and every column can
+be handed to the native kernel as a raw pointer, so neither the numpy
+batch expander nor the C chunk driver allocates Python objects on the
+hot path.  :class:`ArenaState` is a thin row handle that mirrors the
+``SearchState`` surface the rest of the engine touches and materializes
+a real ``SearchState`` lazily (pickling, checkpoints, error paths, and
+transposition signatures all go through materialization, so the arena
+never needs to replicate Zobrist accumulators).
+
+Integer cost-scaling contract
+-----------------------------
+
+:func:`analyze_cost_domain` certifies when the float cost domain of a
+problem is *exact*.  Every finite double is a dyadic rational; let ``s``
+be the largest denominator exponent over all cost atoms (WCETs,
+arrivals, deadlines, tails, tail latenesses, and the *rounded float*
+communication products ``size * delay``), and ``A`` the largest atom
+magnitude.  Any start/finish/bound/press value the search computes is a
+signed sum of at most ``2n + 4`` such atoms, so when
+
+    ``A * (2n + 4) * 2**s < 2**53``
+
+every partial sum is an integer multiple of ``2**-s`` below the 53-bit
+mantissa limit, every float addition/subtraction in the search is exact
+(IEEE-754 round-to-nearest of a representable value), and comparisons
+against the pruning threshold behave as if carried out in integers.  In
+that regime the fused expander's defensive rounding margin on the tail
+admission pre-check is provably redundant (the computed child bound
+equals the true bound and dominates the computed press), so the numpy
+batch kernel drops the margin without perturbing a single counter.
+When the certificate fails — irrational-looking durations, huge scales
+(``s > 512``), non-finite atoms, or magnitudes overflowing the mantissa
+— the domain is flagged inexact and every consumer keeps the fused
+margin semantics bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from math import isfinite
+
+import numpy as np
+
+from .state import SearchState
+
+__all__ = [
+    "CostDomain",
+    "analyze_cost_domain",
+    "ArenaProblem",
+    "StateArena",
+    "ArenaState",
+]
+
+
+# ----------------------------------------------------------------------
+# Cost domain analysis
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CostDomain:
+    """Certificate for the integer scaling of a problem's cost values."""
+
+    #: Whether every float the search computes is provably exact.
+    exact: bool
+    #: Smallest ``s`` with every atom an integer multiple of ``2**-s``.
+    scale_bits: int
+    #: Largest atom magnitude.
+    max_abs: float
+    #: Sum-length bound used by the certificate (``2n + 4``).
+    terms: int
+
+    def as_integer(self, value: float) -> int:
+        """Map ``value`` to the integer-scaled domain (``value * 2**s``).
+
+        Only meaningful for :attr:`exact` domains; raises ``ValueError``
+        when the value is not an exact multiple of ``2**-scale_bits``.
+        """
+        if not isfinite(value):
+            raise ValueError(f"cannot scale non-finite value {value!r}")
+        scaled = Fraction(value) * (1 << self.scale_bits)
+        if scaled.denominator != 1:
+            raise ValueError(
+                f"{value!r} is not an integer multiple of 2**-{self.scale_bits}"
+            )
+        return scaled.numerator
+
+    def from_integer(self, scaled: int) -> float:
+        """Inverse of :meth:`as_integer` (exact while ``|scaled| < 2**53``)."""
+        return scaled / float(1 << self.scale_bits)
+
+
+def _atoms_of(problem) -> list[float]:
+    atoms: list[float] = []
+    atoms += list(problem.wcet)
+    atoms += list(problem.arrival)
+    atoms += list(problem.deadline)
+    atoms += list(problem.tail)
+    atoms += list(problem.tail_lateness)
+    ud = problem.uniform_delay
+    if ud is not None:
+        for edges in problem.pred_edges:
+            for _, size in edges:
+                # The *rounded float product* is what the search adds.
+                atoms.append(size * ud)
+    else:
+        for edges in problem.pred_edges:
+            for _, size in edges:
+                for row in problem.delay:
+                    for d in row:
+                        atoms.append(size * d)
+    return atoms
+
+
+def analyze_cost_domain(problem) -> CostDomain:
+    """Certify exactness of the float cost domain (see module docstring)."""
+    atoms = _atoms_of(problem)
+    terms = 2 * problem.n + 4
+    scale = 0
+    max_abs = 0.0
+    exact = True
+    for v in atoms:
+        if not isfinite(v):
+            exact = False
+            continue
+        a = abs(v)
+        if a > max_abs:
+            max_abs = a
+        if v != 0.0:
+            den = Fraction(v).denominator
+            bits = den.bit_length() - 1
+            if bits > scale:
+                scale = bits
+    if scale > 512:
+        exact = False
+    if exact and Fraction(max_abs) * terms * (1 << scale) >= (1 << 53):
+        exact = False
+    return CostDomain(exact=exact, scale_bits=scale, max_abs=max_abs, terms=terms)
+
+
+# ----------------------------------------------------------------------
+# Problem mirror (numpy views of CompiledProblem)
+# ----------------------------------------------------------------------
+
+
+class ArenaProblem:
+    """Numpy mirrors of the :class:`CompiledProblem` static tables.
+
+    Predecessor/successor adjacency is stored CSR-style so batch kernels
+    can gather all edges of all branch tasks in one fancy-indexing pass,
+    and the native kernel can walk them with two integer loads per edge.
+    """
+
+    __slots__ = (
+        "problem",
+        "n",
+        "m",
+        "wcet",
+        "arrival",
+        "deadline",
+        "tail",
+        "tail_lateness",
+        "pred_off",
+        "pred_idx",
+        "pred_size",
+        "succ_off",
+        "succ_idx",
+        "topo",
+        "topo_pos",
+        "succ_rank_mask",
+        "pred_mask",
+        "delay",
+        "uniform",
+        "eps",
+        "maxabs_deadline",
+        "domain",
+    )
+
+    def __init__(self, problem) -> None:
+        n, m = problem.n, problem.m
+        self.problem = problem
+        self.n = n
+        self.m = m
+        self.wcet = np.asarray(problem.wcet, dtype=np.float64)
+        self.arrival = np.asarray(problem.arrival, dtype=np.float64)
+        self.deadline = np.asarray(problem.deadline, dtype=np.float64)
+        self.tail = np.asarray(problem.tail, dtype=np.float64)
+        self.tail_lateness = np.asarray(problem.tail_lateness, dtype=np.float64)
+
+        pred_off = np.zeros(n + 1, dtype=np.int64)
+        pidx: list[int] = []
+        psize: list[float] = []
+        for i in range(n):
+            for j, size in problem.pred_edges[i]:
+                pidx.append(j)
+                psize.append(size)
+            pred_off[i + 1] = len(pidx)
+        self.pred_off = pred_off
+        self.pred_idx = np.asarray(pidx, dtype=np.int64)
+        self.pred_size = np.asarray(psize, dtype=np.float64)
+
+        succ_off = np.zeros(n + 1, dtype=np.int64)
+        sidx: list[int] = []
+        for i in range(n):
+            for j, _size in problem.succ_edges[i]:
+                sidx.append(j)
+            succ_off[i + 1] = len(sidx)
+        self.succ_off = succ_off
+        self.succ_idx = np.asarray(sidx, dtype=np.int64)
+
+        self.topo = np.asarray(problem.topo, dtype=np.int64)
+        self.topo_pos = np.asarray(problem.topo_pos, dtype=np.int64)
+        self.succ_rank_mask = np.asarray(problem.succ_rank_mask, dtype=np.uint64)
+        self.pred_mask = np.asarray(problem.pred_mask, dtype=np.uint64)
+        self.delay = np.asarray(problem.delay, dtype=np.float64)
+        self.uniform = problem.uniform_delay
+        # Same defensive margin constants as FusedExpander.
+        self.eps = 4.0 * (n + 2) * 2.0**-52
+        self.maxabs_deadline = max(abs(d) for d in problem.deadline)
+        self.domain = analyze_cost_domain(problem)
+
+
+# ----------------------------------------------------------------------
+# The arena
+# ----------------------------------------------------------------------
+
+
+def _restore_state(state: SearchState) -> SearchState:
+    """Pickle trampoline: arena rows serialize as plain SearchStates."""
+    return state
+
+
+class StateArena:
+    """Preallocated struct-of-arrays vertex storage with a free stack.
+
+    Rows are allocated from the top of ``free_stack`` and returned there
+    on release; capacity doubles on demand (``grow``), which invalidates
+    raw pointers — the native driver re-reads all column pointers after
+    any grow.  ``version`` increments on every grow so cached pointer
+    bundles can detect staleness.
+    """
+
+    __slots__ = (
+        "ap",
+        "problem",
+        "cap",
+        "track_est",
+        "sched",
+        "ready",
+        "level",
+        "lateness",
+        "lmin",
+        "last_task",
+        "last_proc",
+        "proc_of",
+        "start",
+        "finish",
+        "avail",
+        "est",
+        "estart",
+        "free_stack",
+        "nfree",
+        "version",
+    )
+
+    def __init__(self, ap: ArenaProblem, *, track_est: bool, capacity: int = 4096) -> None:
+        self.ap = ap
+        self.problem = ap.problem
+        self.track_est = track_est
+        self.cap = 0
+        self.nfree = 0
+        self.version = 0
+        self._allocate(max(capacity, 4 * (ap.n * ap.m + 2)))
+
+    def _allocate(self, cap: int) -> None:
+        n, m = self.ap.n, self.ap.m
+        old = self.cap
+        self.sched = self._grown(getattr(self, "sched", None), (cap,), np.uint64)
+        self.ready = self._grown(getattr(self, "ready", None), (cap,), np.uint64)
+        self.level = self._grown(getattr(self, "level", None), (cap,), np.int32)
+        self.lateness = self._grown(getattr(self, "lateness", None), (cap,), np.float64)
+        self.lmin = self._grown(getattr(self, "lmin", None), (cap,), np.float64)
+        self.last_task = self._grown(getattr(self, "last_task", None), (cap,), np.int16)
+        self.last_proc = self._grown(getattr(self, "last_proc", None), (cap,), np.int16)
+        self.proc_of = self._grown(getattr(self, "proc_of", None), (cap, n), np.int8)
+        self.start = self._grown(getattr(self, "start", None), (cap, n), np.float64)
+        self.finish = self._grown(getattr(self, "finish", None), (cap, n), np.float64)
+        self.avail = self._grown(getattr(self, "avail", None), (cap, m), np.float64)
+        if self.track_est:
+            self.est = self._grown(getattr(self, "est", None), (cap, n), np.float64)
+            self.estart = self._grown(getattr(self, "estart", None), (cap, n), np.float64)
+        else:
+            self.est = None
+            self.estart = None
+        stack = np.empty(cap, dtype=np.int32)
+        if old:
+            stack[: self.nfree] = self.free_stack[: self.nfree]
+        fresh = np.arange(old, cap, dtype=np.int32)
+        stack[self.nfree : self.nfree + fresh.size] = fresh
+        self.free_stack = stack
+        self.nfree += fresh.size
+        self.cap = cap
+        self.version += 1
+
+    @staticmethod
+    def _grown(old, shape, dtype):
+        arr = np.zeros(shape, dtype=dtype)
+        if old is not None:
+            arr[: old.shape[0]] = old
+        return arr
+
+    def grow(self) -> None:
+        self._allocate(self.cap * 2)
+
+    # -- allocation ----------------------------------------------------
+
+    def alloc(self) -> int:
+        if self.nfree == 0:
+            self.grow()
+        self.nfree -= 1
+        return int(self.free_stack[self.nfree])
+
+    def alloc_many(self, k: int) -> np.ndarray:
+        while self.nfree < k:
+            self.grow()
+        self.nfree -= k
+        return self.free_stack[self.nfree : self.nfree + k].copy()
+
+    def free(self, slot: int) -> None:
+        self.free_stack[self.nfree] = slot
+        self.nfree += 1
+
+    @property
+    def live(self) -> int:
+        return self.cap - self.nfree
+
+    # -- SearchState bridge --------------------------------------------
+
+    def adopt(self, state: SearchState, est=None, estart=None) -> int:
+        """Copy a SearchState into a fresh row (root / foreign seeds)."""
+        slot = self.alloc()
+        n = self.ap.n
+        self.sched[slot] = state.scheduled_mask
+        self.ready[slot] = state.ready_mask
+        self.level[slot] = state.level
+        self.lateness[slot] = state.scheduled_lateness
+        self.lmin[slot] = state.min_avail()
+        self.last_task[slot] = state.last_task
+        self.last_proc[slot] = state.last_proc
+        self.proc_of[slot, :] = state.proc_of
+        self.start[slot, :] = state.start
+        self.finish[slot, :] = state.finish
+        self.avail[slot, :] = state.avail
+        if self.track_est:
+            if est is None or len(est) != n:
+                raise ValueError("est/estart vectors required for bound-tracking arena")
+            self.est[slot, :] = est
+            self.estart[slot, :] = estart
+        return slot
+
+    def materialize(self, slot: int) -> SearchState:
+        """Rebuild a full SearchState from a row (signatures rebuilt lazily)."""
+        return SearchState(
+            self.problem,
+            int(self.sched[slot]),
+            int(self.ready[slot]),
+            tuple(int(p) for p in self.proc_of[slot]),
+            tuple(self.start[slot].tolist()),
+            tuple(self.finish[slot].tolist()),
+            tuple(self.avail[slot].tolist()),
+            int(self.level[slot]),
+            float(self.lateness[slot]),
+            last_task=int(self.last_task[slot]),
+            last_proc=int(self.last_proc[slot]),
+            lmin=float(self.lmin[slot]),
+        )
+
+
+class ArenaState:
+    """Row handle mirroring the ``SearchState`` surface the engine uses.
+
+    Cheap scalar/mask reads come straight from the columns; anything
+    structural (tuples, signatures, child placement on the object path)
+    materializes a real ``SearchState`` once and caches it.  ``_owned``
+    rows are returned to the free stack on garbage collection; the
+    native driver *disowns* handles whose rows it manages itself.
+    """
+
+    __slots__ = ("arena", "slot", "_mat", "_owned")
+
+    def __init__(self, arena: StateArena, slot: int, *, owned: bool = True) -> None:
+        self.arena = arena
+        self.slot = slot
+        self._mat = None
+        self._owned = owned
+
+    # -- lifecycle -----------------------------------------------------
+
+    def disown(self) -> None:
+        """Hand row ownership to the native driver (materialize first —
+        the row may be recycled at any point afterwards)."""
+        if self._owned:
+            self._mat = self.arena.materialize(self.slot)
+            self._owned = False
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        if getattr(self, "_owned", False):
+            try:
+                self.arena.free(self.slot)
+            except Exception:
+                pass
+
+    def materialize(self) -> SearchState:
+        mat = self._mat
+        if mat is None:
+            mat = self._mat = self.arena.materialize(self.slot)
+        return mat
+
+    def __reduce__(self):
+        return (_restore_state, (self.materialize(),))
+
+    # -- cheap column reads --------------------------------------------
+
+    @property
+    def problem(self):
+        return self.arena.problem
+
+    @property
+    def scheduled_mask(self) -> int:
+        return int(self.arena.sched[self.slot])
+
+    @property
+    def ready_mask(self) -> int:
+        return int(self.arena.ready[self.slot])
+
+    @property
+    def level(self) -> int:
+        return int(self.arena.level[self.slot])
+
+    @property
+    def scheduled_lateness(self) -> float:
+        return float(self.arena.lateness[self.slot])
+
+    @property
+    def last_task(self) -> int:
+        return int(self.arena.last_task[self.slot])
+
+    @property
+    def last_proc(self) -> int:
+        return int(self.arena.last_proc[self.slot])
+
+    @property
+    def is_goal(self) -> bool:
+        return int(self.arena.sched[self.slot]) == self.arena.problem.all_mask
+
+    def is_ready(self, task: int) -> bool:
+        return bool((int(self.arena.ready[self.slot]) >> task) & 1)
+
+    def ready_tasks(self):
+        mask = int(self.arena.ready[self.slot])
+        out = []
+        while mask:
+            low = mask & -mask
+            out.append(low.bit_length() - 1)
+            mask ^= low
+        return out
+
+    def min_avail(self) -> float:
+        return float(self.arena.lmin[self.slot])
+
+    @property
+    def avail(self):
+        return tuple(self.arena.avail[self.slot].tolist())
+
+    # -- structural reads delegate to the materialized state -----------
+
+    @property
+    def proc_of(self):
+        return self.materialize().proc_of
+
+    @property
+    def start(self):
+        return self.materialize().start
+
+    @property
+    def finish(self):
+        return self.materialize().finish
+
+    def signature(self) -> int:
+        return self.materialize().signature()
+
+    def child(self, task: int, proc: int) -> SearchState:
+        return self.materialize().child(task, proc)
+
+    def child_placed(self, task: int, proc: int, start: float, finish: float):
+        return self.materialize().child_placed(task, proc, start, finish)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ArenaState(slot={self.slot}, level={self.level})"

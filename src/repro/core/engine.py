@@ -57,10 +57,18 @@ from .checkpoint import (
     StopToken,
     problem_fingerprint,
 )
-from .elimination import UDBASElimination, pruning_threshold
-from .expand import FusedExpander
+from . import _native
+from .arena import ArenaState
+from .elimination import NoElimination, UDBASElimination, pruning_threshold
+from .expand import BatchExpander, FusedExpander, make_batch_expander
 from .params import BnBParameters
 from .resources import current_rss_bytes
+from .selection import (
+    _DepthLLBFrontier,
+    _FIFOFrontier,
+    _LIFOFrontier,
+    _LLBFrontier,
+)
 from .state import root_state
 from .stats import SearchStats
 from .trace import TraceRecorder
@@ -77,6 +85,16 @@ __all__ = [
 
 #: How often (in explored vertices) the wall clock is consulted.
 _TIME_CHECK_MASK = 0xFF
+
+#: Frontier disciplines the native chunk driver replicates exactly.
+_NATIVE_FRONTIER_KINDS = {
+    _LIFOFrontier: 0,
+    _FIFOFrontier: 1,
+    _LLBFrontier: 2,
+    _DepthLLBFrontier: 3,
+}
+
+_CHILD_ORDER_CODES = {"generation": 0, "best-last": 1, "best-first": 2}
 
 #: How often (in explored vertices) the progress reporter is consulted.
 _PROGRESS_CHECK_MASK = 0x3F
@@ -575,14 +593,21 @@ class BranchAndBound:
             use_fused = self.fused
             if use_fused is None:
                 use_fused = user_sink is None and profiler is None
-            expander = (
-                FusedExpander(
+            expander = None
+            if params.engine != "object" and self.fused is not False:
+                # Array engine: arena-backed batch expansion behind the
+                # same expand() seam.  The factory returns None for
+                # configurations it cannot replicate bit-for-bit; those
+                # fall back to the scalar paths below.
+                expander = make_batch_expander(
                     problem, prepared, bound, charf, dominance, elim,
                     break_symmetry,
                 )
-                if use_fused
-                else None
-            )
+            if expander is None and use_fused:
+                expander = FusedExpander(
+                    problem, prepared, bound, charf, dominance, elim,
+                    break_symmetry,
+                )
 
             fused_precheck = expander is not None and expander.precheck
             # U/DBAS's test is a bare comparison; inlining it in the pop
@@ -723,6 +748,146 @@ class BranchAndBound:
 
             if lap is not None:
                 lap("setup")
+
+            # Array engine, native tier: hand the whole pop→expand→push
+            # loop to the compiled chunk driver when the configuration
+            # has no per-vertex hooks it cannot replicate.  The driver
+            # returns at growth points, periodic time/memory checks,
+            # resource caps and branching errors; everything else about
+            # the search (counters, seq, incumbent, order) is
+            # bit-identical to the loop below.
+            driver = None
+            driver_open_min = None
+            if (
+                type(expander) is BatchExpander
+                and params.engine == "array"
+                and resume is None
+                and subtree is None
+                and dispatcher is None
+                and checkpoint is None
+                and stop is None
+                and channel is None
+                and sink is None
+                and not telem
+                and live is None
+                and progress is None
+                and lap is None
+                and early_stop is None
+                and math.isinf(max_children)
+                and math.isinf(max_active)
+                and problem.uniform_delay is not None
+            ):
+                fr_kind = _NATIVE_FRONTIER_KINDS.get(type(frontier))
+                if fr_kind is not None and _native.native_available():
+                    entries = []
+                    for v in frontier.export():
+                        st = v.state
+                        if (
+                            type(st) is not ArenaState
+                            or st.arena is not expander.arena
+                        ):
+                            st = expander._ensure_row(v)
+                        st.disown()
+                        entries.append(
+                            (v.lower_bound, v.seq, st.slot, st.level)
+                        )
+                    driver = _native.NativeDriver(
+                        expander.arena,
+                        expander.ap,
+                        frontier_kind=fr_kind,
+                        bound_kind=expander.bound_kind,
+                        child_order=_CHILD_ORDER_CODES[child_order],
+                        elim_none=type(elim) is NoElimination,
+                        stop_on_bound=stop_on_bound,
+                        break_symmetry=break_symmetry,
+                        fixed_order=getattr(prepared, "order", None),
+                        entries=entries,
+                        seq=seq,
+                        threshold=threshold,
+                        incumbent=incumbent_cost,
+                        found_cost=found_cost,
+                        inaccuracy=params.inaccuracy,
+                        max_vertices=max_vertices,
+                        do_checks=not (untimed and unmemed),
+                        stats=stats,
+                    )
+                    # The exported vertices now belong to the driver;
+                    # give the loop below a fresh empty frontier so the
+                    # post-loop accounting (len/min_bound) stays clean.
+                    frontier = params.selection.make_frontier()
+
+            if driver is not None:
+                limit_hit = None
+                code = driver.step()
+                while True:
+                    if (
+                        code == _native.ST_GROW_ARENA
+                        or code == _native.ST_GROW_FRONT
+                    ):
+                        driver.grow(code)
+                        code = driver.step()
+                        continue
+                    if code == _native.ST_CHECK:
+                        # Periodic boundary: the in-hand vertex is
+                        # parked exactly where the loop below holds it
+                        # for these same checks.
+                        driver.sync_stats(stats)
+                        if (
+                            not untimed
+                            and stats.time_since_start() >= rb.time_limit
+                        ):
+                            stats.time_limit_hit = True
+                            limit_hit = ("TIMELIMIT", f"{rb.time_limit}s")
+                        elif (
+                            not unmemed
+                            and current_rss_bytes() >= rb.max_memory_bytes
+                        ):
+                            stats.memory_limit_hit = True
+                            limit_hit = (
+                                "MEMLIMIT",
+                                f"rss >= {rb.max_memory_bytes:g}B",
+                            )
+                        else:
+                            code = driver.step()
+                            continue
+                    break
+
+                # Drain the driver's state back into the engine locals.
+                driver.sync_stats(stats)
+                seq = driver.seq
+                threshold = driver.threshold
+                incumbent_cost = driver.incumbent
+                if driver.best_found:
+                    found_cost = driver.found_cost
+                    best_proc, best_start = driver.best_schedule()
+                    incumbent_source = "search"
+                driver_open_min = driver.open_min_bound()
+                if limit_hit is not None:
+                    pend = driver.take_pending()
+                    if pend is not None:
+                        pslot, plb, pseq = pend
+                        pending_vertex = Vertex(
+                            ArenaState(expander.arena, pslot), plb, pseq
+                        )
+                    if rb.fail_on_exhaustion:
+                        _limit_exceeded(*limit_hit)
+                elif code == _native.ST_MAXVERT:
+                    if rb.fail_on_exhaustion:
+                        _limit_exceeded(
+                            "MAXVERT", f"{stats.generated} generated"
+                        )
+                    stats.truncated = True
+                elif code == _native.ST_ERR_NOT_READY:
+                    # Replay the branching call on the offending vertex
+                    # so the identical ConfigurationError surfaces.
+                    prepared.branch_tasks(
+                        ArenaState(expander.arena, driver.err_slot())
+                    )
+                    raise ConfigurationError(
+                        "native driver flagged an unready fixed-order task"
+                    )
+                # ST_DONE / ST_BOUNDSTOP: search complete; the empty
+                # frontier below ends the Python loop immediately.
 
             # Step 3-10: the main loop.
             while True:
@@ -1006,6 +1171,10 @@ class BranchAndBound:
                     stats.goals_evaluated += n_goals
                     stats.pruned_infeasible += n_infeasible
                     stats.pruned_dominated += n_dominated
+                    # Close the expand span before any event dispatch so
+                    # sink time is attributed to telemetry, not expand.
+                    if lap is not None:
+                        lap("expand")
                     if hot_sink is not None:
                         # Event parity is coarse on the fused path:
                         # per-child goal/prune events are aggregated.
@@ -1030,8 +1199,8 @@ class BranchAndBound:
                                  "count": n_dominated,
                                  "level": vertex.level + 1},
                             )
-                    if lap is not None:
-                        lap("expand")
+                        if lap is not None:
+                            lap("telemetry")
                 else:
                     placements = prepared.placements(
                         vertex.state, break_symmetry
@@ -1303,6 +1472,11 @@ class BranchAndBound:
         )
         if stopped_early and stats.dropped_resource == 0:
             open_lower_bound = frontier.min_bound()
+            if driver_open_min is not None and (
+                open_lower_bound is None
+                or driver_open_min < open_lower_bound
+            ):
+                open_lower_bound = driver_open_min
             if pending_vertex is not None and (
                 open_lower_bound is None
                 or pending_vertex.lower_bound < open_lower_bound

@@ -25,7 +25,7 @@ from .selection import (
 )
 from .upper import EDFUpperBound, UpperBoundProvider
 
-__all__ = ["BnBParameters", "CHILD_ORDERS"]
+__all__ = ["BnBParameters", "CHILD_ORDERS", "ENGINES"]
 
 #: Valid child push orders.
 #:
@@ -36,6 +36,12 @@ __all__ = ["BnBParameters", "CHILD_ORDERS"]
 #:   DFS refinement, exposed for ablations);
 #: * ``best-first`` — lowest bound pushed first.
 CHILD_ORDERS = ("generation", "best-last", "best-first")
+
+#: Valid search-core implementations (``engine`` field).  The engine is
+#: an implementation detail: it never changes results or counters, so it
+#: is deliberately excluded from ``describe()`` and the checkpoint
+#: problem fingerprint.
+ENGINES = ("object", "array", "array-numpy")
 
 
 @dataclass(frozen=True)
@@ -58,6 +64,13 @@ class BnBParameters:
     #: uniform interconnects only; ignored otherwise).  Default off,
     #: matching the paper.
     break_symmetry: bool = False
+    #: Search-core implementation: ``object`` (per-vertex SearchState
+    #: objects), ``array`` (struct-of-arrays arena + native chunk driver
+    #: where eligible) or ``array-numpy`` (arena + numpy batch expansion
+    #: without the compiled driver).  Array engines silently fall back
+    #: to the object core for configurations they cannot replicate
+    #: bit-for-bit, so results are engine-independent by construction.
+    engine: str = "object"
 
     def __post_init__(self) -> None:
         if self.inaccuracy < 0:
@@ -67,6 +80,10 @@ class BnBParameters:
         if self.child_order not in CHILD_ORDERS:
             raise ConfigurationError(
                 f"child_order must be one of {CHILD_ORDERS}, got {self.child_order!r}"
+            )
+        if self.engine not in ENGINES:
+            raise ConfigurationError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}"
             )
 
     # ------------------------------------------------------------------

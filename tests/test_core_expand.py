@@ -150,6 +150,70 @@ def test_fused_matches_reference_scaled_llb():
 
 
 # ---------------------------------------------------------------------------
+# Array engines: the same equivalence sweep, engine-parametrized
+# ---------------------------------------------------------------------------
+#
+# The array engines (numpy batch expansion, and the compiled chunk
+# driver where eligible) carry the same contract as the fused path:
+# search-order invisible, every counter identical.  Configurations the
+# batch factory refuses (LB2, dominance, filters) must degrade to the
+# fused path silently — the engine parameter is then a no-op, which
+# these sweeps verify just as strictly.
+
+
+def _assert_engines_equivalent(params: BnBParameters, problem, label: str):
+    want = _fingerprint(BranchAndBound(params).solve(problem))
+    for engine in ("array", "array-numpy"):
+        got = _fingerprint(
+            BranchAndBound(params.evolve(engine=engine)).solve(problem)
+        )
+        assert got == want, f"{label} engine={engine}"
+
+
+@pytest.mark.parametrize(
+    "branching", [BFnBranching(), DFBranching(), BF1Branching()],
+    ids=["BFn", "DF", "BF1"],
+)
+@pytest.mark.parametrize(
+    "selection", [LIFOSelection(), FIFOSelection(), LLBSelection()],
+    ids=["LIFO", "FIFO", "LLB"],
+)
+@pytest.mark.parametrize(
+    "bound", [TrivialBound(), LB0(), LB1()], ids=["trivial", "LB0", "LB1"]
+)
+def test_array_engines_match_object_core_sweep(branching, selection, bound):
+    params = BnBParameters(
+        branching=branching,
+        selection=selection,
+        lower_bound=bound,
+        resources=_CAPPED,
+    )
+    for seed in range(2):
+        for m in (2, 3):
+            _assert_engines_equivalent(
+                params, _problem(seed, m), f"seed={seed} m={m}"
+            )
+
+
+@pytest.mark.parametrize("variant", sorted(_VARIANTS), ids=sorted(_VARIANTS))
+def test_array_engines_match_object_rule_variants(variant):
+    params = BnBParameters(**{"resources": _CAPPED, **_VARIANTS[variant]})
+    for seed in range(2):
+        _assert_engines_equivalent(params, _problem(seed), f"seed={seed}")
+
+
+def test_array_engine_survives_forced_numpy_fallback(monkeypatch):
+    """With the native driver disabled, engine='array' equals numpy."""
+    from repro.core import _native
+
+    monkeypatch.setattr(_native, "_LIB", None)
+    monkeypatch.setattr(_native, "_LIB_TRIED", True)
+    assert not _native.native_available()
+    params = BnBParameters(resources=_CAPPED, lower_bound=TrivialBound())
+    _assert_engines_equivalent(params, _problem(0), "no-native")
+
+
+# ---------------------------------------------------------------------------
 # Incremental bounds vs the full recursions
 # ---------------------------------------------------------------------------
 
