@@ -10,8 +10,8 @@ threshold.
 Schemas differ, so extraction is tolerant: a cell's canonical seconds
 is the first of ``opt_seconds`` (PR 2), ``seq_seconds`` (PR 3),
 ``base_seconds`` (PR 6), ``seconds``, or the nested ``base.seconds``
-(PR 4); vertex counts come from ``generated`` (top level or under
-``base``).  Wall-clock ratios are only meaningful when both files were
+(PR 4) / ``ao.seconds`` (PR 8); vertex counts come from ``generated``
+(top level or under the same nesting).  Wall-clock ratios are only meaningful when both files were
 measured on comparable hardware — vertex counts are deterministic and
 therefore the harder signal.
 """
@@ -36,18 +36,25 @@ def _extract_cells(report: dict) -> dict[str, dict]:
         name = inst.get("name")
         if not name:
             continue
-        base = inst.get("base") if isinstance(inst.get("base"), dict) else {}
+        # PR 4 nests the untreated engine under "base"; PR 8 has no
+        # untreated run, so its canonical cell is the AO engine under
+        # "ao" (the thing whose counts a regression would change).
+        nested = {}
+        for key in ("base", "ao"):
+            if isinstance(inst.get(key), dict):
+                nested = inst[key]
+                break
         seconds = None
         for key in _SECONDS_KEYS:
             value = inst.get(key)
             if isinstance(value, (int, float)):
                 seconds = float(value)
                 break
-        if seconds is None and isinstance(base.get("seconds"), (int, float)):
-            seconds = float(base["seconds"])
+        if seconds is None and isinstance(nested.get("seconds"), (int, float)):
+            seconds = float(nested["seconds"])
         generated = inst.get("generated")
         if generated is None:
-            generated = base.get("generated")
+            generated = nested.get("generated")
         if seconds is None and generated is None:
             continue
         cells[name] = {"seconds": seconds, "generated": generated}
@@ -73,7 +80,9 @@ class BenchComparison:
     new_schema: str
     #: Per shared cell: name, old/new seconds and generated, ratios.
     cells: list[dict] = field(default_factory=list)
-    #: Cells present in only one file (never a regression by itself).
+    #: Cells present in only one file — surfaced as warnings (a silently
+    #: shrinking suite hides regressions), and escalated to regressions
+    #: under ``strict_cells``.
     only_old: list[str] = field(default_factory=list)
     only_new: list[str] = field(default_factory=list)
     geomean_time_ratio: float | None = None
@@ -92,15 +101,20 @@ def compare_benchmarks(
     *,
     time_threshold: float = 0.20,
     vertex_threshold: float = 0.01,
+    strict_cells: bool = False,
 ) -> BenchComparison:
     """Diff two bench JSON files; thresholds are fractional increases.
 
     ``time_threshold`` tolerates wall-clock noise (machines differ);
     ``vertex_threshold`` is tight because vertex counts are
     deterministic — any growth means the search genuinely does more
-    work.  Raises :class:`~repro.errors.ReproError` on unreadable files
-    or zero shared cells (a comparison that checks nothing must not
-    pass silently).
+    work.  ``strict_cells`` escalates unmatched cells (present in only
+    one report) from warnings to regressions — use it when the two
+    reports are supposed to cover the same suite, where a missing cell
+    means coverage silently shrank.  Raises
+    :class:`~repro.errors.ReproError` on unreadable files or zero
+    shared cells (a comparison that checks nothing must not pass
+    silently).
     """
     reports = []
     for path in (old_path, new_path):
@@ -161,6 +175,17 @@ def compare_benchmarks(
         comparison.cells.append(cell)
     comparison.geomean_time_ratio = _geomean(time_ratios)
     comparison.geomean_vertex_ratio = _geomean(vertex_ratios)
+    if strict_cells:
+        for name in comparison.only_old:
+            comparison.regressions.append(
+                f"{name}: cell present in {old_path} but missing from "
+                f"{new_path} (--strict-cells)"
+            )
+        for name in comparison.only_new:
+            comparison.regressions.append(
+                f"{name}: cell present in {new_path} but missing from "
+                f"{old_path} (--strict-cells)"
+            )
     return comparison
 
 
@@ -206,9 +231,9 @@ def render_comparison(comparison: BenchComparison) -> str:
             f"geomean vertex ratio: {comparison.geomean_vertex_ratio:.4f}x"
         )
     for name in comparison.only_old:
-        out.append(f"note: {name} only in {comparison.old_path}")
+        out.append(f"warning: cell {name} only in {comparison.old_path}")
     for name in comparison.only_new:
-        out.append(f"note: {name} only in {comparison.new_path}")
+        out.append(f"warning: cell {name} only in {comparison.new_path}")
     if comparison.regressions:
         out.append("")
         out.append(f"REGRESSIONS ({len(comparison.regressions)}):")

@@ -141,6 +141,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--selection", choices=sorted(SELECTION_RULES), default="LIFO"
     )
     slv.add_argument(
+        "--frontier-cap", type=_positive_int, default=None, metavar="K",
+        help="open-set size cap for --selection ML: best-first while at "
+        "most K vertices are open, depth-first drain of the newest above "
+        "(default 65536; nothing is dropped, results stay exact)",
+    )
+    slv.add_argument(
         "--branching", choices=sorted(BRANCHING_RULES), default="BFn"
     )
     slv.add_argument("--bound", choices=sorted(LOWER_BOUNDS), default="LB1")
@@ -351,6 +357,18 @@ def build_parser() -> argparse.ArgumentParser:
              "reach for a zero exit (default 3.0, the PR contract)",
     )
     ben.add_argument(
+        "--dupfree", action="store_true",
+        help="run the duplicate-free head-to-head suite instead: "
+             "default+TT vs the allocation-ordered tree (plus its "
+             "memory-limited variant) on the same exhaustive cells, "
+             "cost-parity and zero-duplicate gated (BENCH_PR8)",
+    )
+    ben.add_argument(
+        "--ml-cap", type=_positive_int, default=256, metavar="K",
+        help="open-vertex cap for the memory-limited run of the "
+             "--dupfree suite (default 256)",
+    )
+    ben.add_argument(
         "--live", action="store_true",
         help="run the live-monitor overhead suite instead: each cell "
              "bare vs with LiveMonitor attached, gated on a geomean "
@@ -376,6 +394,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--vertex-threshold", type=float, default=0.01,
         help="fractional generated-vertex increase tolerated per cell "
              "by --compare (default 0.01; counts are deterministic)",
+    )
+    ben.add_argument(
+        "--strict-cells", action="store_true",
+        help="make --compare treat cells present in only one report as "
+             "regressions instead of warnings (use when both reports "
+             "cover the same suite)",
     )
     ben.add_argument(
         "--check", action="store_true",
@@ -478,8 +502,16 @@ def _cmd_solve(args) -> int:
     dominance = _build_dominance(args)
     if dominance is not None:
         dom_kwargs["dominance"] = dominance
+    if args.selection == "ML":
+        selection = SELECTION_RULES["ML"](cap=args.frontier_cap)
+    elif args.frontier_cap is not None:
+        raise ConfigurationError(
+            "--frontier-cap only applies to --selection ML"
+        )
+    else:
+        selection = SELECTION_RULES[args.selection]()
     params = BnBParameters(
-        selection=SELECTION_RULES[args.selection](),
+        selection=selection,
         branching=BRANCHING_RULES[args.branching](),
         lower_bound=LOWER_BOUNDS[args.bound](),
         inaccuracy=args.br,
@@ -673,6 +705,8 @@ def _cmd_bench(args) -> int:
         return _cmd_bench_parallel(args)
     if args.transposition:
         return _cmd_bench_transposition(args)
+    if args.dupfree:
+        return _cmd_bench_dupfree(args)
     if args.live:
         return _cmd_bench_live(args)
     if args.array:
@@ -870,6 +904,53 @@ def _cmd_bench_array(args) -> int:
     return 0 if s["target_met"] else 1
 
 
+def _cmd_bench_dupfree(args) -> int:
+    from .bench import pin_thread_env, run_dupfree_suite, write_json
+
+    report = run_dupfree_suite(
+        quick=args.quick,
+        table_bytes=args.tt_bytes,
+        policy=args.tt_policy,
+        ml_cap=args.ml_cap,
+        repeats=args.repeats or 3,
+    )
+    report["thread_env"] = pin_thread_env()
+    header = (
+        f"{'instance':16s} {'tt gen':>8s} {'ao gen':>8s} {'reduct':>7s} "
+        f"{'tt s':>8s} {'ao s':>8s} {'ratio':>6s} {'ml gen':>8s} "
+        f"{'ml peak':>7s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in report["instances"]:
+        red = row["vertex_reduction"]
+        print(
+            f"{row['name']:16s} {row['tt']['generated']:>8d} "
+            f"{row['ao']['generated']:>8d} "
+            f"{red:>6.2f}x "
+            f"{row['tt']['seconds']:>8.3f} {row['ao']['seconds']:>8.3f} "
+            f"{row['time_ratio']:>6.2f} {row['ao_ml']['generated']:>8d} "
+            f"{row['ao_ml']['peak_active']:>7d}"
+            f"{'' if row['expect_win'] else '  [no gate]'}"
+        )
+    s = report["summary"]
+    print(
+        f"{s['cells']} cells exhaustive, cost-parity and zero-duplicate "
+        f"verified (array fallback bit-for-bit); TT pruned "
+        f"{s['duplicates_pruned_by_tt']} duplicates, AO pruned 0"
+    )
+    print(
+        f"vertex reduction geomean: all cells "
+        f"{s['vertex_reduction_geomean']:.2f}x, gated cells "
+        f"{s['vertex_reduction_geomean_wins']:.2f}x "
+        f"(ML cap {report['ml_cap']}, peak open {s['ml_peak_active_max']})"
+    )
+    if args.out:
+        write_json(report, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
 def _cmd_bench_compare(args) -> int:
     from .bench import compare_benchmarks, render_comparison
 
@@ -879,6 +960,7 @@ def _cmd_bench_compare(args) -> int:
         new_path,
         time_threshold=args.time_threshold,
         vertex_threshold=args.vertex_threshold,
+        strict_cells=args.strict_cells,
     )
     print(render_comparison(comparison))
     return 0 if comparison.ok else 1

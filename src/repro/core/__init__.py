@@ -8,6 +8,7 @@ the Figure 1 engine (:class:`BranchAndBound`).
 from .bounds import LB0, LB1, LB2, LOWER_BOUNDS, LowerBound, TrivialBound
 from .branching import (
     BRANCHING_RULES,
+    AOBranching,
     BF1Branching,
     BFnBranching,
     BranchingRule,
@@ -68,9 +69,10 @@ from .selection import (
     FIFOSelection,
     LIFOSelection,
     LLBSelection,
+    MemoryLimitedSelection,
     SelectionRule,
 )
-from .state import SearchState, root_state
+from .state import AOState, SearchState, ao_root_state, root_state
 from .stats import SearchStats
 from .trace import ExploreEvent, IncumbentEvent, TraceRecorder
 from .transposition import (
@@ -93,6 +95,8 @@ from .upper import (
 from .vertex import Vertex
 
 __all__ = [
+    "AOBranching",
+    "AOState",
     "BF1Branching",
     "BFnBranching",
     "BRANCHING_RULES",
@@ -126,6 +130,7 @@ __all__ = [
     "LOWER_BOUNDS",
     "LatenessTargetFilter",
     "LowerBound",
+    "MemoryLimitedSelection",
     "NoDominance",
     "NoElimination",
     "NoFilter",
@@ -158,6 +163,7 @@ __all__ = [
     "UPPER_BOUNDS",
     "UpperBoundProvider",
     "Vertex",
+    "ao_root_state",
     "child_signature",
     "current_rss_bytes",
     "default_worker_count",

@@ -33,10 +33,11 @@ from abc import ABC, abstractmethod
 
 from ..errors import ConfigurationError
 from ..model.compile import CompiledProblem
-from .state import SearchState
+from .state import AOState, SearchState, ao_root_state, root_state
 
 __all__ = [
     "BranchingRule",
+    "AOBranching",
     "BFnBranching",
     "BF1Branching",
     "DFBranching",
@@ -55,6 +56,13 @@ class BranchingRule(ABC):
     #: truncated the search).
     guarantees_optimal: bool = False
 
+    #: Whether the rule's tree reaches every state by exactly one path.
+    #: The engine refuses to stack a dominance/duplicate layer on such a
+    #: rule: duplicate detection is pointless there, and the shipped
+    #: checkers key on placements only, which would unsoundly collapse
+    #: distinct allocation prefixes.
+    duplicate_free: bool = False
+
     @abstractmethod
     def prepare(self, problem: CompiledProblem) -> "PreparedBranching":
         """Bind the rule to one compiled problem."""
@@ -66,8 +74,18 @@ class BranchingRule(ABC):
 class PreparedBranching(ABC):
     """Per-problem branching state (fixed orders, processor lists)."""
 
+    #: Whether the fused/batch expansion paths may replicate this rule.
+    #: Rules whose states are not plain one-placement-per-level
+    #: :class:`SearchState` trees (the allocation-ordered rule) opt out;
+    #: the engine then falls back to the reference per-child loop.
+    fused_compatible: bool = True
+
     def __init__(self, problem: CompiledProblem) -> None:
         self.problem = problem
+
+    def make_root(self) -> SearchState:
+        """The root state this rule's tree grows from."""
+        return root_state(self.problem)
 
     @abstractmethod
     def placements(
@@ -196,8 +214,91 @@ class BF1Branching(BranchingRule):
         return _PreparedFixedOrder(problem, order)
 
 
+class _PreparedAO(PreparedBranching):
+    """Two-phase allocation-ordered branching (see :class:`AOState`).
+
+    Phase 1 branches the next unallocated task (fixed topological order)
+    over the candidate processors — on uniform interconnects only the
+    used ones plus the first unused, which cancels processor-permutation
+    symmetry without any ``break_symmetry`` opt-in (the normalization is
+    what makes allocations canonical, so it is not optional here).
+    Phase 2 branches every ready task *not in the sleep set* on its
+    allocated processor, skipping children that would wake up with
+    nothing left to branch (guaranteed dead ends — their completions
+    live on the canonical interleaving through a sibling).
+    """
+
+    fused_compatible = False
+
+    def __init__(self, problem: CompiledProblem) -> None:
+        super().__init__(problem)
+        self._uniform = problem.uniform_delay is not None
+
+    def make_root(self) -> AOState:
+        return ao_root_state(self.problem)
+
+    @staticmethod
+    def _require_ao(state: SearchState) -> AOState:
+        if not isinstance(state, AOState):
+            raise ConfigurationError(
+                "allocation-ordered branching requires AOState vertices "
+                "(build the root with its make_root(), not root_state())"
+            )
+        return state
+
+    def branch_tasks(self, state: SearchState) -> list[int]:
+        st = self._require_ao(state)
+        if st.alloc_count < self.problem.n:
+            return [st.alloc_order[st.alloc_count]]
+        out = []
+        mask = st.ready_mask & ~st.sleep_mask
+        while mask:
+            low = mask & -mask
+            out.append(low.bit_length() - 1)
+            mask ^= low
+        return out
+
+    def placements(
+        self, state: SearchState, break_symmetry: bool = False
+    ) -> list[tuple[int, int]]:
+        st = self._require_ao(state)
+        m = self.problem.m
+        if st.alloc_count < self.problem.n:
+            task = st.alloc_order[st.alloc_count]
+            if self._uniform:
+                procs = min(st.used_processors() + 1, m)
+            else:
+                procs = m
+            return [(task, q) for q in range(procs)]
+        return [
+            (t, st.alloc[t])
+            for t in self.branch_tasks(st)
+            if st.ordering_child_is_live(t, st.alloc[t])
+        ]
+
+
+class AOBranching(BranchingRule):
+    """Allocation-Ordered duplicate-free rule (Orr & Sinnen, 1901.06899).
+
+    Fix every task's processor first (canonically ordered and processor-
+    normalized), then order tasks per processor with sleep-set pruning of
+    commuting interleavings: each complete schedule — and each partial
+    state — is reached by exactly one path, so no transposition table is
+    needed (or allowed).  Explores every schedule ordering, hence
+    optimal.
+    """
+
+    name = "AO"
+    guarantees_optimal = True
+    duplicate_free = True
+
+    def prepare(self, problem: CompiledProblem) -> PreparedBranching:
+        return _PreparedAO(problem)
+
+
 BRANCHING_RULES: dict[str, type[BranchingRule]] = {
     BFnBranching.name: BFnBranching,
     BF1Branching.name: BF1Branching,
     DFBranching.name: DFBranching,
+    AOBranching.name: AOBranching,
 }

@@ -69,7 +69,6 @@ from .selection import (
     _LIFOFrontier,
     _LLBFrontier,
 )
-from .state import root_state
 from .stats import SearchStats
 from .trace import TraceRecorder
 from .vertex import Vertex
@@ -586,6 +585,17 @@ class BranchAndBound:
             prepared = params.branching.prepare(problem)
             frontier = params.selection.make_frontier()
             dominance = params.dominance.fresh()
+            if (
+                getattr(params.branching, "duplicate_free", False)
+                and not dominance.is_noop
+            ):
+                raise ConfigurationError(
+                    f"branching rule {params.branching.name!r} generates "
+                    f"each state exactly once; a dominance/duplicate "
+                    f"layer (D={params.dominance.name!r}) is redundant "
+                    f"and its placement-keyed stores would unsoundly "
+                    f"collapse distinct allocation prefixes"
+                )
             stop_on_bound = params.selection.stop_on_bound
             child_order = params.child_order
             break_symmetry = params.break_symmetry
@@ -603,7 +613,7 @@ class BranchAndBound:
                     problem, prepared, bound, charf, dominance, elim,
                     break_symmetry,
                 )
-            if expander is None and use_fused:
+            if expander is None and use_fused and prepared.fused_compatible:
                 expander = FusedExpander(
                     problem, prepared, bound, charf, dominance, elim,
                     break_symmetry,
@@ -670,7 +680,7 @@ class BranchAndBound:
                 if expander is not None:
                     root = expander.root()
                 else:
-                    rs = root_state(problem)
+                    rs = prepared.make_root()
                     root = Vertex(rs, bound.evaluate(rs), 0)
                 stats.generated = 1
                 seq = 1
@@ -1216,6 +1226,12 @@ class BranchAndBound:
                         if lap is not None:
                             lap("branch")
                         child_lb = bound.evaluate(child_state)
+                        # States may carry their own floor (the
+                        # allocation-load bound of AO states; -inf class
+                        # default everywhere else).
+                        floor = child_state.lb_floor
+                        if floor > child_lb:
+                            child_lb = floor
                         if lap is not None:
                             lap("bound")
                         if child_state.is_goal:

@@ -11,7 +11,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from ..errors import ConfigurationError
-from .branching import BF1Branching, BFnBranching, BranchingRule, DFBranching
+from .branching import (
+    AOBranching,
+    BF1Branching,
+    BFnBranching,
+    BranchingRule,
+    DFBranching,
+)
 from .bounds import LB0, LB1, LowerBound
 from .dominance import ChainedDominance, DominanceRule, NoDominance
 from .transposition import TranspositionDominance
@@ -85,6 +91,16 @@ class BnBParameters:
             raise ConfigurationError(
                 f"engine must be one of {ENGINES}, got {self.engine!r}"
             )
+        if getattr(self.branching, "duplicate_free", False) and not isinstance(
+            self.dominance, NoDominance
+        ):
+            raise ConfigurationError(
+                f"branching rule {self.branching.name!r} generates each "
+                f"state exactly once; composing a dominance/duplicate "
+                f"layer (D={self.dominance.name!r}) is redundant and the "
+                f"shipped placement-keyed stores would unsoundly collapse "
+                f"distinct allocation prefixes"
+            )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -154,6 +170,11 @@ class BnBParameters:
     def paper_lb1(cls, **changes) -> "BnBParameters":
         """Figure 3(b), LB1 curve (LIFO selection)."""
         return cls(lower_bound=LB1()).evolve(**changes)
+
+    @classmethod
+    def dupfree(cls, **changes) -> "BnBParameters":
+        """Duplicate-free allocation-ordered tree (AO / LIFO / U-DBAS / LB1)."""
+        return cls(branching=AOBranching()).evolve(**changes)
 
     @classmethod
     def approximate_df(cls, **changes) -> "BnBParameters":

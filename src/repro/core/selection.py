@@ -31,6 +31,7 @@ import heapq
 from abc import ABC, abstractmethod
 from collections import deque
 
+from ..errors import ConfigurationError
 from .vertex import Vertex
 
 __all__ = [
@@ -39,6 +40,7 @@ __all__ = [
     "Frontier",
     "LIFOSelection",
     "LLBSelection",
+    "MemoryLimitedSelection",
     "SELECTION_RULES",
     "SelectionRule",
 ]
@@ -357,6 +359,138 @@ class DepthBiasedLLBSelection(SelectionRule):
         return _DepthLLBFrontier()
 
 
+class _HybridFrontier(Frontier):
+    """Best-first under a size cap, depth-first drain above it.
+
+    Every vertex is entered into two heaps — one keyed ``(bound, seq)``
+    (best-first) and one keyed ``-seq`` (newest-first, the depth-first
+    proxy: the most recently generated vertex is the deepest open one
+    under a depth-biased expansion).  While the live size is at or below
+    ``cap``, pops come from the best-first heap; above it they come from
+    the newest-first heap, which drains the overflow down the deepest
+    open subtrees (completing or pruning them) instead of discarding
+    vertices.  Nothing is ever dropped, so the search stays exact — this
+    replaces a transposition table's degrade-on-full behaviour with
+    bounded-memory *search* per Orr & Sinnen (arXiv:1905.05568).
+
+    Both heaps share one mutable cell per vertex; consuming or pruning a
+    vertex blanks its cell, and the twin entry is skipped lazily when it
+    surfaces.  A compaction pass bounds garbage at ~2x the live set.
+    """
+
+    def __init__(self, cap: int) -> None:
+        self.cap = cap
+        self._best: list[tuple] = []  # (bound, seq, cell)
+        self._deep: list[tuple] = []  # (-seq, cell)
+        self._live = 0
+
+    def push(self, vertex: Vertex) -> None:
+        cell = [vertex]
+        heapq.heappush(self._best, (vertex.lower_bound, vertex.seq, cell))
+        heapq.heappush(self._deep, (-vertex.seq, cell))
+        self._live += 1
+
+    def pop(self) -> Vertex | None:
+        # Both heaps hold an entry for every live vertex, so whichever
+        # side the policy picks can always surface one.
+        heap = self._deep if self._live > self.cap else self._best
+        while heap:
+            cell = heapq.heappop(heap)[-1]
+            v = cell[0]
+            if v is None:
+                continue
+            cell[0] = None
+            self._live -= 1
+            return v
+        self._live = 0
+        return None
+
+    def _compact(self) -> None:
+        self._best = [e for e in self._best if e[-1][0] is not None]
+        self._deep = [e for e in self._deep if e[-1][0] is not None]
+        heapq.heapify(self._best)
+        heapq.heapify(self._deep)
+
+    def prune_above(self, threshold: float) -> int:
+        pruned = 0
+        for bound, _seq, cell in self._best:
+            if cell[0] is not None and bound >= threshold:
+                cell[0] = None
+                pruned += 1
+        if pruned:
+            self._live -= pruned
+            if self._live < len(self._best) // 2:
+                self._compact()
+        return pruned
+
+    def drop_worst(self, count: int) -> int:
+        if count <= 0 or self._live == 0:
+            return 0
+        worst = heapq.nlargest(
+            count, (e for e in self._best if e[-1][0] is not None)
+        )
+        for e in worst:
+            e[-1][0] = None
+        self._live -= len(worst)
+        if self._live < len(self._best) // 2:
+            self._compact()
+        return len(worst)
+
+    def export(self) -> list[Vertex]:
+        # Pop order depends on future live counts; export the under-cap
+        # (best-first) order, which restore() reproduces exactly — the
+        # rebuilt frontier holds the same vertex multiset, and pop
+        # behaviour is a function of the multiset and the cap only.
+        return [
+            e[-1][0] for e in sorted(self._best) if e[-1][0] is not None
+        ]
+
+    def __len__(self) -> int:
+        return self._live
+
+    def iter_open(self):
+        for e in self._best:
+            if e[-1][0] is not None:
+                yield e[-1][0]
+
+
+class MemoryLimitedSelection(SelectionRule):
+    """Bounded-memory best-first selection (ours, after arXiv:1905.05568).
+
+    Behaves exactly like LLB while the active set fits in ``cap``
+    vertices; beyond that it switches to draining the newest (deepest)
+    vertices depth-first until the set shrinks back under the cap.  No
+    vertex is ever discarded, so results remain exact — only the
+    exploration *order* (and hence peak memory) changes.
+
+    ``stop_on_bound`` stays False: above the cap pops are not bound-
+    ordered, so a popped vertex at the threshold proves nothing about
+    the rest of the frontier; the engine's per-vertex threshold check
+    prunes such pops individually instead.
+    """
+
+    name = "ML"
+    stop_on_bound = False
+
+    DEFAULT_CAP = 65536
+
+    def __init__(self, cap: int | None = None) -> None:
+        if cap is None:
+            cap = self.DEFAULT_CAP
+        if cap < 1:
+            raise ConfigurationError(f"frontier cap must be >= 1, got {cap}")
+        self.cap = cap
+        # Instance name carries the cap: a different cap changes the
+        # search trajectory, so checkpoint fingerprints must differ.
+        self.name = f"ML@{cap}"
+
+    def make_frontier(self) -> Frontier:
+        return _HybridFrontier(self.cap)
+
+    def __repr__(self) -> str:
+        return f"MemoryLimitedSelection(cap={self.cap})"
+
+
 class LIFOSelection(SelectionRule):
     """Last-in-first-out (depth-first) selection."""
 
@@ -382,4 +516,5 @@ SELECTION_RULES: dict[str, type[SelectionRule]] = {
     DepthBiasedLLBSelection.name: DepthBiasedLLBSelection,
     LIFOSelection.name: LIFOSelection,
     FIFOSelection.name: FIFOSelection,
+    MemoryLimitedSelection.name: MemoryLimitedSelection,
 }

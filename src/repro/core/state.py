@@ -42,7 +42,9 @@ from ..model.compile import CompiledProblem
 
 __all__ = [
     "SearchState",
+    "AOState",
     "root_state",
+    "ao_root_state",
     "mix64",
     "placement_key",
     "proc_salt",
@@ -87,6 +89,12 @@ def proc_salt(proc: int) -> int:
 
 class SearchState(object):
     """One partial (or complete) schedule: a search-tree vertex's payload."""
+
+    #: Extra lower bound carried by the state itself (class attribute, so
+    #: every plain state reads ``-inf`` at zero storage cost).  The
+    #: allocation-ordered states below shadow it with a per-instance
+    #: allocation-load bound; the engine takes ``max(L(v), lb_floor)``.
+    lb_floor: float = _NEG_INF
 
     __slots__ = (
         "problem",
@@ -369,4 +377,364 @@ def root_state(problem: CompiledProblem) -> SearchState:
         scheduled_lateness=_NEG_INF,
         psig=(0,) * problem.m,
         sigacc=sigacc,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Allocation-ordered (duplicate-free) states
+# ---------------------------------------------------------------------------
+
+#: Salts for the allocation half of the AO signature (distinct from the
+#: placement-key constants so allocation and placement moves can never
+#: cancel each other).
+_ALLOC_GOLDEN = 0xC2B2AE3D27D4EB4F
+_ALLOC_FINAL = 0xA0761D6478BD642F
+
+
+class AOState(SearchState):
+    """State of the allocation-ordered, duplicate-free search tree.
+
+    The tree has two phases (Orr & Sinnen, arXiv:1901.06899):
+
+    * **allocation** — tasks are bound to processors one at a time in
+      fixed task-index order; on uniform interconnects a task may only
+      open the *first* unused processor, which makes every allocation a
+      canonical representative of its processor-permutation class.  No
+      placement happens yet: ``scheduled_mask`` stays 0 and the base
+      schedule fields keep their root values.
+    * **ordering** — once every task is allocated, ready tasks are
+      appended to their (fixed) processor via the ordinary scheduling
+      operation.  Placements on *different* processors commute (neither
+      changes the other's start time), so distinct interleavings of the
+      same per-processor sequences reach identical states.  A Godefroid
+      sleep set picks exactly one interleaving per class: the child via
+      task ``t`` puts every ready task branched before ``t`` (smaller
+      index, not already asleep is equivalent under the union below) to
+      sleep unless it shares ``t``'s processor, and sleeping tasks are
+      never branched on.  Together the two phases make every state of
+      the tree reachable by exactly one path.
+
+    The state additionally carries ``lb_floor``, a monotone
+    allocation-aware lower bound (see :meth:`_alloc_floor`).  The engine
+    maxes this floor with the configured bound ``L``, giving the
+    allocation phase real pruning power even though the base schedule
+    fields still look like the root.
+    """
+
+    __slots__ = (
+        "alloc",
+        "alloc_count",
+        "alloc_order",
+        "sleep_mask",
+        "lb_floor",
+        "aproc_mask",
+    )
+
+    def __init__(
+        self,
+        *,
+        alloc: tuple[int, ...],
+        alloc_count: int,
+        alloc_order: tuple[int, ...],
+        sleep_mask: int,
+        lb_floor: float,
+        aproc_mask: tuple[int, ...],
+        **base,
+    ) -> None:
+        super().__init__(**base)
+        #: Per-task processor binding (-1 while unallocated).
+        self.alloc = alloc
+        #: Number of tasks bound so far; the allocation phase binds task
+        #: ``alloc_order[alloc_count]`` next, and the ordering phase
+        #: begins once all ``n`` are bound.
+        self.alloc_count = alloc_count
+        #: The fixed (topological) task order allocations follow; shared
+        #: across the whole tree.
+        self.alloc_order = alloc_order
+        #: Ready tasks the sleep-set rule forbids branching on here.
+        self.sleep_mask = sleep_mask
+        self.lb_floor = lb_floor
+        #: Per-processor bitmask of allocated tasks.
+        self.aproc_mask = aproc_mask
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def allocation_complete(self) -> bool:
+        return self.alloc_count == self.problem.n
+
+    def used_processors(self) -> int:
+        """Processors holding at least one allocated task."""
+        return sum(1 for msk in self.aproc_mask if msk)
+
+    # ------------------------------------------------------------------
+    # Branching
+    # ------------------------------------------------------------------
+
+    def child(self, task: int, proc: int) -> "AOState":
+        """One move of the two-phase tree (dispatches on the phase)."""
+        p = self.problem
+        if self.alloc_count < p.n:
+            expected = self.alloc_order[self.alloc_count]
+            if task != expected:
+                raise ModelError(
+                    f"allocation order is fixed: task "
+                    f"{p.names[expected]!r} must be allocated "
+                    f"next, not {p.names[task]!r}"
+                )
+            return self.allocate(proc)
+        if proc != self.alloc[task]:
+            raise ModelError(
+                f"task {p.names[task]!r} is allocated to processor "
+                f"{self.alloc[task]}, cannot place it on {proc}"
+            )
+        if self.sleep_mask >> task & 1:
+            raise ModelError(
+                f"task {p.names[task]!r} is asleep here: placing it now "
+                f"would re-generate a state reachable on the canonical "
+                f"path"
+            )
+        return SearchState.child(self, task, proc)
+
+    def allocate(self, proc: int) -> "AOState":
+        """Bind the next task (``alloc_order[alloc_count]``) to ``proc``."""
+        p = self.problem
+        if self.alloc_count >= p.n:
+            raise ModelError("allocation phase already complete")
+        task = self.alloc_order[self.alloc_count]
+        if not 0 <= proc < p.m:
+            raise ModelError(f"processor {proc} out of range")
+        if p.uniform_delay is not None and proc > self.used_processors():
+            raise ModelError(
+                f"non-canonical allocation: processor {proc} skipped an "
+                f"unused processor (uniform interconnect)"
+            )
+        alloc = list(self.alloc)
+        alloc[task] = proc
+        aproc_mask = list(self.aproc_mask)
+        aproc_mask[proc] |= 1 << task
+        floor = self._alloc_floor(alloc, aproc_mask)
+        if floor < self.lb_floor:
+            floor = self.lb_floor
+        return AOState(
+            alloc=tuple(alloc),
+            alloc_count=self.alloc_count + 1,
+            alloc_order=self.alloc_order,
+            sleep_mask=0,
+            lb_floor=floor,
+            aproc_mask=tuple(aproc_mask),
+            problem=p,
+            scheduled_mask=self.scheduled_mask,
+            ready_mask=self.ready_mask,
+            proc_of=self.proc_of,
+            start=self.start,
+            finish=self.finish,
+            avail=self.avail,
+            level=self.level + 1,
+            scheduled_lateness=self.scheduled_lateness,
+            last_task=task,
+            last_proc=proc,
+            psig=self.psig,
+            sigacc=self.sigacc,
+        )
+
+    def _alloc_floor(self, alloc: list[int], aproc_mask: list[int]) -> float:
+        """Allocation-aware max-lateness lower bound, two relaxations.
+
+        * **Allocated critical path** — an edge whose endpoints are bound
+          to *different* processors must pay its full message delay in
+          any completion; every other edge (same processor, or either
+          endpoint unbound) is relaxed to zero comm.  The relaxed finish
+          time of each task therefore lower-bounds its real finish, so
+          ``fin[i] - deadline[i]`` lower-bounds the max lateness.
+        * **Per-processor sequencing** — the tasks bound to ``q`` run
+          serially there.  Sorted by relaxed earliest start, for every
+          suffix of the group the last-finishing suffix task completes no
+          earlier than the suffix's earliest start plus its total WCET,
+          and its deadline is at most the suffix max.
+
+        Both terms only grow as bindings are added (the caller maxes with
+        the parent floor), so the floor is monotone down every path.
+        """
+        p = self.problem
+        arrival = p.arrival
+        wcet = p.wcet
+        deadline = p.deadline
+        delay = p.delay
+        est = [0.0] * p.n
+        floor = _NEG_INF
+        for i in p.topo:
+            e = arrival[i]
+            qi = alloc[i]
+            for j, size in p.pred_edges[i]:
+                r = est[j] + wcet[j]
+                qj = alloc[j]
+                if qi >= 0 and qj >= 0 and qi != qj:
+                    r += size * delay[qj][qi]
+                if r > e:
+                    e = r
+            est[i] = e
+            lat = e + wcet[i] - deadline[i]
+            if lat > floor:
+                floor = lat
+        for msk in aproc_mask:
+            if msk == 0 or msk & (msk - 1) == 0:
+                continue  # singleton groups are covered by the path term
+            group = []
+            while msk:
+                low = msk & -msk
+                t = low.bit_length() - 1
+                group.append((est[t], wcet[t], deadline[t]))
+                msk ^= low
+            group.sort()
+            load = 0.0
+            maxdl = _NEG_INF
+            for e, w, d in reversed(group):
+                load += w
+                if d > maxdl:
+                    maxdl = d
+                lat = e + load - maxdl
+                if lat > floor:
+                    floor = lat
+        return floor
+
+    def ordering_child_is_live(self, task: int, proc: int) -> bool:
+        """Whether the ordering-phase child via ``task`` can ever progress.
+
+        A child whose entire ready set is asleep is a guaranteed dead end
+        (its completions are reached along the canonical interleaving
+        through some sibling instead), so the branching rule skips
+        generating it.  Goal children are always live.
+        """
+        p = self.problem
+        bit = 1 << task
+        new_mask = self.scheduled_mask | bit
+        if new_mask == p.all_mask:
+            return True
+        new_ready = self.ready_mask & ~bit
+        for j, _ in p.succ_edges[task]:
+            if not new_mask >> j & 1 and (p.pred_mask[j] & ~new_mask) == 0:
+                new_ready |= 1 << j
+        sleep = (
+            self.sleep_mask | (self.ready_mask & (bit - 1))
+        ) & ~self.aproc_mask[proc]
+        return bool(new_ready & ~sleep)
+
+    def child_placed(self, task: int, proc: int, s: float, f: float) -> "AOState":
+        if self.alloc_count < self.problem.n:
+            raise ModelError(
+                "allocation phase incomplete: ordering moves not yet legal"
+            )
+        base = SearchState.child_placed(self, task, proc, s, f)
+        bit = 1 << task
+        # Sleep-set update: tasks branched before ``task`` (smaller index
+        # among the parent's ready set) join the inherited sleep set;
+        # tasks sharing the placed processor are dependent moves and wake
+        # up (the placement moved their start time), including ``task``.
+        sleep = (
+            self.sleep_mask | (self.ready_mask & (bit - 1))
+        ) & ~self.aproc_mask[proc]
+        return AOState(
+            alloc=self.alloc,
+            alloc_count=self.alloc_count,
+            alloc_order=self.alloc_order,
+            sleep_mask=sleep,
+            lb_floor=self.lb_floor,
+            aproc_mask=self.aproc_mask,
+            problem=base.problem,
+            scheduled_mask=base.scheduled_mask,
+            ready_mask=base.ready_mask,
+            proc_of=base.proc_of,
+            start=base.start,
+            finish=base.finish,
+            avail=base.avail,
+            level=base.level,
+            scheduled_lateness=base.scheduled_lateness,
+            last_task=base.last_task,
+            last_proc=base.last_proc,
+            lmin=base._lmin,
+            psig=base.psig,
+            sigacc=base.sigacc,
+        )
+
+    # ------------------------------------------------------------------
+    # Signatures
+    # ------------------------------------------------------------------
+
+    def _alloc_sig(self) -> int:
+        """Commutative hash of the allocation prefix.
+
+        The prefix is already canonical (processors are opened in task-
+        index order on uniform interconnects), so hashing the literal
+        (task, processor) pairs is relabel-invariant by construction.
+        """
+        acc = 0
+        for t, q in enumerate(self.alloc):
+            if q >= 0:
+                acc = (
+                    acc + mix64(((t + 1) * _ALLOC_GOLDEN) ^ (q + 1))
+                ) & _MASK64
+        return mix64(acc ^ _ALLOC_FINAL)
+
+    def signature(self) -> int:
+        """Base placement signature with the allocation prefix folded in.
+
+        Distinct allocation prefixes would otherwise collapse onto the
+        root's placement signature (nothing is placed during the
+        allocation phase), breaking the one-signature-per-state property
+        this branching rule exists to provide.
+        """
+        return (SearchState.signature(self) + self._alloc_sig()) & _MASK64
+
+    def signature_from_scratch(self) -> int:
+        return (
+            SearchState.signature_from_scratch(self) + self._alloc_sig()
+        ) & _MASK64
+
+    def canonical_key(self) -> tuple:
+        return (
+            SearchState.canonical_key(self),
+            self.alloc,
+            self.alloc_count,
+        )
+
+    def __repr__(self) -> str:
+        n = self.problem.n
+        if self.alloc_count < n:
+            return f"AOState(alloc={self.alloc_count}/{n})"
+        return (
+            f"AOState(level={self.level - n}/{n}, "
+            f"lat={self.scheduled_lateness:g})"
+        )
+
+
+def ao_root_state(problem: CompiledProblem) -> AOState:
+    """Root of the allocation-ordered tree: nothing allocated or placed.
+
+    Allocations follow the problem's topological order so the partial
+    allocated-critical-path floor sees prefix-closed bindings (every
+    bound task's predecessors are already bound, letting cross-processor
+    comm terms bite as early as possible).
+    """
+    base = root_state(problem)
+    return AOState(
+        alloc=(-1,) * problem.n,
+        alloc_count=0,
+        alloc_order=tuple(problem.topo),
+        sleep_mask=0,
+        lb_floor=_NEG_INF,
+        aproc_mask=(0,) * problem.m,
+        problem=problem,
+        scheduled_mask=base.scheduled_mask,
+        ready_mask=base.ready_mask,
+        proc_of=base.proc_of,
+        start=base.start,
+        finish=base.finish,
+        avail=base.avail,
+        level=0,
+        scheduled_lateness=_NEG_INF,
+        psig=base.psig,
+        sigacc=base.sigacc,
     )

@@ -37,6 +37,17 @@ def pr4_style(cells):
     }
 
 
+def pr8_style(cells):
+    return {
+        "schema": "repro-bench-pr8/1",
+        "instances": [
+            {"name": n, "tt": {"generated": 10 * g},
+             "ao": {"seconds": s, "generated": g}}
+            for n, s, g in cells
+        ],
+    }
+
+
 class TestCompare:
     def test_identical_reports_have_unit_ratios(self, tmp_path):
         report = pr2_style([("a", 1.0, 100), ("b", 2.0, 200)])
@@ -59,6 +70,16 @@ class TestCompare:
         assert cmp.ok
         assert cmp.cells[0]["time_ratio"] == pytest.approx(1.5)
         assert cmp.cells[0]["vertex_ratio"] == pytest.approx(1.0)
+
+    def test_pr8_schema_extracts_the_ao_engine(self, tmp_path):
+        # The dupfree report nests its canonical cell under "ao" (not
+        # "base"); the diff must read that, never the tt side.
+        old = _write(tmp_path, "old.json", pr8_style([("a", 1.0, 100)]))
+        new = _write(tmp_path, "new.json", pr8_style([("a", 1.0, 105)]))
+        cmp = compare_benchmarks(old, new)
+        assert not cmp.ok
+        assert cmp.cells[0]["old_generated"] == 100
+        assert cmp.cells[0]["vertex_ratio"] == pytest.approx(1.05)
 
     def test_time_regression_detected(self, tmp_path):
         old = _write(tmp_path, "old.json", pr2_style([("a", 1.0, 100)]))
@@ -94,6 +115,43 @@ class TestCompare:
         assert cmp.only_old == ["gone"]
         assert cmp.only_new == ["fresh"]
         assert [c["name"] for c in cmp.cells] == ["a"]
+
+    def test_unmatched_cells_are_warnings_not_regressions(self, tmp_path):
+        old = _write(
+            tmp_path, "old.json",
+            pr2_style([("a", 1.0, 10), ("gone", 1.0, 10)]),
+        )
+        new = _write(tmp_path, "new.json", pr2_style([("a", 1.0, 10)]))
+        cmp = compare_benchmarks(old, new)
+        assert cmp.ok
+        text = render_comparison(cmp)
+        assert "warning: cell gone only in" in text
+        assert "note:" not in text
+
+    def test_strict_cells_escalates_unmatched_to_regressions(self, tmp_path):
+        old = _write(
+            tmp_path, "old.json",
+            pr2_style([("a", 1.0, 10), ("gone", 1.0, 10)]),
+        )
+        new = _write(
+            tmp_path, "new.json",
+            pr2_style([("a", 1.0, 10), ("fresh", 1.0, 10)]),
+        )
+        cmp = compare_benchmarks(old, new, strict_cells=True)
+        assert not cmp.ok
+        assert len(cmp.regressions) == 2
+        assert any(
+            "gone" in r and "--strict-cells" in r for r in cmp.regressions
+        )
+        assert any(
+            "fresh" in r and "--strict-cells" in r for r in cmp.regressions
+        )
+
+    def test_strict_cells_passes_when_suites_match(self, tmp_path):
+        report = pr2_style([("a", 1.0, 10), ("b", 2.0, 20)])
+        old = _write(tmp_path, "old.json", report)
+        new = _write(tmp_path, "new.json", report)
+        assert compare_benchmarks(old, new, strict_cells=True).ok
 
     def test_no_shared_cells_is_an_error(self, tmp_path):
         old = _write(tmp_path, "old.json", pr2_style([("a", 1.0, 10)]))
@@ -135,6 +193,20 @@ class TestCompareCli:
         assert main([
             "bench", "--compare", old, new, "--time-threshold", "0.6",
         ]) == 0
+
+    def test_strict_cells_flag_exits_nonzero_on_missing_cell(
+        self, tmp_path, capsys
+    ):
+        old = _write(
+            tmp_path, "old.json",
+            pr2_style([("a", 1.0, 100), ("gone", 1.0, 100)]),
+        )
+        new = _write(tmp_path, "new.json", pr2_style([("a", 1.0, 100)]))
+        assert main(["bench", "--compare", old, new]) == 0
+        assert main([
+            "bench", "--compare", old, new, "--strict-cells",
+        ]) == 1
+        assert "--strict-cells" in capsys.readouterr().out
 
     def test_committed_reports_actually_compare(self):
         # The repo's own BENCH files are the real consumers: PR 2 and

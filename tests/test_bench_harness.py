@@ -163,3 +163,54 @@ def test_live_overhead_suite_report_shape(monkeypatch):
     assert summary["budget"] == 0.02
     assert summary["geomean_time_ratio"] is not None
     assert isinstance(summary["within_budget"], bool)
+
+
+def test_dupfree_suite_names_unique_and_quick_is_subset():
+    from repro.bench.harness import DUPFREE_INSTANCES, DUPFREE_QUICK
+
+    names = [inst.name for inst in DUPFREE_INSTANCES]
+    assert len(names) == len(set(names))
+    assert set(DUPFREE_QUICK) <= set(DUPFREE_INSTANCES)
+    # The committed suite documents both sides of the story: cells
+    # where the duplicate-free tree wins (hard-gated) and cells where
+    # the classic tree plus table still wins (reported, not gated).
+    assert any(inst.expect_win for inst in DUPFREE_INSTANCES)
+    assert any(not inst.expect_win for inst in DUPFREE_INSTANCES)
+    assert any(not inst.expect_win for inst in DUPFREE_QUICK)
+
+
+def test_dupfree_instance_row_gates_and_fields():
+    from repro.bench.harness import DUPFREE_INSTANCES, run_dupfree_instance
+
+    inst = next(i for i in DUPFREE_INSTANCES if i.name == "hard-s0-m2")
+    row = run_dupfree_instance(inst, repeats=1, ml_cap=16)
+    assert row["name"] == "hard-s0-m2"
+    assert row["expect_win"] is True
+    # The hard gates already ran inside run_dupfree_instance (cost
+    # parity, zero AO duplicates, array-fallback identity); the row
+    # itself must carry the head-to-head evidence.
+    assert row["tt"]["duplicates_pruned"] > 0
+    assert row["ao"]["generated"] <= row["tt"]["generated"]
+    assert row["vertex_reduction"] >= 1.0
+    assert row["ao_ml"]["cap"] == 16
+    assert row["ao_ml"]["generated"] > 0
+    assert row["tt"]["best_cost"] == pytest.approx(row["ao"]["best_cost"])
+
+
+def test_dupfree_suite_report_shape(monkeypatch):
+    import repro.bench.harness as harness
+
+    monkeypatch.setattr(
+        harness, "DUPFREE_QUICK",
+        tuple(i for i in harness.DUPFREE_INSTANCES
+              if i.name in ("hard-s9-m2", "hard-s8-m2")),
+    )
+    report = harness.run_dupfree_suite(quick=True, repeats=1)
+    assert report["schema"] == "repro-bench-pr8/1"
+    summary = report["summary"]
+    assert summary["cells"] == 2
+    assert summary["expected_win_cells"] == 1
+    assert summary["ao_duplicates_pruned"] == 0
+    assert summary["duplicates_pruned_by_tt"] > 0
+    assert summary["vertex_reduction_geomean"] is not None
+    assert summary["vertex_reduction_geomean_wins"] >= 1.0

@@ -42,7 +42,7 @@ from repro.core.checkpoint import (
     problem_fingerprint,
     write_checkpoint,
 )
-from repro.core.selection import FIFOSelection
+from repro.core.selection import FIFOSelection, MemoryLimitedSelection
 from repro.errors import CheckpointError
 from repro.io import save_graph
 
@@ -184,6 +184,10 @@ CELLS = [
         BnBParameters(selection=FIFOSelection()), id="BFn-FIFO-UDBAS-LB1"
     ),
     pytest.param(BnBParameters(lower_bound=LB2()), id="BFn-LIFO-UDBAS-LB2"),
+    pytest.param(
+        BnBParameters(selection=MemoryLimitedSelection(cap=32)),
+        id="BFn-ML32-UDBAS-LB1",
+    ),
 ]
 
 
@@ -209,6 +213,37 @@ def test_kill_resume_differential(params, tmp_path):
     assert resumed.start == straight.start
     # No transposition layer in these cells: the resumed run replays the
     # remaining tree exactly, so the counters match to the vertex.
+    assert resumed.stats.generated == straight.stats.generated
+    assert resumed.stats.explored == straight.stats.explored
+
+
+def test_kill_resume_differential_dupfree(tmp_path):
+    """AO cell: snapshot/restore must preserve the AOState extras.
+
+    Runs on a seed whose allocation-ordered tree is big enough to
+    truncate mid-search (seed 0's collapses in ~30 expansions under the
+    allocation-aware floor).  Counter parity is exact — AO admits no
+    transposition layer, so nothing is dropped from snapshots.
+    """
+    problem = hard_problem(seed=5)
+    params = BnBParameters.dupfree()
+    straight = BranchAndBound(params).solve(problem)
+    assert straight.stats.explored > 50, "cell too trivial to test resume"
+
+    path = tmp_path / "cp.pkl"
+    cap = max(50, straight.stats.generated // 2)
+    capped = BranchAndBound(
+        params.evolve(resources=ResourceBounds(max_vertices=cap))
+    ).solve(problem, checkpoint=Checkpointer(str(path), every=40))
+    assert capped.status is SolveStatus.TRUNCATED
+
+    resumed = BranchAndBound(params).solve(
+        problem, resume=load_checkpoint(str(path))
+    )
+    assert resumed.status == straight.status
+    assert resumed.best_cost == straight.best_cost
+    assert resumed.proc_of == straight.proc_of
+    assert resumed.start == straight.start
     assert resumed.stats.generated == straight.stats.generated
     assert resumed.stats.explored == straight.stats.explored
 

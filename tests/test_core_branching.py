@@ -107,7 +107,7 @@ class TestFixedOrderRules:
 
 class TestRegistry:
     def test_names(self):
-        assert set(BRANCHING_RULES) == {"BFn", "BF1", "DF"}
+        assert set(BRANCHING_RULES) == {"BFn", "BF1", "DF", "AO"}
 
     def test_single_task_rules_have_m_children(self):
         prob = compile_problem(make_forkjoin(3), shared_bus_platform(3))

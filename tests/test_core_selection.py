@@ -171,7 +171,7 @@ class TestRuleMetadata:
         assert not FIFOSelection().stop_on_bound
 
     def test_registry(self):
-        assert set(SELECTION_RULES) == {"LLB", "LLB-D", "LIFO", "FIFO"}
+        assert set(SELECTION_RULES) == {"LLB", "LLB-D", "LIFO", "FIFO", "ML"}
         for cls in SELECTION_RULES.values():
             f = cls().make_frontier()
             assert len(f) == 0

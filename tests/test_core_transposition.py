@@ -309,8 +309,14 @@ def _solve(problem, combo, dominance=None):
     return BranchAndBound(params).solve(problem)
 
 
+#: The duplicate-free AO rule refuses dominance layers by construction
+#: (each state is generated once; a placement-keyed table would collapse
+#: distinct allocation prefixes), so the TT sweep excludes its combos.
+TT_CASES = [(i, c) for i, c in CASES if c[0] != "AO"]
+
+
 @pytest.mark.parametrize(
-    "idx,combo", CASES, ids=[_case_id(i, c) for i, c in CASES]
+    "idx,combo", TT_CASES, ids=[_case_id(i, c) for i, c in TT_CASES]
 )
 def test_table_never_changes_cost_or_adds_work(idx, combo):
     """Over the full ⟨B,S,E,L⟩ registry: identical cost, no extra vertices.

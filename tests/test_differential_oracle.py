@@ -3,7 +3,7 @@
 Fifty fixed-seed instances (44 generated DAGs plus six handcrafted
 shapes), every one small enough for :func:`oracle.oracle_optimum` to
 enumerate completely.  Four *core* instances run the full
-``B x S x E x L`` parameter matrix (96 combinations); the rest cycle
+``B x S x E x L`` parameter matrix (160 combinations); the rest cycle
 through the matrix deterministically, so every combination is exercised
 on several graphs per run.
 
@@ -12,7 +12,7 @@ What is asserted per cell:
 * the reported cost is *real* — recomputed from the returned schedule
   by the oracle's own arithmetic, and the schedule passes the
   independent validity checker;
-* under an optimal branching rule (BFn) the cost equals the oracle
+* under an optimal branching rule (BFn, AO) the cost equals the oracle
   optimum for **every** selection rule, elimination rule and lower
   bound — selection changes order, elimination changes work, bounds
   change pruning, none may change the answer;
@@ -83,7 +83,7 @@ COMBOS = list(
     )
 )
 
-#: Core instances get the complete 96-combination matrix: the first
+#: Core instances get the complete 160-combination matrix: the first
 #: three random draws small enough to allow E = none everywhere, plus
 #: one handcrafted three-processor shape.
 CORE = [
