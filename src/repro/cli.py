@@ -108,6 +108,69 @@ def _workers_arg(text: str) -> int | str:
     return value
 
 
+def _search_flags() -> argparse.ArgumentParser:
+    """Search-shaping flags shared by ``solve`` and the cluster coordinator."""
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument(
+        "--laxity", type=float, default=1.5,
+        help="laxity ratio used to slice deadlines onto STG inputs "
+        "(STG carries none)",
+    )
+    p.add_argument("--processors", "-m", type=int, default=2)
+    p.add_argument(
+        "--selection", choices=sorted(SELECTION_RULES), default="LIFO"
+    )
+    p.add_argument(
+        "--frontier-cap", type=_positive_int, default=None, metavar="K",
+        help="open-set size cap for --selection ML: best-first while at "
+        "most K vertices are open, depth-first drain of the newest above "
+        "(default 65536; nothing is dropped, results stay exact)",
+    )
+    p.add_argument(
+        "--branching", choices=sorted(BRANCHING_RULES), default="BFn"
+    )
+    p.add_argument("--bound", choices=sorted(LOWER_BOUNDS), default="LB1")
+    p.add_argument(
+        "--dominance", choices=sorted(DOMINANCE_RULES), default="none",
+        help="dominance rule D (default none, the paper's choice)",
+    )
+    p.add_argument(
+        "--max-front", type=_positive_int, default=64, metavar="K",
+        help="Pareto-front size bound per key for --dominance state "
+        "(oldest entry evicted first; default 64)",
+    )
+    p.add_argument(
+        "--transposition", action="store_true",
+        help="prune duplicate states via the memory-bounded transposition "
+        "table (chains with --dominance when one is set)",
+    )
+    p.add_argument(
+        "--tt-bytes", type=_positive_int, default=16 << 20, metavar="BYTES",
+        help="transposition-table memory budget in bytes (default 16 MiB)",
+    )
+    p.add_argument(
+        "--tt-policy", choices=TT_POLICIES, default="depth",
+        help="replacement policy once the table fills (default depth: "
+        "keep shallow entries, whose subtrees are largest)",
+    )
+    p.add_argument(
+        "--engine", choices=ENGINES, default="object",
+        help="search-core implementation: 'array' (struct-of-arrays "
+        "arena + compiled chunk driver where eligible), 'array-numpy' "
+        "(arena + numpy batch expansion only) or 'object' (default); "
+        "results are identical across engines",
+    )
+    p.add_argument("--br", type=float, default=0.0, help="inaccuracy limit")
+    p.add_argument("--time-limit", type=float, default=None)
+    p.add_argument("--max-vertices", type=float, default=None)
+    p.add_argument(
+        "--max-memory-mb", type=float, default=None, metavar="MB",
+        help="stop gracefully when resident memory exceeds this many MiB "
+        "(anytime result, status 'memory')",
+    )
+    return p
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -129,65 +192,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     gen.add_argument("--dot", default=None, help="also write a DOT rendering")
 
-    slv = sub.add_parser("solve", help="solve a task-graph file (JSON or STG)")
+    search = _search_flags()
+    slv = sub.add_parser(
+        "solve", parents=[search],
+        help="solve a task-graph file (JSON or STG)",
+    )
     slv.add_argument("graph", help="task-graph path (.json or .stg)")
-    slv.add_argument(
-        "--laxity", type=float, default=1.5,
-        help="laxity ratio used to slice deadlines onto STG inputs "
-        "(STG carries none)",
-    )
-    slv.add_argument("--processors", "-m", type=int, default=2)
-    slv.add_argument(
-        "--selection", choices=sorted(SELECTION_RULES), default="LIFO"
-    )
-    slv.add_argument(
-        "--frontier-cap", type=_positive_int, default=None, metavar="K",
-        help="open-set size cap for --selection ML: best-first while at "
-        "most K vertices are open, depth-first drain of the newest above "
-        "(default 65536; nothing is dropped, results stay exact)",
-    )
-    slv.add_argument(
-        "--branching", choices=sorted(BRANCHING_RULES), default="BFn"
-    )
-    slv.add_argument("--bound", choices=sorted(LOWER_BOUNDS), default="LB1")
-    slv.add_argument(
-        "--dominance", choices=sorted(DOMINANCE_RULES), default="none",
-        help="dominance rule D (default none, the paper's choice)",
-    )
-    slv.add_argument(
-        "--max-front", type=_positive_int, default=64, metavar="K",
-        help="Pareto-front size bound per key for --dominance state "
-        "(oldest entry evicted first; default 64)",
-    )
-    slv.add_argument(
-        "--transposition", action="store_true",
-        help="prune duplicate states via the memory-bounded transposition "
-        "table (chains with --dominance when one is set)",
-    )
-    slv.add_argument(
-        "--tt-bytes", type=_positive_int, default=16 << 20, metavar="BYTES",
-        help="transposition-table memory budget in bytes (default 16 MiB)",
-    )
-    slv.add_argument(
-        "--tt-policy", choices=TT_POLICIES, default="depth",
-        help="replacement policy once the table fills (default depth: "
-        "keep shallow entries, whose subtrees are largest)",
-    )
-    slv.add_argument(
-        "--engine", choices=ENGINES, default="object",
-        help="search-core implementation: 'array' (struct-of-arrays "
-        "arena + compiled chunk driver where eligible), 'array-numpy' "
-        "(arena + numpy batch expansion only) or 'object' (default); "
-        "results are identical across engines",
-    )
-    slv.add_argument("--br", type=float, default=0.0, help="inaccuracy limit")
-    slv.add_argument("--time-limit", type=float, default=None)
-    slv.add_argument("--max-vertices", type=float, default=None)
-    slv.add_argument(
-        "--max-memory-mb", type=float, default=None, metavar="MB",
-        help="stop gracefully when resident memory exceeds this many MiB "
-        "(anytime result, status 'memory')",
-    )
     slv.add_argument(
         "--checkpoint", default=None, metavar="PATH",
         help="periodically write an atomic search snapshot to PATH; a "
@@ -266,6 +276,146 @@ def build_parser() -> argparse.ArgumentParser:
         "--split-depth", type=_positive_int, default=2, metavar="D",
         help="tree level at which subtrees are sharded to workers "
         "(default 2)",
+    )
+    slv.add_argument(
+        "--cluster", default=None, metavar="HOST:PORT",
+        help="solve on a worker cluster: bind a coordinator at this "
+        "address and dispatch shards to 'repro cluster worker' processes "
+        "that connect to it (tuning knobs live on 'repro cluster "
+        "coordinator')",
+    )
+    slv.set_defaults(
+        cluster_lease=10.0,
+        cluster_min_workers=1,
+        cluster_wait=60.0,
+        cluster_prefetch=2,
+        cluster_attempts=3,
+        cluster_backoff=0.05,
+        cluster_steal=True,
+        cluster_checkpoint_seconds=5.0,
+    )
+
+    clu = sub.add_parser(
+        "cluster", help="distributed coordinator/worker cluster mode"
+    )
+    clu_sub = clu.add_subparsers(dest="role", required=True)
+    cco = clu_sub.add_parser(
+        "coordinator", parents=[search],
+        help="own a solve: bind, dispatch shards, survive worker churn",
+    )
+    cco.add_argument("graph", help="task-graph path (.json or .stg)")
+    cco.add_argument(
+        "--bind", dest="cluster", default="127.0.0.1:0", metavar="HOST:PORT",
+        help="address to listen on (default 127.0.0.1 with an ephemeral "
+        "port; pass an explicit port so workers know where to connect)",
+    )
+    cco.add_argument(
+        "--lease", dest="cluster_lease", type=float, default=10.0,
+        metavar="SECONDS",
+        help="worker lease: a member silent for longer is expired and "
+        "its shards re-queued (default 10)",
+    )
+    cco.add_argument(
+        "--min-workers", dest="cluster_min_workers", type=_positive_int,
+        default=1, metavar="N",
+        help="hold dispatch until this many workers joined (default 1)",
+    )
+    cco.add_argument(
+        "--worker-timeout", dest="cluster_wait", type=float, default=60.0,
+        metavar="SECONDS",
+        help="give up when no worker is connected for this long "
+        "(no worker ever joined: error; all workers died: TRUNCATED)",
+    )
+    cco.add_argument(
+        "--prefetch", dest="cluster_prefetch", type=_positive_int, default=2,
+        metavar="N",
+        help="shards buffered per worker beyond the running one "
+        "(the backlog is what work-stealing rebalances; default 2)",
+    )
+    cco.add_argument(
+        "--max-shard-attempts", dest="cluster_attempts", type=_positive_int,
+        default=3, metavar="N",
+        help="attempts before a worker-killing shard is quarantined and "
+        "the run reports TRUNCATED (default 3)",
+    )
+    cco.add_argument(
+        "--retry-backoff", dest="cluster_backoff", type=float, default=0.05,
+        metavar="SECONDS",
+        help="base of the capped exponential retry backoff with "
+        "decorrelated jitter (default 0.05)",
+    )
+    cco.add_argument(
+        "--no-steal", dest="cluster_steal", action="store_false",
+        help="disable randomized work-stealing from loaded members",
+    )
+    cco.add_argument(
+        "--split-depth", type=_positive_int, default=2, metavar="D",
+        help="tree level at which subtrees are sharded (default 2)",
+    )
+    cco.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="periodically snapshot the pending+in-flight frontier; a "
+        "killed coordinator continues from it with --resume",
+    )
+    cco.add_argument(
+        "--checkpoint-seconds", dest="cluster_checkpoint_seconds",
+        type=float, default=5.0, metavar="SECONDS",
+        help="wall-clock interval between cluster snapshots (default 5)",
+    )
+    cco.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="resume a cluster checkpoint (fingerprint checked; unacked "
+        "in-flight shards are conservatively re-explored)",
+    )
+    cco.add_argument(
+        "--trace-jsonl", default=None,
+        help="stream structured solve events to this JSON-lines file",
+    )
+    cco.add_argument(
+        "--metrics-out", default=None,
+        help="write a metrics snapshot (.json => JSON, else Prometheus "
+        "textfile format)",
+    )
+    cco.add_argument(
+        "--progress", action="store_true",
+        help="emit heartbeat progress lines to stderr during the solve",
+    )
+    cco.add_argument(
+        "--serve-status", type=int, nargs="?", const=0, default=None,
+        metavar="PORT",
+        help="serve the live monitor over HTTP while the cluster solve "
+        "runs (per-worker liveness, lease ages, steal counts)",
+    )
+    cco.set_defaults(
+        workers=0, parallel_mode="deterministic", gantt=False, chart=False,
+        bus=False, trace_csv=None, profile=False, checkpoint_every=2000,
+        trace_sample=1, flight_recorder=None,
+    )
+    cwk = clu_sub.add_parser(
+        "worker", help="serve shards for a coordinator until told to stop"
+    )
+    cwk.add_argument("address", metavar="HOST:PORT", help="coordinator address")
+    cwk.add_argument(
+        "--id", dest="worker_id", default=None,
+        help="worker id shown in coordinator telemetry "
+        "(default hostname-pid)",
+    )
+    cwk.add_argument(
+        "--max-shards", type=_positive_int, default=None, metavar="N",
+        help="leave voluntarily after completing N shards "
+        "(elasticity drills; default: serve until stopped)",
+    )
+    cwk.add_argument(
+        "--connect-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="keep retrying the initial connect for this long (a worker "
+        "may be started before its coordinator; default 30)",
+    )
+    cwk.add_argument(
+        "--drill-slow", dest="poll_delay", type=float, default=0.0,
+        metavar="SECONDS",
+        help="fault drill: sleep this long on every bound-channel poll, "
+        "stretching shard wall-clock so kill/lease scenarios land "
+        "mid-shard (default 0 = full speed)",
     )
 
     cnv = sub.add_parser("convert", help="convert between graph formats")
@@ -552,7 +702,13 @@ def _cmd_solve(args) -> int:
             "drop --workers (parallel workers recover via the "
             "supervision layer instead)"
         )
+    if args.cluster and args.workers:
+        raise ConfigurationError(
+            "--cluster and --workers are mutually exclusive: the cluster "
+            "dispatches to remote 'repro cluster worker' processes"
+        )
     parallel = None
+    coordinator = None
     snapshot = load_checkpoint(args.resume) if args.resume else None
     server = None
     if serving:
@@ -563,7 +719,39 @@ def _cmd_solve(args) -> int:
         print(f"monitor: {server.url}/ (status, metrics, events)",
               file=sys.stderr)
     try:
-        if args.workers:
+        if args.cluster:
+            from .cluster import ClusterCoordinator
+
+            problem = compile_problem(
+                graph, shared_bus_platform(args.processors)
+            )
+            token = StopToken()
+            coordinator = ClusterCoordinator(
+                params,
+                bind=args.cluster,
+                split_depth=args.split_depth,
+                lease=args.cluster_lease,
+                min_workers=args.cluster_min_workers,
+                worker_timeout=args.cluster_wait,
+                prefetch=args.cluster_prefetch,
+                max_shard_attempts=args.cluster_attempts,
+                retry_backoff=args.cluster_backoff,
+                steal=args.cluster_steal,
+                checkpoint_path=args.checkpoint,
+                checkpoint_every=args.cluster_checkpoint_seconds,
+                resume=snapshot,
+                obs=obs if obs.enabled else None,
+                stop=token,
+            )
+            print(
+                f"cluster: coordinating on {coordinator.bind_now()} "
+                f"(lease {args.cluster_lease:g}s); workers join with "
+                f"'repro cluster worker {coordinator.bound_address}'",
+                file=sys.stderr,
+            )
+            with graceful_interrupts(token):
+                result = coordinator.solve(problem)
+        elif args.workers:
             from .core.parallel import ParallelBnB
 
             workers = None if args.workers == "auto" else args.workers
@@ -647,6 +835,16 @@ def _cmd_solve(args) -> int:
                 f"supervision: restarts={rep.worker_restarts} "
                 f"retries={rep.shard_retries} quarantined={quarantined}"
             )
+    if coordinator is not None and coordinator.last_report is not None:
+        rep = coordinator.last_report
+        print(rep.summary())
+        if rep.quarantined:
+            print(
+                "quarantined shards (run is TRUNCATED, not proven "
+                f"optimal): {','.join(str(i) for i in rep.quarantined)}"
+            )
+        if rep.resumed:
+            print("resumed cluster solve from checkpoint")
     tt_rule = find_transposition(params.dominance)
     if tt_rule is not None:
         if parallel is not None and parallel.last_report is not None:
@@ -674,6 +872,39 @@ def _cmd_solve(args) -> int:
     if result.status is SolveStatus.INTERRUPTED:
         return 130  # conventional signal exit; the summary above is anytime
     return 0 if result.found_solution else 1
+
+
+def _cmd_cluster(args) -> int:
+    if args.role == "coordinator":
+        return _cmd_solve(args)
+    from .cluster import ClusterWorker
+
+    worker = ClusterWorker(
+        args.address,
+        worker_id=args.worker_id,
+        connect_timeout=args.connect_timeout,
+        max_shards=args.max_shards,
+        poll_delay=args.poll_delay,
+    )
+    print(
+        f"worker {worker.worker_id}: connecting to {args.address}",
+        file=sys.stderr,
+    )
+    try:
+        done = worker.run()
+    except KeyboardInterrupt:
+        print(
+            f"worker {worker.worker_id}: interrupted after "
+            f"{worker.shards_done} shard(s)",
+            file=sys.stderr,
+        )
+        return 130
+    print(
+        f"worker {worker.worker_id}: done ({done} shard(s) searched, "
+        f"{worker.shards_stale} already stale)",
+        file=sys.stderr,
+    )
+    return 0
 
 
 def _cmd_report(args) -> int:
@@ -1037,6 +1268,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_solve(args)
         if args.command == "convert":
             return _cmd_convert(args)
+        if args.command == "cluster":
+            return _cmd_cluster(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
         if args.command == "report":

@@ -1,0 +1,39 @@
+"""Fault-tolerant distributed cluster mode for the B&B engine.
+
+One :class:`ClusterCoordinator` owns a solve; any number of
+:class:`ClusterWorker` processes connect over TCP (or the in-memory
+:class:`MemoryTransport` in tests), receive the problem in the
+handshake, and search frontier shards.  Membership is elastic —
+workers join and leave mid-solve, leases expire the silent ones, the
+retry queue re-explores whatever they held — and the whole thing is
+checkpoint-backed, so a SIGKILLed coordinator resumes to the same
+optimal cost.  See ``docs/CLUSTER.md`` for the operational story and
+the soundness argument (epoch-fenced incumbent broadcast).
+"""
+
+from .coordinator import ClusterCoordinator, ClusterReport
+from .membership import Member, MembershipTable
+from .protocol import MAGIC, PROTOCOL_VERSION
+from .transport import (
+    LinkFaults,
+    MemoryTransport,
+    TcpTransport,
+    Transport,
+    parse_address,
+)
+from .worker import ClusterWorker
+
+__all__ = [
+    "MAGIC",
+    "PROTOCOL_VERSION",
+    "ClusterCoordinator",
+    "ClusterReport",
+    "ClusterWorker",
+    "LinkFaults",
+    "Member",
+    "MembershipTable",
+    "MemoryTransport",
+    "TcpTransport",
+    "Transport",
+    "parse_address",
+]

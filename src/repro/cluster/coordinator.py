@@ -1,0 +1,884 @@
+"""The cluster coordinator: shallow collect, dispatch, survive.
+
+:class:`ClusterCoordinator` is the networked generalization of the
+throughput supervisor in :mod:`repro.core.parallel`: the same shallow
+:class:`~repro.core.shards.FrontierCollector` pass decomposes the tree,
+the same :class:`~repro.core.shards.RetryQueue` re-queues shards whose
+worker died (capped exponential backoff with decorrelated jitter) and
+quarantines poison shards so the run ends TRUNCATED instead of falsely
+OPTIMAL.  What is new is everything a network demands:
+
+* **Leases, not pipes.**  Workers prove liveness by sending frames;
+  a silent worker's lease expires and its shards go back to the queue.
+  A lease is the PR 5 heartbeat watchdog made symmetric — the monotonic
+  clock on the coordinator is the only clock that matters.
+* **Safe incumbent broadcast.**  The broadcast bound is the CAS-min of
+  every *acknowledged* cost (schedule in hand) and every cost published
+  by a shard still in flight.  When a worker dies with published-but-
+  unacked improvements, those publishes are dropped, the bound is
+  recomputed (it may rise), and the **epoch** is bumped: retries are
+  dispatched under the new epoch and ignore stale lower bounds, so a
+  duplicated or delayed frame can never prune the very cost the retry
+  exists to re-find.  Stale bounds at live workers are harmless — they
+  were achievable costs.
+* **Elastic membership.**  Workers may join mid-solve (they receive the
+  problem in the welcome frame) and leave at any time; randomized work
+  stealing re-balances a drained queue by revoking prefetch backlog
+  from a random loaded member.  Duplicate results — a stolen shard
+  finishing twice, a hung worker waking up — are deduplicated by index;
+  the first result counts, identical cost either way.
+* **Checkpoint-backed recovery.**  The pending + in-flight frontier is
+  periodically written as a PR 5 :class:`~repro.core.checkpoint.SearchCheckpoint`
+  (unacknowledged shards conservatively included), so a SIGKILLed
+  coordinator resumes to the same optimal cost, re-exploring at most
+  what was in flight.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from dataclasses import dataclass
+
+from ..core.checkpoint import (
+    Checkpointer,
+    SearchCheckpoint,
+    StopToken,
+    problem_fingerprint,
+)
+from ..core.elimination import pruning_threshold
+from ..core.engine import BnBResult, BranchAndBound, SolveStatus
+from ..core.params import BnBParameters
+from ..core.shards import BackoffPolicy, FrontierCollector, RetryQueue, Shard
+from ..core.stats import SearchStats
+from ..errors import CheckpointError, ClusterError, ConfigurationError, TransportClosed
+from ..obs import Observability
+from . import protocol
+from .membership import Member, MembershipTable
+from .transport import TcpTransport, Transport
+
+__all__ = ["ClusterCoordinator", "ClusterReport"]
+
+_INF = math.inf
+
+
+@dataclass(frozen=True)
+class ClusterReport:
+    """How a cluster solve went (``ClusterCoordinator.last_report``)."""
+
+    workers: int
+    joins: int
+    leaves: int
+    lease_expiries: int
+    steals: int
+    shards: int
+    shards_stale: int
+    shard_retries: int
+    quarantined: tuple
+    resumed: bool
+    checkpoint_writes: int
+
+    def summary(self) -> str:
+        extra = ""
+        if self.quarantined:
+            extra = f" quarantined={len(self.quarantined)}"
+        return (
+            f"cluster: workers={self.workers} joins={self.joins} "
+            f"leaves={self.leaves} lease_expiries={self.lease_expiries} "
+            f"steals={self.steals} shards={self.shards} "
+            f"stale={self.shards_stale} retries={self.shard_retries}"
+            f"{extra}"
+        )
+
+
+class _Loop:
+    """Mutable state of one coordinator event loop (solve-scoped)."""
+
+    def __init__(self) -> None:
+        self.completed: set[int] = set()
+        self.stale: set[int] = set()
+        self.published: dict[int, float] = {}
+        self.epoch = 0
+        self.broadcast = _INF
+        self.target = False
+        self.interrupted = False
+        self.halt = False
+        self.steals = 0
+        self.shard_retries = 0
+        self.quarantined: list[int] = []
+        self.handshakes: list[tuple] = []  # (conn, deadline)
+
+
+class ClusterCoordinator:
+    """Owns the solve; dispatches frontier shards to remote workers."""
+
+    def __init__(
+        self,
+        params: BnBParameters | None = None,
+        *,
+        bind: str = "127.0.0.1:0",
+        transport: Transport | None = None,
+        split_depth: int = 2,
+        fused: bool | None = None,
+        lease: float = 10.0,
+        min_workers: int = 1,
+        worker_timeout: float = 60.0,
+        prefetch: int = 2,
+        max_shard_attempts: int = 3,
+        retry_backoff: float = 0.05,
+        backoff_rng: random.Random | None = None,
+        steal: bool = True,
+        steal_rng: random.Random | None = None,
+        checkpoint_path: str | None = None,
+        checkpoint_every: float = 5.0,
+        resume: SearchCheckpoint | None = None,
+        obs: Observability | None = None,
+        stop: StopToken | None = None,
+    ) -> None:
+        if split_depth < 1:
+            raise ConfigurationError(f"split_depth must be >= 1, got {split_depth}")
+        if lease <= 0:
+            raise ConfigurationError(f"lease must be > 0, got {lease}")
+        if min_workers < 1:
+            raise ConfigurationError(f"min_workers must be >= 1, got {min_workers}")
+        if prefetch < 1:
+            raise ConfigurationError(f"prefetch must be >= 1, got {prefetch}")
+        if max_shard_attempts < 1:
+            raise ConfigurationError(
+                f"max_shard_attempts must be >= 1, got {max_shard_attempts}"
+            )
+        self.params = params or BnBParameters()
+        self.bind = bind
+        self.transport = transport if transport is not None else TcpTransport()
+        self.split_depth = split_depth
+        self.fused = fused
+        self.lease = lease
+        self.min_workers = min_workers
+        self.worker_timeout = worker_timeout
+        self.prefetch = prefetch
+        self.max_shard_attempts = max_shard_attempts
+        self.retry_backoff = retry_backoff
+        self.backoff_rng = backoff_rng
+        self.steal = steal
+        self._steal_rng = steal_rng if steal_rng is not None else random.Random()
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every = checkpoint_every
+        self.resume = resume
+        self.obs = obs
+        self.stop = stop
+        self.last_report: ClusterReport | None = None
+        #: The actual listen address (useful with port 0); set by
+        #: :meth:`bind_now` or at solve time.
+        self.bound_address: str | None = None
+        self._listener = None
+
+    def bind_now(self) -> str:
+        """Bind the listen address immediately (idempotent).
+
+        ``solve`` binds lazily after the shallow collect; the CLI calls
+        this first so it can print the actual port (``--bind host:0``)
+        before workers need it — early connections queue in the listen
+        backlog until the dispatch loop starts accepting.
+        """
+        if self._listener is None:
+            self._listener = self.transport.listen(self.bind)
+            self.bound_address = self._listener.address
+        return self.bound_address
+
+    # ------------------------------------------------------------------
+
+    def solve(self, problem) -> BnBResult:
+        t0 = time.perf_counter()
+        params = self.params
+        fingerprint = problem_fingerprint(problem, params)
+        merged = SearchStats()
+        elapsed_base = 0.0
+        resumed = self.resume is not None
+
+        if resumed:
+            snap = self.resume
+            if snap.fingerprint != fingerprint:
+                raise CheckpointError(
+                    "checkpoint does not match this problem/parametrization "
+                    f"(snapshot fingerprint {snap.fingerprint[:12]}…, "
+                    f"expected {fingerprint[:12]}…)"
+                )
+            merged = SearchStats.from_dict(snap.stats)
+            elapsed_base = merged.elapsed
+            best_cost = snap.found_cost
+            best_proc = snap.best_proc
+            best_start = snap.best_start
+            incumbent_source = snap.incumbent_source
+            initial_ub = snap.initial_upper_bound
+            incumbent0 = snap.incumbent_cost
+            shards = [
+                Shard(int(seq), state, lb, incumbent0, _INF)
+                for state, lb, seq in snap.frontier
+            ]
+            self._ckpt_base_version = snap.version + 1
+        else:
+            collector = FrontierCollector(self.split_depth, problem, params)
+            engine = BranchAndBound(params, obs=self.obs, fused=self.fused)
+            shallow = engine.solve(problem, dispatcher=collector)
+            shards = collector.shards
+            if not shards or shallow.status is SolveStatus.TARGET_REACHED:
+                self.last_report = ClusterReport(
+                    0, 0, 0, 0, 0, len(shards), 0, 0, (), False, 0
+                )
+                return shallow
+            best_cost = shallow.best_cost
+            best_proc = shallow.proc_of
+            best_start = shallow.start
+            incumbent_source = shallow.incumbent_source
+            initial_ub = shallow.initial_upper_bound
+            incumbent0 = min(shallow.best_cost, shallow.initial_upper_bound)
+            merged.absorb(shallow.stats)
+            self._ckpt_base_version = 0
+
+        elim = params.elimination
+        threshold0 = pruning_threshold(incumbent0, params.inaccuracy)
+        live = [
+            s for s in shards if not elim.should_prune(s.lower_bound, threshold0)
+        ]
+        merged.pruned_active += len(shards) - len(live)
+        budget = params.resources.max_vertices - merged.generated
+
+        members = MembershipTable()
+        loop = _Loop()
+        pending = RetryQueue(
+            max_attempts=self.max_shard_attempts,
+            backoff=BackoffPolicy(
+                base=self.retry_backoff,
+                rng=self.backoff_rng
+                if self.backoff_rng is not None
+                else random.Random(),
+            ),
+        )
+
+        if live and budget > 0:
+            outcome = self._run(
+                problem, fingerprint, live, budget, incumbent0,
+                (best_cost, best_proc, best_start),
+                merged, elapsed_base, t0, members, loop, pending, resumed,
+            )
+            best_cost, best_proc, best_start = outcome
+        elif budget <= 0:
+            merged.truncated = True
+
+        if loop.quarantined or (pending and not loop.target):
+            merged.truncated = True
+        if loop.interrupted:
+            merged.interrupted = True
+        merged.elapsed = elapsed_base + (time.perf_counter() - t0)
+
+        found = best_proc is not None
+        status = BranchAndBound._status(params, merged, loop.target, found)
+        monitor = self.obs.live if self.obs is not None else None
+        if monitor is not None:
+            monitor.bus.update(
+                phase="done",
+                result_status=status.value,
+                incumbent=best_cost if found else None,
+                explored=merged.explored,
+                generated=merged.generated,
+                elapsed=round(merged.elapsed, 3),
+            )
+            monitor.bus.record_event(
+                "cluster_done",
+                {"status": status.value, "workers": members.joins},
+            )
+        self.last_report = ClusterReport(
+            workers=members.joins,
+            joins=members.joins,
+            leaves=members.leaves,
+            lease_expiries=members.lease_expiries,
+            steals=loop.steals,
+            shards=len(shards),
+            shards_stale=(len(shards) - len(live)) + len(loop.stale),
+            shard_retries=loop.shard_retries,
+            quarantined=tuple(loop.quarantined),
+            resumed=resumed,
+            checkpoint_writes=getattr(self, "_ckpt_writes", 0),
+        )
+        return BnBResult(
+            problem=problem,
+            params=params,
+            status=status,
+            best_cost=best_cost if found else _INF,
+            proc_of=best_proc,
+            start=best_start,
+            incumbent_source=(
+                "search"
+                if found and best_cost < initial_ub
+                else incumbent_source
+            ),
+            initial_upper_bound=initial_ub,
+            stats=merged,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _run(
+        self, problem, fingerprint, live, budget, incumbent0, best,
+        merged, elapsed_base, t0, members: MembershipTable, loop: _Loop,
+        pending: RetryQueue, resumed: bool,
+    ):
+        """The event loop; returns the final (cost, proc, start)."""
+        params = self.params
+        best_cost, best_proc, best_start = best
+        acked_cost = best_cost if best_proc is not None else _INF
+        loop.broadcast = min(incumbent0, acked_cost)
+        remaining = budget
+        for s in live:
+            pending.add(s)
+        total = len(live)
+
+        user_sink = self.obs.sink if self.obs is not None else None
+        monitor = self.obs.live if self.obs is not None else None
+        progress = self.obs.progress if self.obs is not None else None
+        sink = (
+            user_sink if monitor is None else monitor.compose_sink(user_sink)
+        )
+        metrics = self.obs.metrics if self.obs is not None else None
+
+        def emit(kind, payload):
+            if sink is not None and sink.accepts(kind):
+                sink.emit(kind, payload)
+
+        def count(name):
+            if metrics is not None:
+                metrics.counter(name).inc()
+
+        listener = (
+            self._listener
+            if self._listener is not None
+            else self.transport.listen(self.bind)
+        )
+        self._listener = None  # consumed; a later solve rebinds
+        self.bound_address = listener.address
+        checkpointer = None
+        self._ckpt_writes = 0
+        if self.checkpoint_path is not None:
+            checkpointer = Checkpointer(self.checkpoint_path, every=1)
+            checkpointer.version = self._ckpt_base_version
+        if resumed:
+            emit("resume", {"mode": "cluster", "shards": total})
+        next_ckpt = time.monotonic() + self.checkpoint_every
+        next_sample = 0.0
+        loop_start = time.monotonic()
+        memberless_since = loop_start
+        ever_joined = False
+        member_seq = 0
+
+        def rebroadcast():
+            """Push the current broadcast bound to every member."""
+            for m in members:
+                try:
+                    m.conn.send(
+                        protocol.bound_frame(loop.broadcast, loop.epoch)
+                    )
+                except (TransportClosed, ClusterError):
+                    pass  # best-effort: a lost bound only costs pruning
+
+        def recompute_broadcast():
+            """Safe bound: acked costs + publishes of in-flight shards."""
+            floor = min(incumbent0, acked_cost)
+            for idx, cost in loop.published.items():
+                if cost < floor:
+                    floor = cost
+            if floor > loop.broadcast:
+                # A publisher died unacked: the bound rises, and the
+                # epoch fences off its stale broadcasts so the retry
+                # can re-find the lost cost.
+                loop.epoch += 1
+            loop.broadcast = floor
+
+        def drop_member(member: Member, cause: str, *, expired: bool) -> None:
+            members.remove(member.worker_id, expired=expired)
+            try:
+                member.conn.close()
+            except Exception:
+                pass
+            if expired:
+                count("bnb_cluster_lease_expired_total")
+                emit(
+                    "lease_expired",
+                    {
+                        "worker": member.worker_id,
+                        "lease_age": round(member.lease_age(), 3),
+                        "shards_held": len(member.assigned),
+                    },
+                )
+            emit(
+                "worker_leave",
+                {
+                    "worker": member.worker_id,
+                    "cause": cause,
+                    "done": member.done,
+                    "shards_requeued": len(member.assigned),
+                },
+            )
+            if monitor is not None:
+                monitor.on_worker_down(member.slot, 0)
+            now = time.monotonic()
+            requeued = False
+            for shard, attempt in member.assigned.values():
+                if shard.index in loop.completed or shard.index in loop.stale:
+                    continue
+                if shard.index in loop.published:
+                    # Published but never acknowledged: this cost's
+                    # schedule died with the worker.
+                    del loop.published[shard.index]
+                    requeued = True
+                delay = pending.requeue(shard, attempt, now)
+                if delay is None:
+                    loop.quarantined.append(shard.index)
+                    emit(
+                        "quarantine",
+                        {
+                            "shard": shard.index,
+                            "attempts": attempt,
+                            "cause": cause,
+                        },
+                    )
+                else:
+                    loop.shard_retries += 1
+                    count("bnb_shard_retry_total")
+                    emit(
+                        "shard_retry",
+                        {
+                            "shard": shard.index,
+                            "attempt": attempt + 1,
+                            "delay": round(delay, 4),
+                            "cause": cause,
+                        },
+                    )
+            member.assigned.clear()
+            if requeued:
+                recompute_broadcast()
+
+        def write_snapshot(final: bool = False) -> None:
+            if checkpointer is None:
+                return
+            frontier = [
+                (s.state, s.lower_bound, s.index)
+                for s, _attempt, _eligible in pending
+            ]
+            for m in members:
+                for shard, _attempt in m.assigned.values():
+                    if (
+                        shard.index not in loop.completed
+                        and shard.index not in loop.stale
+                    ):
+                        frontier.append(
+                            (shard.state, shard.lower_bound, shard.index)
+                        )
+            stats_now = merged.as_dict()
+            stats_now["elapsed"] = elapsed_base + (time.perf_counter() - t0)
+            snapshot = SearchCheckpoint(
+                fingerprint=fingerprint,
+                frontier=frontier,
+                seq=(max((idx for _s, _lb, idx in frontier), default=0) + 1),
+                incumbent_cost=min(incumbent0, acked_cost),
+                found_cost=acked_cost,
+                best_proc=best_proc,
+                best_start=best_start,
+                incumbent_source=(
+                    "search" if best_proc is not None else "initial-upper-bound"
+                ),
+                initial_upper_bound=incumbent0,
+                stats=stats_now,
+            )
+            checkpointer.write(snapshot)
+            self._ckpt_writes = checkpointer.writes
+            emit(
+                "checkpoint",
+                {
+                    "mode": "cluster",
+                    "path": self.checkpoint_path,
+                    "frontier": len(frontier),
+                    "final": final,
+                },
+            )
+
+        def handle_frame(member: Member, frame: dict) -> None:
+            nonlocal best_cost, best_proc, best_start, acked_cost, remaining
+            member.renew()
+            kind = protocol.frame_type(frame)
+            if kind == "hb":
+                member.running = frame["shard"]
+                member.explored = frame["explored"]
+                member.vps = frame["vps"]
+                if monitor is not None:
+                    monitor.on_cluster_member(
+                        member.slot,
+                        name=member.worker_id,
+                        shard=frame["shard"] if frame["shard"] >= 0 else None,
+                        explored=frame["explored"],
+                        vps=frame["vps"],
+                        lease_age=0.0,
+                        done=member.done,
+                        retried=member.retried,
+                        stolen=member.stolen_from,
+                    )
+            elif kind == "bound":
+                idx, cost = frame["shard"], frame["cost"]
+                if idx >= 0 and idx not in loop.completed:
+                    prev = loop.published.get(idx, _INF)
+                    if cost < prev:
+                        loop.published[idx] = cost
+                if cost < loop.broadcast:
+                    loop.broadcast = cost
+                    rebroadcast()
+                    if monitor is not None:
+                        monitor.bus.record_event(
+                            "incumbent",
+                            {
+                                "cost": cost,
+                                "elapsed": round(
+                                    time.monotonic() - loop_start, 3
+                                ),
+                                "source": member.worker_id,
+                            },
+                        )
+            elif kind == "result":
+                if frame["fingerprint"] != fingerprint:
+                    return  # straggler from another solve
+                idx = frame["shard"]
+                member.assigned.pop(idx, None)
+                if idx in loop.completed or idx in loop.stale:
+                    return  # duplicate (steal or woken hang): first wins
+                loop.completed.add(idx)
+                loop.published.pop(idx, None)
+                member.done += 1
+                wstats = frame["stats"]
+                merged.absorb(wstats)
+                remaining -= wstats.generated
+                cost = frame["cost"]
+                if frame["proc"] is not None and cost < acked_cost:
+                    acked_cost = cost
+                    if cost < best_cost or best_proc is None:
+                        best_cost = cost
+                        best_proc = frame["proc"]
+                        best_start = frame["start"]
+                if frame["proc"] is not None and cost < loop.broadcast:
+                    loop.broadcast = cost
+                    rebroadcast()
+                if frame["target"]:
+                    loop.target = True
+                    loop.halt = True
+                if remaining <= 0:
+                    merged.truncated = True
+                    loop.halt = True
+            elif kind == "stale":
+                if frame["fingerprint"] != fingerprint:
+                    return
+                idx = frame["shard"]
+                member.assigned.pop(idx, None)
+                if idx in loop.completed or idx in loop.stale:
+                    return
+                loop.stale.add(idx)
+                loop.published.pop(idx, None)
+                member.stale += 1
+                merged.pruned_active += 1
+            elif kind == "bye":
+                raise TransportClosed("worker said bye")
+
+        def drain(member: Member) -> bool:
+            """Pump a member's frames; False when the member died."""
+            try:
+                while member.conn.poll():
+                    frame = member.conn.recv(timeout=0.0)
+                    if frame is None:
+                        break
+                    handle_frame(member, frame)
+            except TransportClosed as exc:
+                cause = str(exc) or "connection lost"
+                drop_member(member, cause, expired=False)
+                return False
+            return True
+
+        def accept_new() -> None:
+            nonlocal ever_joined, member_seq, memberless_since
+            while True:
+                try:
+                    conn = listener.accept(timeout=0.0)
+                except TransportClosed:
+                    return
+                if conn is None:
+                    break
+                loop.handshakes.append(
+                    (conn, time.monotonic() + 10.0)
+                )
+            still = []
+            for conn, deadline in loop.handshakes:
+                done = False
+                try:
+                    if conn.poll():
+                        frame = conn.recv(timeout=0.0)
+                        if frame is not None:
+                            done = True
+                            worker_id = protocol.check_hello(frame)
+                            if worker_id in members:
+                                # A reconnect under the same id: the old
+                                # link is dead, this one supersedes it.
+                                drop_member(
+                                    members.get(worker_id),
+                                    "superseded by reconnect",
+                                    expired=False,
+                                )
+                            conn.send(
+                                protocol.welcome(
+                                    fingerprint, problem, params,
+                                    self.lease, self.fused,
+                                )
+                            )
+                            member = members.add(worker_id, conn)
+                            member.slot = member_seq
+                            member_seq += 1
+                            ever_joined = True
+                            emit(
+                                "worker_join",
+                                {
+                                    "worker": worker_id,
+                                    "members": len(members),
+                                },
+                            )
+                            count("bnb_cluster_join_total")
+                except TransportClosed:
+                    done = True
+                except ClusterError as exc:
+                    done = True
+                    try:
+                        conn.send(protocol.reject(str(exc)))
+                    except (TransportClosed, ClusterError):
+                        pass
+                    try:
+                        conn.close()
+                    except Exception:
+                        pass
+                if not done:
+                    if time.monotonic() > deadline:
+                        try:
+                            conn.close()
+                        except Exception:
+                            pass
+                    else:
+                        still.append((conn, deadline))
+            loop.handshakes = still
+
+        def dispatch() -> None:
+            if loop.halt:
+                return
+            now = time.monotonic()
+            for member in members:
+                while len(member.assigned) < self.prefetch:
+                    task = pending.pop_eligible(now)
+                    if task is None:
+                        return
+                    shard, attempt = task
+                    try:
+                        member.conn.send(
+                            protocol.shard_frame(
+                                shard, attempt, remaining,
+                                loop.broadcast, loop.epoch, fingerprint,
+                            )
+                        )
+                    except (TransportClosed, ClusterError):
+                        # Give the shard back untouched (the worker
+                        # never held it) and bury the member.
+                        pending.add(shard, attempt)
+                        drop_member(member, "send failed", expired=False)
+                        break
+                    member.assigned[shard.index] = (shard, attempt)
+
+        def try_steal() -> None:
+            if not self.steal or loop.halt or pending:
+                return
+            idle = [m for m in members if not m.assigned]
+            victims = [m for m in members if len(m.assigned) >= 2]
+            if not idle or not victims:
+                return
+            thief = idle[0]
+            victim = self._steal_rng.choice(victims)
+            idx, (shard, attempt) = list(victim.assigned.items())[-1]
+            try:
+                thief.conn.send(
+                    protocol.shard_frame(
+                        shard, attempt, remaining,
+                        loop.broadcast, loop.epoch, fingerprint,
+                    )
+                )
+            except (TransportClosed, ClusterError):
+                drop_member(thief, "send failed", expired=False)
+                return
+            del victim.assigned[idx]
+            victim.stolen_from += 1
+            thief.assigned[idx] = (shard, attempt)
+            loop.steals += 1
+            count("bnb_cluster_steal_total")
+            emit(
+                "steal",
+                {
+                    "shard": idx,
+                    "victim": victim.worker_id,
+                    "thief": thief.worker_id,
+                },
+            )
+            try:
+                victim.conn.send(protocol.revoke(idx))
+            except (TransportClosed, ClusterError):
+                pass  # revoke is advisory; duplicates dedupe anyway
+
+        try:
+            while True:
+                accounted = (
+                    len(loop.completed)
+                    + len(loop.stale)
+                    + len(loop.quarantined)
+                )
+                if accounted >= total or loop.halt:
+                    break
+                if self.stop is not None and self.stop.is_set():
+                    loop.interrupted = True
+                    break
+                now = time.monotonic()
+                accept_new()
+                for member in list(members):
+                    drain(member)
+                for member in members.expired(self.lease):
+                    drop_member(member, "lease expired", expired=True)
+                if len(members) == 0:
+                    if now - memberless_since > self.worker_timeout:
+                        if not ever_joined:
+                            raise ClusterError(
+                                f"no worker joined within "
+                                f"{self.worker_timeout}s"
+                            )
+                        # Every worker is gone and none came back:
+                        # truncate rather than spin forever.
+                        while True:
+                            task = pending.pop_eligible(_INF)
+                            if task is None:
+                                break
+                            loop.quarantined.append(task[0].index)
+                            emit(
+                                "quarantine",
+                                {
+                                    "shard": task[0].index,
+                                    "attempts": task[1],
+                                    "cause": "no workers left",
+                                },
+                            )
+                        break
+                else:
+                    memberless_since = now
+                if len(members) >= self.min_workers or loop.completed:
+                    dispatch()
+                    try_steal()
+                if checkpointer is not None and now >= next_ckpt:
+                    next_ckpt = now + self.checkpoint_every
+                    write_snapshot()
+                if (monitor is not None or progress is not None) and (
+                    now >= next_sample
+                ):
+                    next_sample = now + (
+                        monitor.interval
+                        if monitor is not None
+                        else progress.interval
+                    )
+                    open_lb = pending.min_lower_bound()
+                    for m in members:
+                        for shard, _attempt in m.assigned.values():
+                            if open_lb is None or shard.lower_bound < open_lb:
+                                open_lb = shard.lower_bound
+                    inc = loop.broadcast
+                    gap = None
+                    if open_lb is not None and not math.isinf(inc):
+                        gap = max(0.0, inc - open_lb)
+                    if monitor is not None:
+                        for m in members:
+                            monitor.on_cluster_member(
+                                m.slot,
+                                name=m.worker_id,
+                                shard=m.running if m.running >= 0 else None,
+                                explored=m.explored,
+                                vps=m.vps,
+                                lease_age=m.lease_age(),
+                                done=m.done,
+                                retried=m.retried,
+                                stolen=m.stolen_from,
+                            )
+                        monitor.bus.update(
+                            phase="solving",
+                            incumbent=None if math.isinf(inc) else inc,
+                            open_lower_bound=open_lb,
+                            gap=gap,
+                            workers_alive=len(members),
+                            queue_depth=len(pending),
+                            shards_done=len(loop.completed),
+                            explored=merged.explored,
+                            generated=merged.generated,
+                            elapsed=round(
+                                elapsed_base + time.perf_counter() - t0, 3
+                            ),
+                            cluster={
+                                "members": len(members),
+                                "joins": members.joins,
+                                "leaves": members.leaves,
+                                "lease_expiries": members.lease_expiries,
+                                "steals": loop.steals,
+                                "retries": loop.shard_retries,
+                            },
+                        )
+                        _, vps_total = monitor.bus.worker_totals()
+                        monitor.bus.add_sample(
+                            elapsed_base + time.perf_counter() - t0,
+                            gap,
+                            vps_total,
+                        )
+                        monitor.last_gap = gap
+                    if progress is not None:
+                        progress.maybe_emit(
+                            explored=merged.explored,
+                            generated=merged.generated,
+                            active=len(pending),
+                            incumbent=inc,
+                            gap=gap,
+                            workers_alive=len(members),
+                        )
+                # The accept timeout doubles as the loop tick.
+                conn = listener.accept(timeout=0.005)
+                if conn is not None:
+                    loop.handshakes.append((conn, time.monotonic() + 10.0))
+        finally:
+            write_snapshot(final=True)
+            for conn, _deadline in loop.handshakes:
+                try:
+                    conn.close()
+                except Exception:
+                    pass
+            loop.handshakes = []
+            for member in members:
+                try:
+                    member.conn.send(protocol.stop_frame())
+                except (TransportClosed, ClusterError):
+                    pass
+            deadline = time.monotonic() + 1.0
+            for member in members:
+                try:
+                    while time.monotonic() < deadline:
+                        frame = member.conn.recv(
+                            timeout=max(0.0, deadline - time.monotonic())
+                        )
+                        if frame is None or protocol.frame_type(frame) == "bye":
+                            break
+                except (TransportClosed, ClusterError):
+                    pass
+                try:
+                    member.conn.close()
+                except Exception:
+                    pass
+            listener.close()
+        return best_cost, best_proc, best_start

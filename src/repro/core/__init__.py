@@ -63,6 +63,13 @@ from .parallel import (
 )
 from .params import CHILD_ORDERS, BnBParameters
 from .resources import UNBOUNDED, ResourceBounds, current_rss_bytes
+from .shards import (
+    BackoffPolicy,
+    FrontierCollector,
+    RetryQueue,
+    Shard,
+    shard_state,
+)
 from .selection import (
     SELECTION_RULES,
     DepthBiasedLLBSelection,
@@ -100,6 +107,7 @@ __all__ = [
     "BF1Branching",
     "BFnBranching",
     "BRANCHING_RULES",
+    "BackoffPolicy",
     "BestHeuristicUpperBound",
     "BnBParameters",
     "BnBResult",
@@ -122,6 +130,7 @@ __all__ = [
     "FIFOSelection",
     "FaultPlan",
     "FixedOrderBranching",
+    "FrontierCollector",
     "LB0",
     "LB1",
     "LB2",
@@ -139,6 +148,7 @@ __all__ = [
     "ParallelReport",
     "PayloadCodec",
     "ResourceBounds",
+    "RetryQueue",
     "SELECTION_RULES",
     "SearchCheckpoint",
     "SearchState",
@@ -146,6 +156,7 @@ __all__ = [
     "SelectionRule",
     "SharedIncumbent",
     "SharedTranspositionTable",
+    "Shard",
     "ShardFault",
     "IncumbentEvent",
     "SolveStatus",
@@ -173,6 +184,7 @@ __all__ = [
     "problem_fingerprint",
     "pruning_threshold",
     "root_state",
+    "shard_state",
     "solve",
     "solve_parallel",
     "write_checkpoint",

@@ -47,6 +47,7 @@ import pickle
 import signal
 import threading
 import time
+import warnings
 from dataclasses import dataclass, field
 
 from ..errors import CheckpointError
@@ -63,6 +64,16 @@ __all__ = [
 ]
 
 CHECKPOINT_FORMAT = "repro/checkpoint-v1"
+
+#: On-disk header preceding the pickled snapshot:
+#: ``b"repro/checkpoint-v1 sha256=<hex> len=<bytes>\n"``.  The digest
+#: covers the pickled payload, so truncation and bit-flips are caught
+#: *before* unpickling; ``len`` distinguishes truncation from
+#: corruption in the error message.  Files written before the header
+#: existed start with the pickle protocol-2+ magic ``b"\x80"`` instead,
+#: which can never collide with this ASCII prefix — they still load,
+#: with a warning that they are unverifiable.
+_HEADER_PREFIX = CHECKPOINT_FORMAT.encode() + b" "
 
 
 def problem_fingerprint(problem, params) -> str:
@@ -128,9 +139,15 @@ def write_checkpoint(snapshot: SearchCheckpoint, path: str) -> str:
     """
     path = os.fspath(path)
     tmp = f"{path}.tmp.{os.getpid()}"
+    payload = pickle.dumps(snapshot, protocol=pickle.HIGHEST_PROTOCOL)
+    digest = hashlib.sha256(payload).hexdigest()
+    header = (
+        f"{CHECKPOINT_FORMAT} sha256={digest} len={len(payload)}\n".encode()
+    )
     try:
         with open(tmp, "wb") as fh:
-            pickle.dump(snapshot, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            fh.write(header)
+            fh.write(payload)
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, path)
@@ -141,13 +158,61 @@ def write_checkpoint(snapshot: SearchCheckpoint, path: str) -> str:
     return path
 
 
+def _verified_payload(path: str, raw: bytes) -> bytes:
+    """Strip and verify the digest header; pass legacy files through."""
+    if not raw.startswith(_HEADER_PREFIX):
+        # Pre-digest v1 file (starts with the pickle magic): loadable
+        # but unverifiable — say so rather than silently trusting it.
+        warnings.warn(
+            f"checkpoint {path} has no content digest (written by an "
+            "older version); loading without integrity verification",
+            stacklevel=3,
+        )
+        return raw
+    line_end = raw.find(b"\n")
+    if line_end < 0:
+        raise CheckpointError(f"corrupt checkpoint {path}: truncated header")
+    try:
+        fields = dict(
+            part.split(b"=", 1)
+            for part in raw[len(_HEADER_PREFIX) : line_end].split()
+        )
+        expected = fields[b"sha256"].decode("ascii")
+        length = int(fields[b"len"])
+    except (KeyError, ValueError, UnicodeDecodeError) as exc:
+        raise CheckpointError(
+            f"corrupt checkpoint {path}: malformed header"
+        ) from exc
+    payload = raw[line_end + 1 :]
+    if len(payload) != length:
+        raise CheckpointError(
+            f"corrupt checkpoint {path}: truncated payload "
+            f"({len(payload)} bytes, header says {length})"
+        )
+    if hashlib.sha256(payload).hexdigest() != expected:
+        raise CheckpointError(
+            f"corrupt checkpoint {path}: content digest mismatch "
+            "(bit rot or concurrent write)"
+        )
+    return payload
+
+
 def load_checkpoint(path: str) -> SearchCheckpoint:
-    """Read a snapshot back, mapping every failure to CheckpointError."""
+    """Read a snapshot back, mapping every failure to CheckpointError.
+
+    The SHA-256 header written by :func:`write_checkpoint` is verified
+    *before* unpickling, so a truncated or bit-flipped file fails
+    loudly instead of feeding garbage to pickle.  Digest-less files
+    from older versions still load, with a warning.
+    """
     try:
         with open(path, "rb") as fh:
-            snapshot = pickle.load(fh)
+            raw = fh.read()
     except OSError as exc:
         raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    payload = _verified_payload(path, raw)
+    try:
+        snapshot = pickle.loads(payload)
     except Exception as exc:  # unpickling: corrupt/truncated/foreign file
         raise CheckpointError(
             f"corrupt checkpoint {path}: {type(exc).__name__}: {exc}"

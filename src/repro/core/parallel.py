@@ -66,8 +66,8 @@ from __future__ import annotations
 import math
 import multiprocessing
 import os
+import random
 import time
-from collections import deque
 from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait as _conn_wait
@@ -83,8 +83,8 @@ from .engine import (
     SubtreeDispatcher,
     SubtreeSpec,
 )
-from .expand import PendingChild
 from .params import BnBParameters
+from .shards import BackoffPolicy, FrontierCollector, RetryQueue, Shard, shard_state
 from .state import SearchState
 from .stats import SearchStats
 from .transposition import (
@@ -487,13 +487,11 @@ def _supervised_worker(
 # ---------------------------------------------------------------------------
 
 
-def _shard_state(vertex: Vertex) -> SearchState:
-    """Materialize a frontier vertex's state for shipping."""
-    state = vertex.state
-    if type(state) is PendingChild:
-        state = state.materialize()
-        vertex.state = state
-    return state
+# Frontier decomposition now lives in :mod:`repro.core.shards`, shared
+# with the cluster coordinator; the old private names stay as aliases.
+_shard_state = shard_state
+_Shard = Shard
+_FrontierCollector = FrontierCollector
 
 
 @dataclass
@@ -719,58 +717,6 @@ class _ReplayDispatcher(SubtreeDispatcher):
         return result
 
 
-@dataclass(frozen=True)
-class _Shard:
-    index: int
-    state: SearchState
-    lower_bound: float
-    incumbent_cost: float
-    budget: float
-
-
-class _FrontierCollector(SubtreeDispatcher):
-    """Dispatcher that records the depth-d frontier instead of searching.
-
-    Resolving every dispatched vertex with an empty result makes the
-    coordinator's loop a pure shallow expansion: it terminates once all
-    vertices below ``depth`` are expanded, leaving the would-be shard
-    roots here in exact pop order with their entering incumbents and
-    budgets.
-    """
-
-    def __init__(
-        self, depth: int, problem: CompiledProblem, params: BnBParameters
-    ) -> None:
-        self.depth = depth
-        self._problem = problem
-        self._params = params
-        self.shards: list[_Shard] = []
-
-    def resolve(
-        self, vertex: Vertex, incumbent_cost: float, budget: float
-    ) -> BnBResult:
-        self.shards.append(
-            _Shard(
-                len(self.shards),
-                _shard_state(vertex),
-                vertex.lower_bound,
-                incumbent_cost,
-                budget,
-            )
-        )
-        return BnBResult(
-            problem=self._problem,
-            params=self._params,
-            status=SolveStatus.FAILED,
-            best_cost=math.inf,
-            proc_of=None,
-            start=None,
-            incumbent_source="initial-upper-bound",
-            initial_upper_bound=incumbent_cost,
-            stats=SearchStats(),
-        )
-
-
 # ---------------------------------------------------------------------------
 # Throughput-mode supervision
 # ---------------------------------------------------------------------------
@@ -872,6 +818,7 @@ class ParallelBnB:
         mp_context=None,
         max_shard_attempts: int = 3,
         retry_backoff: float = 0.05,
+        backoff_rng: random.Random | None = None,
         heartbeat_timeout: float = 30.0,
         fault_plan: FaultPlan | None = None,
     ) -> None:
@@ -903,6 +850,9 @@ class ParallelBnB:
         self._mp_context = mp_context
         self.max_shard_attempts = max_shard_attempts
         self.retry_backoff = retry_backoff
+        #: RNG for decorrelated-jitter retry backoff; None seeds a fresh
+        #: one (tests inject a seeded instance to pin delays).
+        self.backoff_rng = backoff_rng
         self.heartbeat_timeout = heartbeat_timeout
         self.fault_plan = fault_plan
         self.last_report: ParallelReport | None = None
@@ -1152,8 +1102,10 @@ class ParallelBnB:
         Shards are handed to idle workers one at a time (dynamic load
         balancing — no static blocks to strand behind a slow shard).  A
         worker that dies, breaks its pipe, or stops stamping its
-        heartbeat is replaced; its shard is re-queued with exponential
-        backoff (``retry_backoff * 2**(attempt-1)``), and after
+        heartbeat is replaced; its shard is re-queued with capped
+        exponential backoff plus decorrelated jitter (shards orphaned
+        together must not retry in lockstep — see
+        :class:`~repro.core.shards.BackoffPolicy`), and after
         ``max_shard_attempts`` failures the shard is quarantined: the
         run finishes without it, reports it, and is marked TRUNCATED.
         The incumbent can never be lost to a crash — improvements are
@@ -1182,9 +1134,17 @@ class ParallelBnB:
         sup_t0 = time.monotonic()
         next_coord_sample = 0.0
         last_incumbent_seen = incumbent0
-        #: ``(shard, attempt, eligible_at)`` — eligible_at implements the
-        #: retry backoff without ever blocking healthy workers.
-        pending: deque = deque((s, 1, 0.0) for s in live)
+        pending = RetryQueue(
+            max_attempts=self.max_shard_attempts,
+            backoff=BackoffPolicy(
+                base=self.retry_backoff,
+                rng=self.backoff_rng
+                if self.backoff_rng is not None
+                else random.Random(),
+            ),
+        )
+        for s in live:
+            pending.add(s)
         remaining = budget
         stop = False
 
@@ -1203,15 +1163,6 @@ class ParallelBnB:
             child.close()
             beats[slot] = time.monotonic()
             return _WorkerHandle(proc=proc, conn=parent, slot=slot)
-
-        def next_task():
-            now = time.monotonic()
-            for _ in range(len(pending)):
-                shard, attempt, eligible = pending.popleft()
-                if eligible <= now:
-                    return shard, attempt
-                pending.append((shard, attempt, eligible))
-            return None
 
         def reclaim(worker: _WorkerHandle, cause: str) -> _WorkerHandle:
             """Restart a dead/hung worker's slot; requeue or quarantine
@@ -1241,7 +1192,8 @@ class ParallelBnB:
                 worker.conn.close()
             except OSError:
                 pass
-            if attempt >= self.max_shard_attempts:
+            delay = pending.requeue(shard, attempt, time.monotonic())
+            if delay is None:
                 out.quarantined.append(shard.index)
                 out.truncated = True  # search incomplete: never report OPTIMAL
                 if sink is not None and sink.accepts("quarantine"):
@@ -1254,8 +1206,6 @@ class ParallelBnB:
                         },
                     )
             else:
-                delay = self.retry_backoff * (2 ** (attempt - 1))
-                pending.append((shard, attempt + 1, time.monotonic() + delay))
                 out.shard_retries += 1
                 if metrics is not None:
                     metrics.counter("bnb_shard_retry_total").inc()
@@ -1277,7 +1227,7 @@ class ParallelBnB:
                 for i, worker in enumerate(workers):
                     if worker.task is not None or stop:
                         continue
-                    task = next_task()
+                    task = pending.pop_eligible(time.monotonic())
                     if task is None:
                         break
                     shard, attempt = task
@@ -1377,10 +1327,7 @@ class ParallelBnB:
                         1 for w in workers if w.proc.is_alive()
                     )
                     inc_now = shared.value
-                    open_lb = None
-                    for shard, _attempt, _eligible in pending:
-                        if open_lb is None or shard.lower_bound < open_lb:
-                            open_lb = shard.lower_bound
+                    open_lb = pending.min_lower_bound()
                     for w in workers:
                         if w.task is not None:
                             lb = w.task[0].lower_bound

@@ -25,6 +25,8 @@ __all__ = [
     "SerializationError",
     "ProblemFormatError",
     "CheckpointError",
+    "ClusterError",
+    "TransportClosed",
 ]
 
 
@@ -219,4 +221,23 @@ class CheckpointError(ReproError):
     Raised on corrupt/truncated snapshot files, unsupported format
     versions, and fingerprint mismatches (resuming against a different
     problem or parametrization).
+    """
+
+
+class ClusterError(ReproError):
+    """The distributed coordinator/worker layer hit a fatal condition.
+
+    Covers protocol violations (version or fingerprint mismatch at
+    handshake), a coordinator that never sees a worker join, and
+    malformed frames.  *Transient* failures — dead workers, dropped
+    frames, partitions — are handled by lease expiry and shard
+    re-queuing, never raised.
+    """
+
+
+class TransportClosed(ClusterError):
+    """The peer closed the connection (EOF or broken pipe).
+
+    The cluster layer's normal worker-death signal: callers treat it as
+    a membership event, not a crash.
     """

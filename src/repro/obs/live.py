@@ -58,6 +58,7 @@ class WorkerStats:
     __slots__ = (
         "slot", "shard", "explored", "vps",
         "restarts", "heartbeat", "alive",
+        "name", "lease_age", "done", "retried", "stolen",
     )
 
     def __init__(
@@ -70,6 +71,11 @@ class WorkerStats:
         restarts: int = 0,
         heartbeat: float | None = None,
         alive: bool = True,
+        name: str | None = None,
+        lease_age: float | None = None,
+        done: int = 0,
+        retried: int = 0,
+        stolen: int = 0,
     ) -> None:
         self.slot = slot
         self.shard = shard
@@ -78,9 +84,18 @@ class WorkerStats:
         self.restarts = restarts
         self.heartbeat = heartbeat if heartbeat is not None else time.monotonic()
         self.alive = alive
+        # Cluster-mode extras (None/0 for in-process workers): the
+        # worker's self-chosen id, its coordinator-side lease age, and
+        # its shard accounting.  ``as_dict`` includes them only when a
+        # name is set, so single-machine /status payloads are unchanged.
+        self.name = name
+        self.lease_age = lease_age
+        self.done = done
+        self.retried = retried
+        self.stolen = stolen
 
     def as_dict(self) -> dict[str, Any]:
-        return {
+        row = {
             "slot": self.slot,
             "shard": self.shard,
             "explored": self.explored,
@@ -91,6 +106,15 @@ class WorkerStats:
             ),
             "alive": self.alive,
         }
+        if self.name is not None:
+            row["name"] = self.name
+            row["lease_age"] = (
+                round(self.lease_age, 3) if self.lease_age is not None else None
+            )
+            row["done"] = self.done
+            row["retried"] = self.retried
+            row["stolen"] = self.stolen
+        return row
 
 
 class TelemetryBus:
@@ -412,8 +436,47 @@ class LiveMonitor:
             vps=0.0,
             restarts=restarts,
             alive=False,
+            name=prev.name if prev is not None else None,
+            done=prev.done if prev is not None else 0,
+            retried=prev.retried if prev is not None else 0,
+            stolen=prev.stolen if prev is not None else 0,
         )
         self.bus.set_worker(stats)
+
+    def on_cluster_member(
+        self,
+        slot: int,
+        *,
+        name: str,
+        shard: int | None,
+        explored: int,
+        vps: float,
+        lease_age: float,
+        done: int,
+        retried: int,
+        stolen: int,
+        alive: bool = True,
+    ) -> None:
+        """Absorb one cluster member's liveness row (coordinator-side).
+
+        The cluster coordinator refreshes every member on its sampling
+        cadence, so ``/status`` shows per-worker lease age and shard
+        accounting alongside the usual explored/vps gauges.
+        """
+        self.bus.set_worker(
+            WorkerStats(
+                slot,
+                shard=shard,
+                explored=explored,
+                vps=vps,
+                alive=alive,
+                name=name,
+                lease_age=lease_age,
+                done=done,
+                retried=retried,
+                stolen=stolen,
+            )
+        )
 
     # -- flight recorder ----------------------------------------------
 

@@ -59,6 +59,13 @@ class TraceReport:
     shard_retries: list[dict[str, Any]] = field(default_factory=list)
     #: Quarantine events (shards abandoned after repeated failures).
     quarantines: list[dict[str, Any]] = field(default_factory=list)
+    #: Cluster membership events from the distributed coordinator.
+    worker_joins: list[dict[str, Any]] = field(default_factory=list)
+    worker_leaves: list[dict[str, Any]] = field(default_factory=list)
+    #: Lease expiries (silent workers whose shards were re-queued).
+    lease_expiries: list[dict[str, Any]] = field(default_factory=list)
+    #: Work-steal events (backlog shards revoked and reassigned).
+    steals: list[dict[str, Any]] = field(default_factory=list)
     #: Wall-clock seconds from solve start to the first incumbent.
     first_incumbent_elapsed: float | None = None
     #: Lines that failed to parse as JSON objects.
@@ -194,6 +201,14 @@ def _parse(fh: IO[str], path: str) -> TraceReport:
             report.shard_retries.append(record)
         elif kind == "quarantine":
             report.quarantines.append(record)
+        elif kind == "worker_join":
+            report.worker_joins.append(record)
+        elif kind == "worker_leave":
+            report.worker_leaves.append(record)
+        elif kind == "lease_expired":
+            report.lease_expiries.append(record)
+        elif kind == "steal":
+            report.steals.append(record)
     return report
 
 
@@ -227,6 +242,10 @@ def _render_robustness(report: TraceReport) -> list[str]:
         or report.worker_restarts
         or report.shard_retries
         or report.quarantines
+        or report.worker_joins
+        or report.worker_leaves
+        or report.lease_expiries
+        or report.steals
     )
     if not any_fault and report.first_incumbent_elapsed is None:
         return []
@@ -257,6 +276,28 @@ def _render_robustness(report: TraceReport) -> list[str]:
         out.append(
             f"  worker restarts: {len(report.worker_restarts)} "
             f"({', '.join(causes)})"
+        )
+    if report.worker_joins or report.worker_leaves:
+        names = sorted(
+            {str(j.get("worker", "?")) for j in report.worker_joins}
+        )
+        shown = ", ".join(names[:8]) + ("…" if len(names) > 8 else "")
+        out.append(
+            f"  cluster membership: {len(report.worker_joins)} join(s), "
+            f"{len(report.worker_leaves)} leave(s) ({shown})"
+        )
+    if report.lease_expiries:
+        workers = sorted(
+            {str(e.get("worker", "?")) for e in report.lease_expiries}
+        )
+        out.append(
+            f"  lease expiries: {len(report.lease_expiries)} "
+            f"({', '.join(workers)}) — in-flight shards re-queued"
+        )
+    if report.steals:
+        out.append(
+            f"  work steals: {len(report.steals)} "
+            "(idle workers re-balanced the prefetch backlog)"
         )
     if report.shard_retries:
         out.append(f"  shard retries: {len(report.shard_retries)}")

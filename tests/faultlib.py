@@ -112,6 +112,86 @@ def kill_when_file_appears(
     return False
 
 
+# ---------------------------------------------------------------------------
+# Cluster harness (in-process threads over the fake transport)
+# ---------------------------------------------------------------------------
+
+
+def run_cluster(
+    problem,
+    params=None,
+    *,
+    workers=2,
+    transport=None,
+    worker_kwargs=None,
+    coordinator_kwargs=None,
+    join_timeout=60.0,
+):
+    """Solve ``problem`` on an in-process cluster; returns (result, coord).
+
+    Spawns ``workers`` ClusterWorker threads over a shared
+    MemoryTransport (or the given one) against one ClusterCoordinator.
+    ``worker_kwargs`` is either one dict applied to every worker or a
+    list of per-worker dicts (inject faults into specific workers).
+    """
+    import threading
+
+    from repro.cluster import ClusterCoordinator, ClusterWorker, MemoryTransport
+
+    net = transport if transport is not None else MemoryTransport()
+    address = "mem://coordinator"
+    ckw = dict(
+        bind=address,
+        transport=net,
+        lease=2.0,
+        worker_timeout=30.0,
+        retry_backoff=0.001,
+    )
+    ckw.update(coordinator_kwargs or {})
+    coord = ClusterCoordinator(params, **ckw)
+    if isinstance(worker_kwargs, dict) or worker_kwargs is None:
+        worker_kwargs = [worker_kwargs or {}] * workers
+    crew = []
+    for i, kw in enumerate(worker_kwargs):
+        kw = dict(kw)
+        wnet = kw.pop("transport", net)
+        crew.append(
+            ClusterWorker(
+                address,
+                transport=wnet,
+                worker_id=kw.pop("worker_id", f"w{i}"),
+                connect_timeout=kw.pop("connect_timeout", 20.0),
+                **kw,
+            )
+        )
+    threads = [
+        threading.Thread(target=w.run, daemon=True, name=w.worker_id)
+        for w in crew
+    ]
+    for t in threads:
+        t.start()
+    try:
+        result = coord.solve(problem)
+    finally:
+        for t in threads:
+            t.join(timeout=join_timeout)
+    return result, coord
+
+
+def assert_cluster_parity(result, reference, *, tol=1e-9):
+    """The cluster run must match the single-process engine exactly."""
+    assert result.status == reference.status, (
+        f"status diverged: cluster {result.status} vs "
+        f"sequential {reference.status}"
+    )
+    if reference.proc_of is not None:
+        assert result.proc_of is not None
+        assert abs(result.best_cost - reference.best_cost) <= tol, (
+            f"cost diverged: cluster {result.best_cost!r} vs "
+            f"sequential {reference.best_cost!r}"
+        )
+
+
 _LMAX = re.compile(r"L_max=(-?[\d.]+|inf|-inf)")
 
 
